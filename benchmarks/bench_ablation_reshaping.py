@@ -1,0 +1,55 @@
+"""Ablation: column-wise vs bucket-reshaped 1bitSGD (DESIGN.md #1/#5).
+
+Quantifies the Section 3.2.2 artefact on a conv-shaped gradient (rows
+= kernel width): the stock scheme's wire size and group count explode,
+and the reshaped variant fixes both.  Also sweeps the bucket size to
+expose the accuracy/overhead trade-off (paper Section 5.1).
+"""
+
+import numpy as np
+import pytest
+
+from repro.quantization import OneBitSgd, OneBitSgdReshaped
+
+#: a ResNet-style conv gradient in CNTK layout: 3 rows, many columns
+CONV_SHAPE = (3, 200_000)
+
+
+@pytest.fixture(scope="module")
+def conv_gradient():
+    return (
+        np.random.default_rng(0).normal(size=CONV_SHAPE).astype(np.float32)
+    )
+
+
+def test_column_wise_on_conv_layers(benchmark, conv_gradient):
+    codec = OneBitSgd()
+    message = benchmark(lambda: codec.encode(conv_gradient))
+    print(
+        f"\nstock 1bitSGD on {CONV_SHAPE}: "
+        f"{message.bits_per_element:.1f} bits/element "
+        "(no compression at all — the paper's artefact)"
+    )
+    assert message.bits_per_element >= 32.0
+
+
+def test_reshaped_on_conv_layers(benchmark, conv_gradient):
+    codec = OneBitSgdReshaped(bucket_size=64)
+    message = benchmark(lambda: codec.encode(conv_gradient))
+    print(
+        f"\n1bitSGD* (d=64) on {CONV_SHAPE}: "
+        f"{message.bits_per_element:.2f} bits/element"
+    )
+    assert message.bits_per_element < 3.0
+
+
+@pytest.mark.parametrize("bucket", [16, 64, 512, 8192])
+def test_bucket_size_sweep(benchmark, conv_gradient, bucket):
+    codec = OneBitSgdReshaped(bucket_size=bucket)
+    message = benchmark(lambda: codec.encode(conv_gradient))
+    decoded = codec.decode(message)
+    error = float(np.abs(decoded - conv_gradient).mean())
+    print(
+        f"\nbucket={bucket}: {message.bits_per_element:.2f} bits/elem, "
+        f"reconstruction MAE={error:.3f}"
+    )

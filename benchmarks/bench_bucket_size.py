@@ -1,0 +1,17 @@
+"""Bucket-size sensitivity (paper Section 5.1) as a bench target."""
+
+from repro.study import print_bucket_study
+
+from conftest import run_once
+
+
+def test_bucket_size_study(benchmark):
+    points = run_once(benchmark, lambda: print_bucket_study(epochs=10))
+    by_label = {p.label: p for p in points}
+    # tuned buckets stay near full precision; oversized buckets at
+    # 2 bits inject enough variance to visibly break training
+    baseline = by_label["32bit"].final_accuracy
+    assert by_label["qsgd4 (d=512)"].final_accuracy > baseline - 0.08
+    assert (
+        by_label["qsgd2 (d=8192)"].final_accuracy < baseline - 0.15
+    )

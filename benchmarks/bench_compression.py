@@ -1,0 +1,11 @@
+"""Wire-rate matrix for every (network, scheme) pair as a bench target."""
+
+from repro.study import print_compression_report
+
+
+def test_compression_report(benchmark):
+    cells = benchmark(print_compression_report)
+    by_key = {(c.network, c.scheme): c for c in cells}
+    # the artefact behind Figure 10's 1bitSGD rows, in data form
+    assert by_key[("ResNet152", "1bit")].bits_per_element > 32
+    assert by_key[("AlexNet", "1bit")].bits_per_element < 3

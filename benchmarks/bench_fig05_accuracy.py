@@ -1,0 +1,33 @@
+"""Figure 5: accuracy-versus-epoch under quantized training.
+
+Each benchmark runs the real (scaled-down) training study behind one
+sub-figure and prints the accuracy curves it produces.
+"""
+
+import pytest
+
+from repro.study import FIG5_EXPERIMENTS, run_accuracy_experiment
+from repro.study.report import format_series
+
+from conftest import run_once
+
+
+def _run_and_print(figure: str):
+    histories = run_accuracy_experiment(figure, scale="quick")
+    title = FIG5_EXPERIMENTS[figure].title
+    print(f"\n{figure}: {title}")
+    for label, history in histories.items():
+        epochs = list(range(len(history.epochs)))
+        metric = (
+            "train_loss" if figure == "fig5e" else "test_accuracy"
+        )
+        print("  " + format_series(label, epochs, history.series(metric)))
+    return histories
+
+
+@pytest.mark.parametrize("figure", sorted(FIG5_EXPERIMENTS))
+def test_fig5_accuracy(benchmark, figure):
+    histories = run_once(benchmark, lambda: _run_and_print(figure))
+    assert histories
+    for history in histories.values():
+        assert history.epochs

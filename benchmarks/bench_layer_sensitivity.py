@@ -1,0 +1,19 @@
+"""Layer-type sensitivity (paper Section 5.1) as a bench target."""
+
+from repro.study import print_layer_sensitivity
+
+from conftest import run_once
+
+
+def test_layer_sensitivity(benchmark):
+    results = run_once(
+        benchmark, lambda: print_layer_sensitivity(scheme="qsgd2",
+                                                   epochs=6)
+    )
+    by_variant = {r.variant: r for r in results}
+    # quantizing only the FC layers must move far less data than
+    # full precision (AlexNet-class models are FC-dominated)
+    assert (
+        by_variant["quantize fc only"].comm_megabytes
+        < by_variant["quantize none (32bit)"].comm_megabytes / 3
+    )

@@ -1,0 +1,42 @@
+"""Microbenchmarks: encode/decode throughput of every codec.
+
+These measure the numpy substrate's own quantization kernels (the
+analogue of the paper's CUDA kernel tuning in Section 3.2.1) and print
+the achieved element rates and wire sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.quantization import make_quantizer
+
+SCHEMES = ["32bit", "1bit", "1bit*", "qsgd2", "qsgd4", "qsgd8", "qsgd16"]
+SHAPE = (512, 2048)  # ~1M elements
+
+
+@pytest.fixture(scope="module")
+def gradient():
+    return (
+        np.random.default_rng(0).normal(size=SHAPE).astype(np.float32)
+    )
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_encode_throughput(benchmark, gradient, scheme):
+    codec = make_quantizer(scheme)
+    rng = np.random.default_rng(1)
+    message = benchmark(lambda: codec.encode(gradient, rng))
+    elements = gradient.size
+    rate = elements / benchmark.stats["mean"] / 1e6
+    print(
+        f"\n{scheme}: {rate:.0f} Melem/s encode, "
+        f"{message.bits_per_element:.2f} bits/element on the wire"
+    )
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_decode_throughput(benchmark, gradient, scheme):
+    codec = make_quantizer(scheme)
+    message = codec.encode(gradient, np.random.default_rng(1))
+    decoded = benchmark(lambda: codec.decode(message))
+    assert decoded.shape == gradient.shape

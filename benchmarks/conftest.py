@@ -1,0 +1,14 @@
+"""Shared fixtures for the benchmark suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def run_once(benchmark, fn):
+    """Benchmark a heavyweight harness exactly once."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,48 @@
+"""Accuracy versus precision: the paper's Figure 5 at laptop scale.
+
+Trains a ResNet-style model under every quantization scheme and draws
+the accuracy curves as ASCII, reproducing the paper's accuracy
+findings: 4/8-bit QSGD and error-fed 1bitSGD match full precision,
+2-bit QSGD falls behind on convolutional nets.
+
+    python examples/accuracy_vs_precision.py [--full]
+"""
+
+import sys
+
+from repro.study import run_accuracy_experiment
+
+
+def ascii_curve(values, width=50, lo=0.0, hi=1.0):
+    cells = [" "] * width
+    for value in values:
+        position = int((value - lo) / (hi - lo) * (width - 1))
+        position = max(0, min(width - 1, position))
+        cells[position] = "o"
+    return "".join(cells)
+
+
+def main() -> None:
+    scale = "full" if "--full" in sys.argv else "quick"
+    print(f"Running the fig5d study at scale={scale!r}...")
+    histories = run_accuracy_experiment("fig5d", scale=scale)
+
+    print("\ntest accuracy per epoch (0 ... 1):")
+    for label, history in histories.items():
+        series = history.series("test_accuracy")
+        print(f"  {label:18s} |{ascii_curve(series)}| "
+              f"final={series[-1]:.3f}")
+
+    final = {
+        label: h.final_test_accuracy for label, h in histories.items()
+    }
+    baseline = final["32bit"]
+    print("\ngap to full precision (negative = worse):")
+    for label, accuracy in final.items():
+        if label == "32bit":
+            continue
+        print(f"  {label:18s} {accuracy - baseline:+.3f}")
+
+
+if __name__ == "__main__":
+    main()

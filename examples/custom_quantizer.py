@@ -1,0 +1,104 @@
+"""Extending the library with a custom gradient codec.
+
+Implements the top-k sparse compressor of Aji & Heafield (EMNLP 2017)
+— discussed in the paper's related-work section — as a drop-in
+:class:`~repro.quantization.base.Quantizer`, and trains with it through
+the standard exchange pipeline.  Local accumulation of the dropped
+coordinates comes for free from :class:`ErrorFeedback` (the trainer
+engages it because ``requires_error_feedback`` is set).
+
+    python examples/custom_quantizer.py
+"""
+
+import numpy as np
+
+from repro import ParallelTrainer, TrainingConfig
+from repro.core.algorithm import SynchronousStep
+from repro.data import make_image_dataset
+from repro.models import tiny_alexnet
+from repro.quantization import Quantizer
+from repro.quantization.base import EncodedTensor
+
+
+class TopKSparsifier(Quantizer):
+    """Keep only the ``density`` largest-magnitude gradient entries.
+
+    The wire message carries int32 indices and float32 values for the
+    surviving entries; everything else is implicitly zero.  Dropped
+    mass must be fed back into later rounds (error feedback), exactly
+    as Aji & Heafield accumulate the residual locally.
+    """
+
+    requires_error_feedback = True
+
+    def __init__(self, density: float = 0.01):
+        if not 0.0 < density <= 1.0:
+            raise ValueError(f"density must be in (0, 1], got {density}")
+        self.density = density
+        self.name = f"topk{density:g}"
+        self.nominal_bits = 64.0 * density  # index + value per survivor
+
+    def encode(self, grad, rng=None):
+        flat = np.asarray(grad, dtype=np.float32).reshape(-1)
+        keep = max(1, int(self.density * flat.size))
+        indices = np.argpartition(np.abs(flat), -keep)[-keep:]
+        indices = np.sort(indices).astype(np.int32)
+        return EncodedTensor(
+            scheme=self.name,
+            shape=grad.shape,
+            payload={
+                "indices": indices,
+                "values": flat[indices],
+            },
+        )
+
+    def decode(self, message):
+        size = message.element_count
+        flat = np.zeros(size, dtype=np.float32)
+        flat[message.payload["indices"]] = message.payload["values"]
+        return flat.reshape(message.shape)
+
+
+def main() -> None:
+    dataset = make_image_dataset(
+        num_classes=6, train_samples=384, test_samples=192,
+        image_size=16, noise=1.2, seed=3,
+    )
+
+    config = TrainingConfig(
+        scheme="32bit",  # placeholder; swapped for the custom codec below
+        exchange="alltoall",
+        world_size=4,
+        batch_size=32,
+        lr=0.01,
+        lr_decay=0.93,
+        seed=0,
+    )
+    model = tiny_alexnet(num_classes=6, image_size=16, seed=1)
+    trainer = ParallelTrainer(model, config)
+
+    # swap the codec inside the synchronous step for the custom one
+    sparsifier = TopKSparsifier(density=0.05)
+    trainer.step_engine = SynchronousStep(config, trainer.parameters)
+    trainer.step_engine.policy.quantizer = sparsifier
+    trainer.step_engine.policy.threshold = 0  # sparsify everything
+
+    print("training with top-5% sparse gradients + error feedback...")
+    history = trainer.fit(
+        dataset.train_x, dataset.train_y, dataset.test_x, dataset.test_y,
+        epochs=10, verbose=True,
+    )
+    print(
+        f"\nfinal test accuracy: {history.final_test_accuracy:.3f} "
+        f"({history.total_comm_bytes / 1e6:.1f} MB on the wire)"
+    )
+    print(
+        "Compare with examples/quickstart.py — dense 4-bit QSGD moves "
+        "less data than 5% sparse top-k once indices are counted, which "
+        "is the paper's related-work argument against sparse schemes on "
+        "ImageNet-class models."
+    )
+
+
+if __name__ == "__main__":
+    main()

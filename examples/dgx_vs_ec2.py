@@ -1,0 +1,73 @@
+"""Fast interconnect vs slow: DGX-1 against EC2, per primitive.
+
+Reproduces the Section 5.2 narrative with the performance simulator:
+on MPI both platforms gain a lot from quantization; on NCCL the
+DGX-1's NVLink leaves little for low precision to recover.
+
+    python examples/dgx_vs_ec2.py [network]
+"""
+
+import sys
+
+from repro.models.specs import NETWORKS, get_network
+from repro.simulator import simulate
+from repro.study import print_table
+from repro.viz import stacked_bars
+
+
+def main() -> None:
+    network = sys.argv[1] if len(sys.argv) > 1 else "VGG19"
+    if network not in NETWORKS:
+        raise SystemExit(
+            f"unknown network {network!r}; choose from {sorted(NETWORKS)}"
+        )
+    spec = get_network(network)
+
+    rows = []
+    bars = {}
+    for machine in ("p2.8xlarge", "dgx1"):
+        for exchange in ("mpi", "nccl"):
+            for scheme in ("32bit", "qsgd4"):
+                result = simulate(network, machine, scheme, exchange, 8)
+                hours = result.epoch_seconds(spec.samples_per_epoch) / 3600
+                rows.append(
+                    [machine, exchange, scheme,
+                     result.samples_per_second, hours]
+                )
+                label = f"{machine}/{exchange}/{scheme}"
+                comm = hours * result.comm_fraction
+                bars[label] = (comm, hours - comm)
+
+    print_table(
+        ["Machine", "Primitive", "Precision", "Samples/s", "Epoch (h)"],
+        rows,
+        title=f"{network} at 8 GPUs: DGX-1 vs EC2 p2.8xlarge",
+    )
+
+    print(f"\n{network} epoch time breakdown (# = communication):")
+    print(stacked_bars(bars))
+
+    def speedup(machine, exchange):
+        full = next(
+            r for r in rows
+            if r[0] == machine and r[1] == exchange and r[2] == "32bit"
+        )
+        quant = next(
+            r for r in rows
+            if r[0] == machine and r[1] == exchange and r[2] == "qsgd4"
+        )
+        return quant[3] / full[3]
+
+    print("\n4-bit speedup over 32-bit:")
+    for machine in ("p2.8xlarge", "dgx1"):
+        for exchange in ("mpi", "nccl"):
+            print(f"  {machine:11s} {exchange:5s} "
+                  f"{speedup(machine, exchange):.2f}x")
+    print(
+        "\nAs in the paper: quantization pays off over MPI on either "
+        "platform, but NCCL leaves little to gain."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: train a model on 4 simulated GPUs with 4-bit gradients.
+
+Runs the same model twice — once at full precision, once with QSGD
+4-bit communication — and reports accuracy plus the bytes each run put
+on the wire.
+
+    python examples/quickstart.py
+"""
+
+from repro import ParallelTrainer, TrainingConfig
+from repro.data import make_image_dataset
+from repro.models import tiny_alexnet
+
+
+def main() -> None:
+    dataset = make_image_dataset(
+        num_classes=6,
+        train_samples=384,
+        test_samples=192,
+        image_size=16,
+        noise=1.2,
+        seed=3,
+    )
+
+    results = {}
+    for scheme in ("32bit", "qsgd4"):
+        config = TrainingConfig(
+            scheme=scheme,
+            exchange="mpi",
+            world_size=4,
+            batch_size=32,
+            lr=0.01,
+            lr_decay=0.93,
+            seed=0,
+        )
+        model = tiny_alexnet(num_classes=6, image_size=16, seed=1)
+        trainer = ParallelTrainer(model, config)
+        print(f"\n--- training with {scheme} gradients ---")
+        history = trainer.fit(
+            dataset.train_x,
+            dataset.train_y,
+            dataset.test_x,
+            dataset.test_y,
+            epochs=10,
+            verbose=True,
+        )
+        results[scheme] = history
+
+    full = results["32bit"]
+    quant = results["qsgd4"]
+    savings = full.total_comm_bytes / quant.total_comm_bytes
+    print("\n=== summary ===")
+    print(f"32bit final test accuracy: {full.final_test_accuracy:.3f}")
+    print(f"qsgd4 final test accuracy: {quant.final_test_accuracy:.3f}")
+    print(
+        f"communication: {full.total_comm_bytes / 1e6:.1f} MB vs "
+        f"{quant.total_comm_bytes / 1e6:.1f} MB "
+        f"({savings:.1f}x less data on the wire)"
+    )
+
+
+if __name__ == "__main__":
+    main()

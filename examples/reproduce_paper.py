@@ -1,0 +1,34 @@
+"""Regenerate every table and figure of the paper in one command.
+
+    python examples/reproduce_paper.py                # everything
+    python examples/reproduce_paper.py fig10 fig16-left
+    python examples/reproduce_paper.py --list
+"""
+
+import sys
+
+from repro.study import EXPERIMENTS, run_experiment
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:] if not a.startswith("-")]
+    if "--list" in sys.argv:
+        for exp_id, experiment in sorted(EXPERIMENTS.items()):
+            print(f"{exp_id:12s} {experiment.paper_artefact:18s} "
+                  f"{experiment.description}")
+        return
+
+    targets = args or sorted(EXPERIMENTS)
+    for exp_id in targets:
+        if exp_id not in EXPERIMENTS:
+            raise SystemExit(
+                f"unknown experiment {exp_id!r}; run with --list to see "
+                "the available ids"
+            )
+        print(f"\n{'#' * 70}\n# {exp_id}: "
+              f"{EXPERIMENTS[exp_id].description}\n{'#' * 70}")
+        run_experiment(exp_id)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Throughput planner: the data-management angle of the paper.
+
+Given a network, the planner sweeps every (machine, primitive,
+precision, GPU count) cell of the study and recommends the fastest and
+the most cost-effective configurations — the kind of automatic
+optimizer the paper's introduction motivates.
+
+    python examples/throughput_planner.py [network]
+"""
+
+import sys
+
+from repro.models.specs import NETWORKS, get_network
+from repro.simulator import MACHINES, simulate
+from repro.study import print_table
+
+SCHEMES = ("32bit", "qsgd8", "qsgd4", "1bit*")
+EXCHANGES = ("mpi", "nccl")
+
+
+def sweep(network: str):
+    spec = get_network(network)
+    rows = []
+    for machine_name, machine in MACHINES.items():
+        for world_size in spec.gpu_counts:
+            for exchange in EXCHANGES:
+                if not machine.supports(world_size, exchange):
+                    continue
+                for scheme in SCHEMES:
+                    result = simulate(
+                        network, machine_name, scheme, exchange, world_size
+                    )
+                    hours = (
+                        result.epoch_seconds(spec.samples_per_epoch) / 3600
+                    )
+                    rows.append(
+                        {
+                            "machine": machine_name,
+                            "gpus": world_size,
+                            "exchange": exchange,
+                            "scheme": scheme,
+                            "samples_per_s": result.samples_per_second,
+                            "epoch_hours": hours,
+                            "dollars_per_epoch": (
+                                hours * machine.price_per_hour
+                            ),
+                        }
+                    )
+    return rows
+
+
+def main() -> None:
+    network = sys.argv[1] if len(sys.argv) > 1 else "VGG19"
+    if network not in NETWORKS:
+        raise SystemExit(
+            f"unknown network {network!r}; choose from {sorted(NETWORKS)}"
+        )
+    rows = sweep(network)
+
+    fastest = sorted(rows, key=lambda r: -r["samples_per_s"])[:5]
+    cheapest = sorted(rows, key=lambda r: r["dollars_per_epoch"])[:5]
+
+    def table(rows):
+        return [
+            [
+                r["machine"],
+                r["gpus"],
+                r["exchange"],
+                r["scheme"],
+                r["samples_per_s"],
+                r["epoch_hours"],
+                r["dollars_per_epoch"],
+            ]
+            for r in rows
+        ]
+
+    headers = [
+        "Machine", "GPUs", "Primitive", "Precision", "Samples/s",
+        "Epoch (h)", "$/epoch",
+    ]
+    print_table(headers, table(fastest),
+                title=f"{network}: fastest configurations")
+    print_table(headers, table(cheapest),
+                title=f"{network}: most cost-effective configurations")
+
+    best = fastest[0]
+    print(
+        f"\nRecommendation: to minimize wall-clock, run {network} on "
+        f"{best['machine']} with {best['gpus']} GPUs over "
+        f"{best['exchange'].upper()} at {best['scheme']} precision."
+    )
+    thrifty = cheapest[0]
+    print(
+        f"To minimize dollars, run on {thrifty['machine']} with "
+        f"{thrifty['gpus']} GPU(s) at {thrifty['scheme']} precision "
+        f"(${thrifty['dollars_per_epoch']:.2f}/epoch)."
+    )
+
+
+if __name__ == "__main__":
+    main()

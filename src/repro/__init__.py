@@ -1,0 +1,67 @@
+"""repro — reproduction of "Synchronous Multi-GPU Deep Learning with
+Low-Precision Communication: An Experimental Study" (EDBT 2018).
+
+Public API tour:
+
+* :mod:`repro.quantization` — the gradient codecs (1bitSGD, reshaped
+  1bitSGD*, QSGD, full precision) with byte-exact wire formats;
+* :mod:`repro.comm` — collective gradient exchanges (MPI
+  reduce-and-broadcast, NCCL ring allreduce) with traffic accounting;
+* :mod:`repro.core` — synchronous data-parallel SGD
+  (:class:`~repro.core.ParallelTrainer`);
+* :mod:`repro.nn`, :mod:`repro.models`, :mod:`repro.data`,
+  :mod:`repro.optim` — the training substrate and model zoo;
+* :mod:`repro.simulator` — the calibrated EC2/DGX-1 performance model;
+* :mod:`repro.study` — one experiment per paper table/figure.
+
+Quickstart::
+
+    from repro import ParallelTrainer, TrainingConfig
+    from repro.data import make_image_dataset
+    from repro.models import tiny_alexnet
+
+    ds = make_image_dataset()
+    config = TrainingConfig(scheme="qsgd4", exchange="mpi", world_size=4,
+                            batch_size=32, lr=0.01)
+    trainer = ParallelTrainer(tiny_alexnet(num_classes=ds.num_classes,
+                                           image_size=16), config)
+    history = trainer.fit(ds.train_x, ds.train_y, ds.test_x, ds.test_y,
+                          epochs=10)
+"""
+
+from .core import (
+    EpochMetrics,
+    History,
+    ParallelTrainer,
+    SynchronousStep,
+    TrainingConfig,
+)
+from .quantization import (
+    SCHEME_NAMES,
+    ErrorFeedback,
+    FullPrecision,
+    OneBitSgd,
+    OneBitSgdReshaped,
+    Qsgd,
+    Quantizer,
+    make_quantizer,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EpochMetrics",
+    "History",
+    "ParallelTrainer",
+    "SynchronousStep",
+    "TrainingConfig",
+    "SCHEME_NAMES",
+    "ErrorFeedback",
+    "FullPrecision",
+    "OneBitSgd",
+    "OneBitSgdReshaped",
+    "Qsgd",
+    "Quantizer",
+    "make_quantizer",
+    "__version__",
+]

@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — show every registered experiment (one per paper figure);
+* ``run <exp-id>...`` — regenerate specific tables/figures;
+* ``insights`` — re-derive the paper's five summary answers;
+* ``calibration`` — compare simulated throughput to the published
+  Figure 10/11 tables cell by cell;
+* ``networks`` / ``machines`` — print the Figure 2/3 inventory tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .models.specs import NETWORKS
+from .simulator import MACHINES
+from .study import EXPERIMENTS, print_table, run_experiment, throughput_table
+from .study.compression import print_compression_report
+from .study.insights import print_insights
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    rows = [
+        [exp.exp_id, exp.paper_artefact, exp.description]
+        for exp in sorted(EXPERIMENTS.values(), key=lambda e: e.exp_id)
+    ]
+    print_table(["Id", "Paper artefact", "Description"], rows,
+                title="Registered experiments")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    for exp_id in args.experiments:
+        if exp_id not in EXPERIMENTS:
+            print(f"error: unknown experiment {exp_id!r} "
+                  "(see `python -m repro list`)", file=sys.stderr)
+            return 2
+    for exp_id in args.experiments:
+        print(f"\n### {exp_id}: {EXPERIMENTS[exp_id].description}")
+        run_experiment(exp_id)
+    return 0
+
+
+def _cmd_insights(_args: argparse.Namespace) -> int:
+    insights = print_insights()
+    return 0 if all(i.holds for i in insights) else 1
+
+
+def _cmd_calibration(args: argparse.Namespace) -> int:
+    total_errors = []
+    for exchange in ("mpi", "nccl"):
+        cells = [
+            c for c in throughput_table(exchange) if c.paper is not None
+        ]
+        errors = [abs(c.relative_error) for c in cells]
+        total_errors.extend(errors)
+        print(
+            f"{exchange.upper()}: {len(cells)} cells, mean |error| = "
+            f"{sum(errors) / len(errors):.1%}"
+        )
+        if args.verbose:
+            for cell in cells:
+                print(
+                    f"  {cell.network:13s} {cell.scheme:7s} "
+                    f"K={cell.world_size:2d} sim={cell.simulated:8.1f} "
+                    f"paper={cell.paper:8.1f} "
+                    f"err={cell.relative_error:+.1%}"
+                )
+    mean = sum(total_errors) / len(total_errors)
+    print(f"overall mean |error| = {mean:.1%}")
+    return 0 if mean < 0.2 else 1
+
+
+def _cmd_compression(_args: argparse.Namespace) -> int:
+    print_compression_report()
+    return 0
+
+
+def _cmd_networks(_args: argparse.Namespace) -> int:
+    rows = [
+        [
+            spec.name,
+            spec.dataset,
+            f"{spec.parameter_count / 1e6:.1f}M",
+            spec.epochs_to_converge,
+            spec.initial_lr,
+            f"{spec.conv_fraction:.0%}",
+        ]
+        for spec in NETWORKS.values()
+    ]
+    print_table(
+        ["Network", "Dataset", "Params", "Epochs", "LR", "Conv share"],
+        rows,
+        title="Networks (paper Figure 3)",
+    )
+    return 0
+
+
+def _cmd_machines(_args: argparse.Namespace) -> int:
+    rows = [
+        [
+            machine.name,
+            machine.cpu_cores,
+            f"{machine.max_gpus} x {machine.gpu.name}",
+            f"{machine.gpu.tflops_single} TFLOPS",
+            f"${machine.price_per_hour}/h",
+        ]
+        for machine in MACHINES.values()
+    ]
+    print_table(
+        ["Instance", "CPU cores", "GPUs", "Single-prec", "Price"],
+        rows,
+        title="Machines (paper Figure 2)",
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Synchronous Multi-GPU Deep Learning with "
+            "Low-Precision Communication' (EDBT 2018)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments").set_defaults(
+        handler=_cmd_list
+    )
+    run = sub.add_parser("run", help="regenerate tables/figures")
+    run.add_argument("experiments", nargs="+", metavar="exp-id")
+    run.set_defaults(handler=_cmd_run)
+    sub.add_parser(
+        "insights", help="re-derive the paper's summary answers"
+    ).set_defaults(handler=_cmd_insights)
+    calibration = sub.add_parser(
+        "calibration", help="compare simulation to the published tables"
+    )
+    calibration.add_argument("-v", "--verbose", action="store_true")
+    calibration.set_defaults(handler=_cmd_calibration)
+    sub.add_parser(
+        "compression", help="wire bits/element per network and scheme"
+    ).set_defaults(handler=_cmd_compression)
+    sub.add_parser("networks", help="show Figure 3").set_defaults(
+        handler=_cmd_networks
+    )
+    sub.add_parser("machines", help="show Figure 2").set_defaults(
+        handler=_cmd_machines
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

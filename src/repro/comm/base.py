@@ -1,0 +1,88 @@
+"""Collective-exchange interface shared by the MPI and NCCL paths.
+
+A :class:`GradientExchange` implements line 4-8 of the paper's
+Algorithm 1 for one gradient tensor: every rank contributes its local
+gradient, and every rank receives the identical aggregated (summed)
+gradient.  Implementations differ in data movement (and therefore in
+the bytes recorded on each link) and in where quantization is applied.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..quantization.base import Quantizer
+from .message import LinkTraffic
+
+__all__ = ["ExchangeResult", "GradientExchange"]
+
+
+@dataclass
+class ExchangeResult:
+    """Outcome of one collective gradient exchange.
+
+    Attributes:
+        aggregate: the summed gradient, identical at every rank (the
+            synchronous-SGD invariant; tests assert it).
+        decoded_local: per rank, what that rank's own contribution
+            looked like after its quantization round-trip.  The trainer
+            uses this to update error-feedback residuals.
+    """
+
+    aggregate: np.ndarray
+    decoded_local: list[np.ndarray]
+
+
+class GradientExchange(abc.ABC):
+    """One collective pattern (MPI reduce-and-broadcast, NCCL ring...).
+
+    Instances are stateful only where the real system is stateful
+    (e.g. the MPI path's aggregator-side error feedback); all traffic
+    is recorded into :attr:`traffic`.
+    """
+
+    name: str = "exchange"
+
+    def __init__(self, world_size: int):
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        self.world_size = world_size
+        self.traffic = LinkTraffic()
+
+    @abc.abstractmethod
+    def exchange(
+        self,
+        key: str,
+        tensors: list[np.ndarray],
+        codec: Quantizer,
+        rng: np.random.Generator,
+    ) -> ExchangeResult:
+        """Aggregate one gradient tensor across all ranks.
+
+        Args:
+            key: stable stream identifier (parameter name); collectives
+                with aggregator-side state key it by this.
+            tensors: one gradient per rank, all of identical shape.
+            codec: the quantizer applied on the wire.
+            rng: randomness source for stochastic quantizers.
+        """
+
+    def _check_inputs(self, tensors: list[np.ndarray]) -> tuple[int, ...]:
+        if len(tensors) != self.world_size:
+            raise ValueError(
+                f"expected {self.world_size} rank tensors, got {len(tensors)}"
+            )
+        shape = tensors[0].shape
+        for rank, tensor in enumerate(tensors):
+            if tensor.shape != shape:
+                raise ValueError(
+                    f"rank {rank} tensor shape {tensor.shape} != {shape}"
+                )
+        return shape
+
+    def reset(self) -> None:
+        """Clear traffic records (and any aggregator state)."""
+        self.traffic.reset()

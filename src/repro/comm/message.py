@@ -1,0 +1,83 @@
+"""Link-level traffic accounting for the in-process cluster.
+
+Every collective in :mod:`repro.comm` records each point-to-point
+transfer it performs.  The per-link byte counts are what the
+performance simulator consumes, and what tests use to assert the
+compression ratios the paper's Figures 6-11 rely on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["LinkTraffic", "TransferRecord"]
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One point-to-point transfer: ``nbytes`` from ``src`` to ``dst``."""
+
+    src: int
+    dst: int
+    nbytes: int
+    tag: str = ""
+
+
+@dataclass
+class LinkTraffic:
+    """Accumulates transfers between ranks.
+
+    Attributes:
+        records: every transfer in order, useful for fine-grained
+            assertions in tests.
+    """
+
+    records: list[TransferRecord] = field(default_factory=list)
+    _per_link: dict[tuple[int, int], int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    _sent_by: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    _received_by: dict[int, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+
+    def record(self, src: int, dst: int, nbytes: int, tag: str = "") -> None:
+        """Record a transfer of ``nbytes`` from rank ``src`` to ``dst``."""
+        if src == dst:
+            return  # local hand-off: nothing crosses a link
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        self.records.append(TransferRecord(src, dst, nbytes, tag))
+        self._per_link[(src, dst)] += nbytes
+        self._sent_by[src] += nbytes
+        self._received_by[dst] += nbytes
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes moved across all links."""
+        return sum(self._per_link.values())
+
+    def link_bytes(self, src: int, dst: int) -> int:
+        """Bytes moved on the directed link ``src -> dst``."""
+        return self._per_link.get((src, dst), 0)
+
+    def sent_by(self, rank: int) -> int:
+        """Total bytes rank ``rank`` put on the wire."""
+        return self._sent_by.get(rank, 0)
+
+    def received_by(self, rank: int) -> int:
+        """Total bytes delivered to rank ``rank``."""
+        return self._received_by.get(rank, 0)
+
+    @property
+    def max_link_bytes(self) -> int:
+        """Bytes on the busiest directed link (the bandwidth bottleneck)."""
+        return max(self._per_link.values(), default=0)
+
+    def reset(self) -> None:
+        """Clear all accumulated records."""
+        self.records.clear()
+        self._per_link.clear()
+        self._sent_by.clear()
+        self._received_by.clear()

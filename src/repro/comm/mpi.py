@@ -1,0 +1,109 @@
+"""MPI reduce-and-broadcast gradient exchange (paper Section 2.4.1).
+
+The gradient matrix is range-partitioned over its columns (CNTK sends
+each gradient matrix separately and assigns each processor a contiguous
+range).  Each rank quantizes every range and sends it to the range's
+owner; the owner decodes and sums all contributions, optionally
+*re-quantizes* the aggregate (CNTK's 1bitSGD does, keeping a second
+error-feedback residual on the aggregator), and broadcasts it back.
+
+Because quantization happens per range, the wire carries quantized
+bytes in both the reduce and the broadcast phase — this is the data
+path whose cost model produces the paper's Figures 6, 8, 10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..quantization.base import ErrorFeedback, Quantizer
+from ..quantization.fullprec import FullPrecision
+from .base import ExchangeResult, GradientExchange
+from .topology import partition_ranges
+
+__all__ = ["MpiReduceBroadcast"]
+
+
+class MpiReduceBroadcast(GradientExchange):
+    """Reduce-and-broadcast over host-staged MPI, quantization-aware."""
+
+    name = "mpi"
+
+    def __init__(self, world_size: int, requantize_broadcast: bool = True):
+        super().__init__(world_size)
+        #: whether aggregated ranges are re-quantized before broadcast
+        #: (CNTK behaviour for biased schemes); unbiased schemes and
+        #: full precision broadcast the exact aggregate.
+        self.requantize_broadcast = requantize_broadcast
+        self._fullprec = FullPrecision()
+        # aggregator-side error feedback, one residual per (key, owner)
+        self._broadcast_feedback: dict[int, ErrorFeedback] = {}
+
+    def _broadcast_codec(self, codec: Quantizer, owner: int):
+        """Encode/decode pair used for the broadcast phase."""
+        if not self.requantize_broadcast or isinstance(codec, FullPrecision):
+            return None
+        if codec.requires_error_feedback:
+            feedback = self._broadcast_feedback.setdefault(
+                owner, ErrorFeedback(codec)
+            )
+            return feedback
+        return codec
+
+    def exchange(
+        self,
+        key: str,
+        tensors: list[np.ndarray],
+        codec: Quantizer,
+        rng: np.random.Generator,
+    ) -> ExchangeResult:
+        shape = self._check_inputs(tensors)
+        rows = shape[0] if shape else 1
+        matrices = [
+            np.asarray(t, dtype=np.float32).reshape(rows, -1) for t in tensors
+        ]
+        n_cols = matrices[0].shape[1]
+        ranges = partition_ranges(n_cols, self.world_size)
+
+        decoded_local = [np.empty_like(m) for m in matrices]
+        aggregate = np.empty_like(matrices[0])
+
+        for owner, (lo, hi) in enumerate(ranges):
+            if lo == hi:
+                continue
+            # reduce phase: every rank ships its quantized range to the owner
+            owner_sum = np.zeros((rows, hi - lo), dtype=np.float32)
+            for rank, matrix in enumerate(matrices):
+                message = codec.encode(matrix[:, lo:hi], rng)
+                self.traffic.record(rank, owner, message.nbytes, tag=key)
+                decoded = codec.decode(message)
+                decoded_local[rank][:, lo:hi] = decoded
+                owner_sum += decoded
+
+            # broadcast phase: owner ships the aggregated range back
+            broadcast_codec = self._broadcast_codec(codec, owner)
+            if broadcast_codec is None:
+                outgoing = owner_sum
+                nbytes = self._fullprec.encode(owner_sum).nbytes
+            elif isinstance(broadcast_codec, ErrorFeedback):
+                message = broadcast_codec.encode(
+                    f"{key}/range{owner}", owner_sum, rng
+                )
+                outgoing = broadcast_codec.decode(message)
+                nbytes = message.nbytes
+            else:
+                message = broadcast_codec.encode(owner_sum, rng)
+                outgoing = broadcast_codec.decode(message)
+                nbytes = message.nbytes
+            for rank in range(self.world_size):
+                self.traffic.record(owner, rank, nbytes, tag=key)
+            aggregate[:, lo:hi] = outgoing
+
+        return ExchangeResult(
+            aggregate=aggregate.reshape(shape),
+            decoded_local=[d.reshape(shape) for d in decoded_local],
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self._broadcast_feedback.clear()

@@ -1,0 +1,14 @@
+"""Core: synchronous data-parallel SGD with quantized communication."""
+
+from .algorithm import SynchronousStep
+from .config import TrainingConfig
+from .metrics import EpochMetrics, History
+from .trainer import ParallelTrainer
+
+__all__ = [
+    "SynchronousStep",
+    "TrainingConfig",
+    "EpochMetrics",
+    "History",
+    "ParallelTrainer",
+]

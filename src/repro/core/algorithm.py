@@ -1,0 +1,121 @@
+"""The synchronous data-parallel SGD step (the paper's Algorithm 1).
+
+:class:`SynchronousStep` owns the per-step mechanics: per-rank gradient
+computation is done by the caller (the trainer); this class performs
+the encode → exchange → decode → aggregate sequence for every
+parameter, maintaining per-rank error-feedback residuals for biased
+schemes and the small-matrix passthrough policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..comm import make_exchange
+from ..nn.module import Parameter
+from ..quantization import QuantizationPolicy, make_quantizer
+from .config import TrainingConfig
+
+__all__ = ["SynchronousStep"]
+
+
+class SynchronousStep:
+    """Quantized gradient aggregation across ``world_size`` ranks."""
+
+    def __init__(self, config: TrainingConfig, parameters: list[Parameter]):
+        self.config = config
+        self.world_size = config.world_size
+        quantizer = self._build_quantizer(config)
+        self.policy = QuantizationPolicy.for_model(
+            quantizer,
+            [p.size for p in parameters],
+            coverage=config.passthrough_coverage,
+        )
+        # layer-selective quantization (Section 5.1, layer types)
+        self._quantized_kinds = (
+            set(config.quantize_kinds)
+            if config.quantize_kinds is not None
+            else None
+        )
+        self._kind_by_name = {
+            p.name: getattr(p, "kind", "param") for p in parameters
+        }
+        exchange_kwargs = (
+            {"requantize_broadcast": config.requantize_broadcast}
+            if config.exchange == "mpi"
+            else {}
+        )
+        self.exchange = make_exchange(
+            config.exchange, config.world_size, **exchange_kwargs
+        )
+        self.rng = np.random.default_rng(config.seed)
+        # per-rank error-feedback residuals, keyed by parameter name
+        self._residuals: list[dict[str, np.ndarray]] = [
+            {} for _ in range(config.world_size)
+        ]
+
+    @staticmethod
+    def _build_quantizer(config: TrainingConfig):
+        if config.scheme.startswith("qsgd"):
+            return make_quantizer(
+                config.scheme,
+                bucket_size=config.bucket_size,
+                norm=config.norm,
+                variant=config.variant,
+            )
+        return make_quantizer(config.scheme, bucket_size=config.bucket_size)
+
+    def aggregate(
+        self, name: str, rank_grads: list[np.ndarray]
+    ) -> np.ndarray:
+        """Exchange one parameter's per-rank gradients; return the mean.
+
+        Applies the small-matrix passthrough policy, per-rank error
+        feedback when the scheme is biased, and records all wire
+        traffic on ``self.exchange.traffic``.
+        """
+        if len(rank_grads) != self.world_size:
+            raise ValueError(
+                f"expected {self.world_size} gradients, got {len(rank_grads)}"
+            )
+        codec = self.policy.codec_for(rank_grads[0].size)
+        if (
+            self._quantized_kinds is not None
+            and self._kind_by_name.get(name, "param")
+            not in self._quantized_kinds
+        ):
+            codec = self.policy.fullprec
+        use_feedback = codec.requires_error_feedback
+
+        if use_feedback:
+            corrected = []
+            for rank, grad in enumerate(rank_grads):
+                residual = self._residuals[rank].get(name)
+                if residual is None:
+                    residual = np.zeros_like(grad)
+                corrected.append(grad + residual)
+        else:
+            corrected = list(rank_grads)
+
+        result = self.exchange.exchange(name, corrected, codec, self.rng)
+
+        if use_feedback:
+            for rank in range(self.world_size):
+                self._residuals[rank][name] = (
+                    corrected[rank] - result.decoded_local[rank]
+                )
+
+        return result.aggregate / self.world_size
+
+    @property
+    def comm_bytes(self) -> int:
+        """Total bytes moved since construction (or last reset)."""
+        return self.exchange.traffic.total_bytes
+
+    def reset_traffic(self) -> None:
+        self.exchange.traffic.reset()
+
+    def reset(self) -> None:
+        """Drop residuals, aggregator state, and traffic records."""
+        self.exchange.reset()
+        self._residuals = [{} for _ in range(self.world_size)]

@@ -1,0 +1,79 @@
+"""Run configuration for data-parallel training experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..comm import EXCHANGE_NAMES
+from ..quantization import SCHEME_NAMES
+
+__all__ = ["TrainingConfig"]
+
+
+@dataclass
+class TrainingConfig:
+    """Everything that identifies one cell of the paper's study grid.
+
+    Attributes:
+        scheme: quantizer name ("32bit", "1bit", "1bit*", "qsgd2"...).
+        bucket_size: bucket size override; ``None`` uses the scheme's
+            paper-tuned default.
+        exchange: collective pattern ("mpi", "nccl", "alltoall").
+        world_size: number of simulated GPUs.
+        batch_size: *global* minibatch size, split across ranks.
+        lr: learning rate (kept fixed across world sizes, as the paper
+            tunes it once for full precision and reuses it).
+        lr_decay: per-epoch multiplicative decay (1.0 = constant).
+        momentum: SGD momentum.
+        seed: seed for quantization randomness and shuffling.
+        requantize_broadcast: whether the MPI path re-quantizes
+            aggregated ranges before broadcast (CNTK behaviour).
+        passthrough_coverage: fraction of parameters that must stay
+            quantized when choosing the small-matrix threshold.
+        norm / variant: QSGD scaling and level-layout options.
+    """
+
+    scheme: str = "32bit"
+    bucket_size: int | None = None
+    exchange: str = "mpi"
+    world_size: int = 1
+    batch_size: int = 32
+    lr: float = 0.05
+    lr_decay: float = 1.0
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    seed: int = 0
+    requantize_broadcast: bool = True
+    passthrough_coverage: float = 0.99
+    norm: str = "inf"
+    variant: str = "sign"
+    #: restrict quantization to these parameter kinds (e.g. ("conv",)
+    #: or ("fc", "rnn")); ``None`` quantizes every kind — the paper's
+    #: Section 5.1 "Impact of Layer Types" analysis toggles this
+    quantize_kinds: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEME_NAMES:
+            raise ValueError(
+                f"unknown scheme {self.scheme!r}; expected one of "
+                f"{SCHEME_NAMES}"
+            )
+        if self.exchange not in EXCHANGE_NAMES:
+            raise ValueError(
+                f"unknown exchange {self.exchange!r}; expected one of "
+                f"{EXCHANGE_NAMES}"
+            )
+        if self.world_size < 1:
+            raise ValueError(
+                f"world_size must be >= 1, got {self.world_size}"
+            )
+        if self.batch_size < self.world_size:
+            raise ValueError(
+                "global batch_size must be >= world_size "
+                f"({self.batch_size} < {self.world_size})"
+            )
+
+    @property
+    def label(self) -> str:
+        """Short human-readable cell label, e.g. 'qsgd4/mpi/8gpu'."""
+        return f"{self.scheme}/{self.exchange}/{self.world_size}gpu"

@@ -1,0 +1,78 @@
+"""Metric containers for training runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EpochMetrics", "History"]
+
+
+@dataclass
+class EpochMetrics:
+    """Measurements from one training epoch."""
+
+    epoch: int
+    train_loss: float
+    train_accuracy: float
+    test_accuracy: float
+    comm_bytes: int
+    wall_seconds: float
+
+
+@dataclass
+class History:
+    """Per-epoch measurements of one run, ready for figure series."""
+
+    label: str
+    epochs: list[EpochMetrics] = field(default_factory=list)
+
+    def append(self, metrics: EpochMetrics) -> None:
+        self.epochs.append(metrics)
+
+    @property
+    def final_test_accuracy(self) -> float:
+        if not self.epochs:
+            raise ValueError("history is empty")
+        return self.epochs[-1].test_accuracy
+
+    @property
+    def best_test_accuracy(self) -> float:
+        if not self.epochs:
+            raise ValueError("history is empty")
+        return max(m.test_accuracy for m in self.epochs)
+
+    @property
+    def total_comm_bytes(self) -> int:
+        return sum(m.comm_bytes for m in self.epochs)
+
+    def series(self, attribute: str) -> list[float]:
+        """Extract one per-epoch series by attribute name."""
+        return [getattr(m, attribute) for m in self.epochs]
+
+    def epochs_to_reach(self, test_accuracy: float) -> int | None:
+        """Epochs needed to first reach ``test_accuracy``.
+
+        This is the paper's convergence-rate metric ("#iterations" in
+        its measurement list): quantized runs may need more epochs to
+        hit the same accuracy even when the final accuracy matches.
+        Returns ``None`` if the run never reached the target.
+        """
+        for metrics in self.epochs:
+            if metrics.test_accuracy >= test_accuracy:
+                return metrics.epoch + 1
+        return None
+
+    def to_dict(self) -> dict:
+        """JSON-serializable run record (for EXPERIMENTS.md tooling)."""
+        return {
+            "label": self.label,
+            "epochs": [vars(m).copy() for m in self.epochs],
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "History":
+        """Inverse of :meth:`to_dict`."""
+        history = cls(label=record["label"])
+        for row in record["epochs"]:
+            history.append(EpochMetrics(**row))
+        return history

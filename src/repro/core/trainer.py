@@ -1,0 +1,154 @@
+"""Data-parallel trainer driving the numpy substrate.
+
+One model instance is shared by all simulated ranks: synchronous SGD
+keeps replicas bit-identical (every rank applies the same aggregated
+update), so only the per-rank state that genuinely differs — data
+shards, gradients, and error-feedback residuals — is kept per rank.
+Tests verify the replica-consistency invariant directly on the
+exchange layer.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from ..data.loader import iterate_minibatches, split_among_ranks
+from ..nn.loss import accuracy, softmax_cross_entropy
+from ..nn.module import Module
+from ..optim import Sgd, exponential_decay
+from .algorithm import SynchronousStep
+from .config import TrainingConfig
+from .metrics import EpochMetrics, History
+
+__all__ = ["ParallelTrainer"]
+
+LossFn = Callable[[np.ndarray, np.ndarray], tuple[float, np.ndarray]]
+
+
+class ParallelTrainer:
+    """Synchronous multi-rank training of one model."""
+
+    def __init__(
+        self,
+        model: Module,
+        config: TrainingConfig,
+        loss_fn: LossFn = softmax_cross_entropy,
+    ):
+        self.model = model
+        self.config = config
+        self.loss_fn = loss_fn
+        self.parameters = model.parameters()
+        names = [p.name for p in self.parameters]
+        if len(set(names)) != len(names):
+            raise ValueError("parameter names must be unique")
+        self.step_engine = SynchronousStep(config, self.parameters)
+        self.optimizer = Sgd(
+            lr=config.lr,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+        )
+        self._shuffle_rng = np.random.default_rng(config.seed + 1)
+
+    # -- single synchronous iteration ------------------------------------
+    def train_step(self, x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
+        """One global minibatch: returns (mean loss, mean accuracy)."""
+        shards = split_among_ranks(x, y, self.config.world_size)
+        rank_grads: list[dict[str, np.ndarray]] = []
+        losses = []
+        accuracies = []
+        for shard_x, shard_y in shards:
+            if shard_x.shape[0] == 0:
+                rank_grads.append(
+                    {p.name: np.zeros_like(p.data) for p in self.parameters}
+                )
+                continue
+            self.model.zero_grad()
+            logits = self.model.forward(shard_x, training=True)
+            loss, dlogits = self.loss_fn(logits, shard_y)
+            if not np.isfinite(loss):
+                raise FloatingPointError(
+                    f"training diverged: non-finite loss under "
+                    f"{self.config.label} (lower the learning rate or "
+                    "use a less aggressive quantizer)"
+                )
+            self.model.backward(dlogits)
+            rank_grads.append(
+                {p.name: p.grad.copy() for p in self.parameters}
+            )
+            losses.append(loss)
+            accuracies.append(accuracy(logits, shard_y))
+
+        for param in self.parameters:
+            aggregated = self.step_engine.aggregate(
+                param.name, [g[param.name] for g in rank_grads]
+            )
+            self.optimizer.apply(param, aggregated)
+
+        if not losses:
+            return float("nan"), float("nan")
+        return float(np.mean(losses)), float(np.mean(accuracies))
+
+    # -- epochs -----------------------------------------------------------
+    def train_epoch(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[float, float]:
+        """One pass over the training set; returns (loss, accuracy)."""
+        losses = []
+        accuracies = []
+        for batch_x, batch_y in iterate_minibatches(
+            x, y, self.config.batch_size, rng=self._shuffle_rng
+        ):
+            loss, acc = self.train_step(batch_x, batch_y)
+            losses.append(loss)
+            accuracies.append(acc)
+        if not losses:
+            return float("nan"), float("nan")
+        return float(np.mean(losses)), float(np.mean(accuracies))
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Test accuracy in [0, 1], batched to bound memory."""
+        correct = 0
+        for batch_x, batch_y in iterate_minibatches(x, y, 256):
+            logits = self.model.forward(batch_x, training=False)
+            correct += int((logits.argmax(axis=1) == batch_y).sum())
+        return correct / x.shape[0]
+
+    def fit(
+        self,
+        train_x: np.ndarray,
+        train_y: np.ndarray,
+        test_x: np.ndarray,
+        test_y: np.ndarray,
+        epochs: int,
+        verbose: bool = False,
+    ) -> History:
+        """Train for ``epochs`` passes, recording per-epoch metrics."""
+        history = History(label=self.config.label)
+        for epoch in range(epochs):
+            self.optimizer.lr = exponential_decay(
+                self.config.lr, self.config.lr_decay, epoch
+            )
+            self.step_engine.reset_traffic()
+            start = time.perf_counter()
+            loss, train_acc = self.train_epoch(train_x, train_y)
+            elapsed = time.perf_counter() - start
+            test_acc = self.evaluate(test_x, test_y)
+            metrics = EpochMetrics(
+                epoch=epoch,
+                train_loss=loss,
+                train_accuracy=train_acc,
+                test_accuracy=test_acc,
+                comm_bytes=self.step_engine.comm_bytes,
+                wall_seconds=elapsed,
+            )
+            history.append(metrics)
+            if verbose:
+                print(
+                    f"[{self.config.label}] epoch {epoch:3d} "
+                    f"loss={loss:.4f} train={train_acc:.3f} "
+                    f"test={test_acc:.3f}"
+                )
+        return history

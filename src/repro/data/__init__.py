@@ -1,0 +1,15 @@
+"""Synthetic datasets standing in for ImageNet, CIFAR-10, and AN4."""
+
+from .loader import iterate_minibatches, split_among_ranks
+from .sequences import SequenceDataset, make_sequence_dataset
+from .synthetic import DATASET_STATS, ImageDataset, make_image_dataset
+
+__all__ = [
+    "DATASET_STATS",
+    "ImageDataset",
+    "SequenceDataset",
+    "make_image_dataset",
+    "make_sequence_dataset",
+    "iterate_minibatches",
+    "split_among_ranks",
+]

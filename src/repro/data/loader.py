@@ -1,0 +1,49 @@
+"""Minibatch iteration and data-parallel sharding."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["iterate_minibatches", "split_among_ranks"]
+
+
+def iterate_minibatches(
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+    drop_last: bool = False,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield (inputs, labels) minibatches, shuffling when ``rng`` given."""
+    if x.shape[0] != y.shape[0]:
+        raise ValueError(
+            f"inputs ({x.shape[0]}) and labels ({y.shape[0]}) disagree"
+        )
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    n = x.shape[0]
+    order = rng.permutation(n) if rng is not None else np.arange(n)
+    for start in range(0, n, batch_size):
+        idx = order[start : start + batch_size]
+        if drop_last and idx.size < batch_size:
+            return
+        yield x[idx], y[idx]
+
+
+def split_among_ranks(
+    x: np.ndarray, y: np.ndarray, world_size: int
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Split one global minibatch into per-rank shards.
+
+    Shard sizes differ by at most one sample; every rank receives at
+    least the batch's leftovers in round-robin order, matching how a
+    data-parallel reader distributes a global batch.
+    """
+    if world_size < 1:
+        raise ValueError(f"world_size must be >= 1, got {world_size}")
+    return [
+        (x[rank::world_size], y[rank::world_size])
+        for rank in range(world_size)
+    ]

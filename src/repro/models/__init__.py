@@ -1,0 +1,24 @@
+"""Model zoo (trainable analogues) and paper-scale network specs."""
+
+from .blocks import InceptionBlock, ResidualBlock
+from .zoo import (
+    MODEL_BUILDERS,
+    build_model,
+    speech_lstm,
+    tiny_alexnet,
+    tiny_inception,
+    tiny_resnet,
+    tiny_vgg,
+)
+
+__all__ = [
+    "InceptionBlock",
+    "ResidualBlock",
+    "MODEL_BUILDERS",
+    "build_model",
+    "speech_lstm",
+    "tiny_alexnet",
+    "tiny_inception",
+    "tiny_resnet",
+    "tiny_vgg",
+]

@@ -1,0 +1,403 @@
+"""Paper-scale network inventories (Figures 3 and 4 of the paper).
+
+The performance simulator never trains the paper-scale networks — it
+costs them.  What it needs from each network is exactly what this
+module records:
+
+* the per-layer gradient-matrix shapes in the CNTK layout (first
+  tensor dimension = matrix rows, remaining dimensions flattened onto
+  columns).  CNTK stores convolution kernels kernel-width-first, which
+  is why stock 1bitSGD sees columns of length 1-3 on conv layers — the
+  performance artefact of Section 3.2.2;
+* the published training recipe: epochs to convergence and initial
+  learning rate (Figure 3), and the batch size per GPU count
+  (Figure 4);
+* a calibrated compute rate: the measured single-K80 throughput from
+  the paper's Figure 10 (its only 1-GPU column), from which the
+  simulator derives per-sample compute time;
+* nominal training GFLOPs per sample, used by the Figure 16
+  extrapolation's MB/GFLOPS axis.
+
+Parameter counts reconstructed from the published architectures match
+Figure 3 (AlexNet 62M, VGG19 143M, ResNet50 25M, ResNet152 60M,
+BN-Inception 11M, ResNet110 1.7M, LSTM 13M) and are asserted in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["GradientMatrixSpec", "NetworkSpec", "NETWORKS", "get_network"]
+
+
+@dataclass(frozen=True)
+class GradientMatrixSpec:
+    """Shape of one gradient matrix in the CNTK row/column layout."""
+
+    name: str
+    rows: int
+    cols: int
+    kind: str  # "conv" | "fc" | "bn" | "rnn" | "bias"
+
+    @property
+    def size(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.rows, self.cols)
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Everything the simulator and study harness need about a network."""
+
+    name: str
+    dataset: str
+    samples_per_epoch: int
+    epochs_to_converge: int
+    initial_lr: float
+    gflops_per_sample: float
+    k80_samples_per_second: float
+    published_accuracy: float
+    batch_sizes: dict[int, int]
+    layers: tuple[GradientMatrixSpec, ...]
+    smallbatch_speedup: float = 1.0
+
+    @property
+    def parameter_count(self) -> int:
+        return sum(layer.size for layer in self.layers)
+
+    @property
+    def model_megabytes(self) -> float:
+        """Model (= gradient) size in MB at full precision."""
+        return self.parameter_count * 4 / 1e6
+
+    @property
+    def conv_fraction(self) -> float:
+        """Fraction of parameters living in convolutional kernels."""
+        conv = sum(l.size for l in self.layers if l.kind == "conv")
+        return conv / max(self.parameter_count, 1)
+
+    def batch_size_for(self, n_gpus: int) -> int:
+        """Global batch size used at ``n_gpus`` (Figure 4)."""
+        try:
+            return self.batch_sizes[n_gpus]
+        except KeyError:
+            raise ValueError(
+                f"{self.name} was not run at {n_gpus} GPUs in the paper"
+            ) from None
+
+    @property
+    def gpu_counts(self) -> tuple[int, ...]:
+        return tuple(sorted(self.batch_sizes))
+
+
+# ---------------------------------------------------------------------------
+# layer builders (CNTK layout: rows = first tensor dim = kernel width for
+# convolutions, input dim for dense layers)
+# ---------------------------------------------------------------------------
+
+
+def _conv(name: str, k: int, cin: int, cout: int) -> list[GradientMatrixSpec]:
+    return [
+        GradientMatrixSpec(name, k, k * cin * cout, "conv"),
+        GradientMatrixSpec(f"{name}.b", cout, 1, "bias"),
+    ]
+
+
+def _fc(name: str, cin: int, cout: int) -> list[GradientMatrixSpec]:
+    return [
+        GradientMatrixSpec(name, cin, cout, "fc"),
+        GradientMatrixSpec(f"{name}.b", cout, 1, "bias"),
+    ]
+
+
+def _bn(name: str, channels: int) -> list[GradientMatrixSpec]:
+    return [
+        GradientMatrixSpec(f"{name}.gamma", channels, 1, "bn"),
+        GradientMatrixSpec(f"{name}.beta", channels, 1, "bn"),
+    ]
+
+
+def _lstm(name: str, d: int, h: int) -> list[GradientMatrixSpec]:
+    return [
+        GradientMatrixSpec(f"{name}.Wx", d, 4 * h, "rnn"),
+        GradientMatrixSpec(f"{name}.Wh", h, 4 * h, "rnn"),
+        GradientMatrixSpec(f"{name}.b", 4 * h, 1, "bias"),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# network inventories
+# ---------------------------------------------------------------------------
+
+
+def _alexnet_layers() -> tuple[GradientMatrixSpec, ...]:
+    layers: list[GradientMatrixSpec] = []
+    layers += _conv("conv1", 11, 3, 96)
+    layers += _conv("conv2", 5, 96, 256)
+    layers += _conv("conv3", 3, 256, 384)
+    layers += _conv("conv4", 3, 384, 384)
+    layers += _conv("conv5", 3, 384, 256)
+    layers += _fc("fc6", 9216, 4096)
+    layers += _fc("fc7", 4096, 4096)
+    layers += _fc("fc8", 4096, 1000)
+    return tuple(layers)
+
+
+def _vgg19_layers() -> tuple[GradientMatrixSpec, ...]:
+    plan = [
+        (3, 64),
+        (64, 64),
+        (64, 128),
+        (128, 128),
+        (128, 256),
+        (256, 256),
+        (256, 256),
+        (256, 256),
+        (256, 512),
+        (512, 512),
+        (512, 512),
+        (512, 512),
+        (512, 512),
+        (512, 512),
+        (512, 512),
+        (512, 512),
+    ]
+    layers: list[GradientMatrixSpec] = []
+    for index, (cin, cout) in enumerate(plan):
+        layers += _conv(f"conv{index + 1}", 3, cin, cout)
+    layers += _fc("fc6", 25088, 4096)
+    layers += _fc("fc7", 4096, 4096)
+    layers += _fc("fc8", 4096, 1000)
+    return tuple(layers)
+
+
+def _resnet_bottleneck_layers(
+    stage_blocks: tuple[int, int, int, int],
+) -> tuple[GradientMatrixSpec, ...]:
+    """ImageNet ResNet with bottleneck blocks (50/101/152 family)."""
+    layers: list[GradientMatrixSpec] = []
+    layers += _conv("stem", 7, 3, 64)
+    layers += _bn("stem.bn", 64)
+    in_ch = 64
+    widths = (64, 128, 256, 512)
+    for stage, (blocks, width) in enumerate(zip(stage_blocks, widths)):
+        out_ch = width * 4
+        for block in range(blocks):
+            tag = f"s{stage}b{block}"
+            layers += _conv(f"{tag}.c1", 1, in_ch, width)
+            layers += _bn(f"{tag}.bn1", width)
+            layers += _conv(f"{tag}.c2", 3, width, width)
+            layers += _bn(f"{tag}.bn2", width)
+            layers += _conv(f"{tag}.c3", 1, width, out_ch)
+            layers += _bn(f"{tag}.bn3", out_ch)
+            if block == 0:
+                layers += _conv(f"{tag}.proj", 1, in_ch, out_ch)
+                layers += _bn(f"{tag}.bn_proj", out_ch)
+            in_ch = out_ch
+    layers += _fc("fc", 2048, 1000)
+    return tuple(layers)
+
+
+def _resnet110_layers() -> tuple[GradientMatrixSpec, ...]:
+    """CIFAR ResNet-110: 3 stages x 18 basic blocks, widths 16/32/64."""
+    layers: list[GradientMatrixSpec] = []
+    layers += _conv("stem", 3, 3, 16)
+    layers += _bn("stem.bn", 16)
+    in_ch = 16
+    for stage, width in enumerate((16, 32, 64)):
+        for block in range(18):
+            tag = f"s{stage}b{block}"
+            layers += _conv(f"{tag}.c1", 3, in_ch, width)
+            layers += _bn(f"{tag}.bn1", width)
+            layers += _conv(f"{tag}.c2", 3, width, width)
+            layers += _bn(f"{tag}.bn2", width)
+            if in_ch != width:
+                layers += _conv(f"{tag}.proj", 1, in_ch, width)
+                layers += _bn(f"{tag}.bn_proj", width)
+            in_ch = width
+    layers += _fc("fc", 64, 10)
+    return tuple(layers)
+
+
+def _inception_module(
+    name: str, cin: int, widths: tuple[int, int, int, int, int, int]
+) -> list[GradientMatrixSpec]:
+    """One BN-Inception module: 1x1, 1x1->3x3, 1x1->3x3->3x3, pool->1x1."""
+    w1, r3, w3, r33, w33, wp = widths
+    layers: list[GradientMatrixSpec] = []
+    if w1:
+        layers += _conv(f"{name}.b1", 1, cin, w1)
+        layers += _bn(f"{name}.b1.bn", w1)
+    layers += _conv(f"{name}.b2a", 1, cin, r3)
+    layers += _bn(f"{name}.b2a.bn", r3)
+    layers += _conv(f"{name}.b2b", 3, r3, w3)
+    layers += _bn(f"{name}.b2b.bn", w3)
+    layers += _conv(f"{name}.b3a", 1, cin, r33)
+    layers += _bn(f"{name}.b3a.bn", r33)
+    layers += _conv(f"{name}.b3b", 3, r33, w33)
+    layers += _bn(f"{name}.b3b.bn", w33)
+    layers += _conv(f"{name}.b3c", 3, w33, w33)
+    layers += _bn(f"{name}.b3c.bn", w33)
+    if wp:
+        layers += _conv(f"{name}.bp", 1, cin, wp)
+        layers += _bn(f"{name}.bp.bn", wp)
+    return layers
+
+
+def _bn_inception_layers() -> tuple[GradientMatrixSpec, ...]:
+    """BN-Inception (Ioffe & Szegedy 2015), module widths from the paper."""
+    layers: list[GradientMatrixSpec] = []
+    layers += _conv("conv1", 7, 3, 64)
+    layers += _bn("conv1.bn", 64)
+    layers += _conv("conv2r", 1, 64, 64)
+    layers += _bn("conv2r.bn", 64)
+    layers += _conv("conv2", 3, 64, 192)
+    layers += _bn("conv2.bn", 192)
+    modules = [
+        ("inc3a", 192, (64, 64, 64, 64, 96, 32)),
+        ("inc3b", 256, (64, 64, 96, 64, 96, 64)),
+        ("inc3c", 320, (0, 128, 160, 64, 96, 0)),
+        ("inc4a", 576, (224, 64, 96, 96, 128, 128)),
+        ("inc4b", 576, (192, 96, 128, 96, 128, 128)),
+        ("inc4c", 576, (160, 128, 160, 128, 160, 96)),
+        ("inc4d", 576, (96, 128, 192, 160, 192, 96)),
+        ("inc4e", 576, (0, 128, 192, 192, 256, 0)),
+        ("inc5a", 1024, (352, 192, 320, 160, 224, 128)),
+        ("inc5b", 1024, (352, 192, 320, 192, 224, 128)),
+    ]
+    for name, cin, widths in modules:
+        layers += _inception_module(name, cin, widths)
+    layers += _fc("fc", 1024, 1000)
+    return tuple(layers)
+
+
+def _lstm_an4_layers() -> tuple[GradientMatrixSpec, ...]:
+    """3-layer speech LSTM: 363-dim features, 768 hidden, 132 senones."""
+    layers: list[GradientMatrixSpec] = []
+    layers += _lstm("lstm1", 363, 768)
+    layers += _lstm("lstm2", 768, 768)
+    layers += _lstm("lstm3", 768, 768)
+    layers += _fc("fc", 768, 132)
+    return tuple(layers)
+
+
+# ---------------------------------------------------------------------------
+# the study's networks (Figures 3 and 4)
+# ---------------------------------------------------------------------------
+
+_IMAGENET_SAMPLES = 1_281_167
+_CIFAR_SAMPLES = 50_000
+_AN4_SAMPLES = 948
+
+NETWORKS: dict[str, NetworkSpec] = {
+    "AlexNet": NetworkSpec(
+        name="AlexNet",
+        dataset="ImageNet",
+        samples_per_epoch=_IMAGENET_SAMPLES,
+        epochs_to_converge=112,
+        initial_lr=0.07,
+        gflops_per_sample=2.2,
+        k80_samples_per_second=240.8,
+        published_accuracy=59.3,  # top-5, the paper's Figure 16
+        batch_sizes={1: 256, 2: 256, 4: 256, 8: 256, 16: 256},
+        layers=_alexnet_layers(),
+    ),
+    "VGG19": NetworkSpec(
+        name="VGG19",
+        dataset="ImageNet",
+        samples_per_epoch=_IMAGENET_SAMPLES,
+        epochs_to_converge=80,
+        initial_lr=0.1,
+        gflops_per_sample=59.0,
+        k80_samples_per_second=12.4,
+        published_accuracy=71.3,
+        batch_sizes={1: 32, 2: 64, 4: 128, 8: 128, 16: 128},
+        layers=_vgg19_layers(),
+        # the paper observed super-linear scaling for VGG19 at a
+        # per-GPU batch of 16: a batch of 16 runs in less than half the
+        # time of a batch of 32, reproduced on one GPU (Section 5.2)
+        smallbatch_speedup=2.2,
+    ),
+    "ResNet50": NetworkSpec(
+        name="ResNet50",
+        dataset="ImageNet",
+        samples_per_epoch=_IMAGENET_SAMPLES,
+        epochs_to_converge=120,
+        initial_lr=1.0,
+        gflops_per_sample=12.3,
+        k80_samples_per_second=47.2,
+        published_accuracy=75.0,
+        batch_sizes={1: 32, 2: 64, 4: 128, 8: 256, 16: 256},
+        layers=_resnet_bottleneck_layers((3, 4, 6, 3)),
+    ),
+    "ResNet152": NetworkSpec(
+        name="ResNet152",
+        dataset="ImageNet",
+        samples_per_epoch=_IMAGENET_SAMPLES,
+        epochs_to_converge=120,
+        initial_lr=1.0,
+        gflops_per_sample=34.5,
+        k80_samples_per_second=16.9,
+        published_accuracy=77.0,
+        batch_sizes={1: 16, 2: 32, 4: 64, 8: 128, 16: 256},
+        layers=_resnet_bottleneck_layers((3, 8, 36, 3)),
+    ),
+    "BN-Inception": NetworkSpec(
+        name="BN-Inception",
+        dataset="ImageNet",
+        samples_per_epoch=_IMAGENET_SAMPLES,
+        epochs_to_converge=300,
+        initial_lr=3.6,
+        gflops_per_sample=6.0,
+        k80_samples_per_second=88.3,
+        published_accuracy=72.0,
+        batch_sizes={1: 64, 2: 128, 4: 256, 8: 256, 16: 256},
+        layers=_bn_inception_layers(),
+    ),
+    "ResNet110": NetworkSpec(
+        name="ResNet110",
+        dataset="CIFAR-10",
+        samples_per_epoch=_CIFAR_SAMPLES,
+        epochs_to_converge=160,
+        initial_lr=0.1,
+        gflops_per_sample=0.77,
+        k80_samples_per_second=343.7,
+        published_accuracy=93.5,  # top-1 on CIFAR-10
+        batch_sizes={1: 128, 2: 128, 4: 128, 8: 128, 16: 128},
+        layers=_resnet110_layers(),
+    ),
+    "LSTM": NetworkSpec(
+        name="LSTM",
+        dataset="AN4",
+        samples_per_epoch=_AN4_SAMPLES,
+        epochs_to_converge=20,
+        initial_lr=0.5,
+        gflops_per_sample=15.6,
+        k80_samples_per_second=8.0,
+        published_accuracy=0.0,  # the paper reports loss, not accuracy
+        batch_sizes={1: 16, 2: 16},
+        layers=_lstm_an4_layers(),
+    ),
+}
+
+#: networks appearing in the performance figures (6-15), in figure order
+PERFORMANCE_NETWORKS = (
+    "AlexNet",
+    "VGG19",
+    "ResNet152",
+    "ResNet50",
+    "BN-Inception",
+)
+
+
+def get_network(name: str) -> NetworkSpec:
+    """Look up a network spec by its paper name."""
+    try:
+        return NETWORKS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown network {name!r}; expected one of {sorted(NETWORKS)}"
+        ) from None

@@ -1,0 +1,188 @@
+"""Scaled-down trainable analogues of the paper's networks.
+
+These models run real forward/backward passes on the numpy substrate
+for the accuracy experiments (paper Figure 5).  Each mirrors the
+*communication profile* of its paper-scale counterpart — AlexNet/VGG
+are dominated by fully connected parameters, ResNet/Inception are
+almost entirely convolutional, and the speech model is recurrent —
+which is what determines how quantization affects it.
+
+Factory functions take an image/sequence geometry and a seed, so tests
+and experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers import (
+    BatchNorm,
+    Conv2d,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    MaxPool2d,
+    ReLU,
+)
+from ..nn.module import Module, Sequential
+from ..nn.rnn import Lstm, TakeLast
+from .blocks import InceptionBlock, ResidualBlock
+
+__all__ = [
+    "tiny_alexnet",
+    "tiny_vgg",
+    "tiny_resnet",
+    "tiny_inception",
+    "speech_lstm",
+    "MODEL_BUILDERS",
+    "build_model",
+]
+
+
+def tiny_alexnet(
+    num_classes: int = 10,
+    in_channels: int = 3,
+    image_size: int = 32,
+    seed: int = 0,
+) -> Sequential:
+    """AlexNet analogue: few conv layers, parameter mass in the FCs."""
+    rng = np.random.default_rng(seed)
+    feat = image_size // 4  # two stride-2 reductions below
+    return Sequential(
+        Conv2d(in_channels, 16, 5, "conv1", rng, stride=1, pad=2),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(16, 32, 3, "conv2", rng),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Dense(32 * feat * feat, 256, "fc6", rng),
+        ReLU(),
+        Dropout(0.25, rng),
+        Dense(256, 128, "fc7", rng),
+        ReLU(),
+        Dense(128, num_classes, "fc8", rng),
+    )
+
+
+def tiny_vgg(
+    num_classes: int = 10,
+    in_channels: int = 3,
+    image_size: int = 32,
+    seed: int = 0,
+) -> Sequential:
+    """VGG analogue: stacked 3x3 convs and a very large FC head."""
+    rng = np.random.default_rng(seed)
+    feat = image_size // 8
+    return Sequential(
+        Conv2d(in_channels, 16, 3, "conv1a", rng),
+        ReLU(),
+        Conv2d(16, 16, 3, "conv1b", rng),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(16, 32, 3, "conv2a", rng),
+        ReLU(),
+        Conv2d(32, 32, 3, "conv2b", rng),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(32, 48, 3, "conv3a", rng),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Dense(48 * feat * feat, 384, "fc1", rng),
+        ReLU(),
+        Dropout(0.25, rng),
+        Dense(384, num_classes, "fc2", rng),
+    )
+
+
+def tiny_resnet(
+    num_classes: int = 10,
+    in_channels: int = 3,
+    blocks_per_stage: int = 2,
+    widths: tuple[int, int, int] = (16, 32, 64),
+    seed: int = 0,
+) -> Sequential:
+    """ResNet analogue: conv stem, three residual stages, GAP head.
+
+    ``blocks_per_stage=2`` gives a ResNet-14-style model; the paper's
+    ResNet110 uses 18 basic blocks per stage with the same widths.
+    """
+    rng = np.random.default_rng(seed)
+    model = Sequential(
+        Conv2d(in_channels, widths[0], 3, "stem", rng, bias=False),
+        BatchNorm(widths[0], "stem.bn"),
+        ReLU(),
+    )
+    in_ch = widths[0]
+    for stage, width in enumerate(widths):
+        for block in range(blocks_per_stage):
+            stride = 2 if stage > 0 and block == 0 else 1
+            model.append(
+                ResidualBlock(
+                    in_ch, width, f"s{stage}b{block}", rng, stride=stride
+                )
+            )
+            in_ch = width
+    model.append(GlobalAvgPool2d())
+    model.append(Dense(in_ch, num_classes, "fc", rng))
+    return model
+
+
+def tiny_inception(
+    num_classes: int = 10,
+    in_channels: int = 3,
+    seed: int = 0,
+) -> Sequential:
+    """BN-Inception analogue: conv stem plus two inception modules."""
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Conv2d(in_channels, 16, 3, "stem", rng, stride=2, bias=False),
+        BatchNorm(16, "stem.bn"),
+        ReLU(),
+        InceptionBlock(16, (8, 12, 12, 8), "inc1", rng),
+        InceptionBlock(40, (12, 16, 16, 12), "inc2", rng),
+        GlobalAvgPool2d(),
+        Dense(56, num_classes, "fc", rng),
+    )
+
+
+def speech_lstm(
+    num_classes: int = 10,
+    input_size: int = 20,
+    hidden_size: int = 48,
+    layers: int = 3,
+    seed: int = 0,
+) -> Sequential:
+    """Speech-recognition analogue: stacked LSTMs, as in the AN4 recipe."""
+    rng = np.random.default_rng(seed)
+    model = Sequential()
+    size = input_size
+    for index in range(layers):
+        model.append(Lstm(size, hidden_size, f"lstm{index}", rng))
+        size = hidden_size
+    model.append(TakeLast())
+    model.append(Dense(hidden_size, num_classes, "fc", rng))
+    return model
+
+
+MODEL_BUILDERS = {
+    "alexnet": tiny_alexnet,
+    "vgg": tiny_vgg,
+    "resnet": tiny_resnet,
+    "inception": tiny_inception,
+    "lstm": speech_lstm,
+}
+
+
+def build_model(name: str, **kwargs) -> Module:
+    """Build a zoo model by its short name."""
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {name!r}; expected one of "
+            f"{sorted(MODEL_BUILDERS)}"
+        ) from None
+    return builder(**kwargs)

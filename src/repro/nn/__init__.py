@@ -1,0 +1,53 @@
+"""Numpy deep-learning substrate (stands in for CNTK + cuDNN)."""
+
+from .functional import (
+    col2im,
+    conv_output_size,
+    im2col,
+    log_softmax,
+    softmax,
+)
+from .layers import (
+    BatchNorm,
+    Conv2d,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    MaxPool2d,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from .loss import accuracy, softmax_cross_entropy, top_k_accuracy
+from .module import Module, Parameter, Sequential
+from .rnn import Lstm, TakeLast
+from .serialization import load_model, save_model
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Dense",
+    "Conv2d",
+    "BatchNorm",
+    "Dropout",
+    "Flatten",
+    "GlobalAvgPool2d",
+    "MaxPool2d",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Lstm",
+    "TakeLast",
+    "softmax",
+    "log_softmax",
+    "im2col",
+    "col2im",
+    "conv_output_size",
+    "softmax_cross_entropy",
+    "accuracy",
+    "top_k_accuracy",
+    "save_model",
+    "load_model",
+]

@@ -1,0 +1,88 @@
+"""Stateless tensor ops: im2col/col2im and numerically safe softmax."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["im2col", "col2im", "conv_output_size", "softmax", "log_softmax"]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution/pooling window sweep."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out < 1:
+        raise ValueError(
+            f"window (k={kernel}, s={stride}, p={pad}) does not fit "
+            f"input of size {size}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, pad: int
+) -> tuple[np.ndarray, tuple[int, int]]:
+    """Unfold NCHW input into convolution columns.
+
+    Returns ``(cols, (out_h, out_w))`` where ``cols`` has shape
+    ``(N * out_h * out_w, C * kernel * kernel)``.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel, stride, pad)
+    out_w = conv_output_size(w, kernel, stride, pad)
+    if pad:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant"
+        )
+    # strided window view: (N, C, out_h, out_w, kernel, kernel)
+    sn, sc, sh, sw = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        n * out_h * out_w, c * kernel * kernel
+    )
+    return np.ascontiguousarray(cols), (out_h, out_w)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Fold convolution columns back into an NCHW gradient (im2col adjoint)."""
+    n, c, h, w = x_shape
+    out_h = conv_output_size(h, kernel, stride, pad)
+    out_w = conv_output_size(w, kernel, stride, pad)
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    windows = cols.reshape(n, out_h, out_w, c, kernel, kernel).transpose(
+        0, 3, 1, 2, 4, 5
+    )
+    for ki in range(kernel):
+        for kj in range(kernel):
+            padded[
+                :,
+                :,
+                ki : ki + out_h * stride : stride,
+                kj : kj + out_w * stride : stride,
+            ] += windows[:, :, :, :, ki, kj]
+    if pad:
+        return padded[:, :, pad : pad + h, pad : pad + w]
+    return padded
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))

@@ -1,0 +1,108 @@
+"""Numerical gradient checking for layers and models.
+
+Used by the test suite to verify every layer's hand-written backward
+against central finite differences.  Checks run in float64: layers are
+dtype-preserving, so upcasting the input and parameters removes the
+fp32 rounding noise that would otherwise swamp small true gradients
+(e.g. batch normalization's near-shift-invariant input gradient).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["numerical_gradient", "check_layer_gradients"]
+
+
+def numerical_gradient(
+    f: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-5
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``f`` at ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = x[idx]
+        x[idx] = original + eps
+        f_plus = f(x)
+        x[idx] = original - eps
+        f_minus = f(x)
+        x[idx] = original
+        grad[idx] = (f_plus - f_minus) / (2.0 * eps)
+        it.iternext()
+    return grad
+
+
+def check_layer_gradients(
+    layer: Module,
+    x: np.ndarray,
+    rtol: float = 1e-4,
+    atol: float = 1e-6,
+    seed_dout: int = 0,
+) -> dict[str, float]:
+    """Compare analytic and numerical gradients for one layer.
+
+    Uses the scalar probe ``sum(forward(x) * r)`` with a fixed random
+    ``r``, whose gradient w.r.t. the output is exactly ``r``.
+    Parameters are temporarily upcast to float64 for the duration of
+    the check.
+
+    Returns a mapping of max absolute errors (keys: "input" and each
+    parameter name) and raises ``AssertionError`` on mismatch.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    params = layer.parameters()
+    saved_dtypes = [p.data.dtype for p in params]
+    for param in params:
+        param.data = param.data.astype(np.float64)
+        param.grad = param.grad.astype(np.float64)
+    try:
+        return _run_check(layer, x, rtol, atol, seed_dout)
+    finally:
+        for param, dtype in zip(params, saved_dtypes):
+            param.data = param.data.astype(dtype)
+            param.grad = param.grad.astype(dtype)
+
+
+def _run_check(
+    layer: Module,
+    x: np.ndarray,
+    rtol: float,
+    atol: float,
+    seed_dout: int,
+) -> dict[str, float]:
+    rng = np.random.default_rng(seed_dout)
+    out = layer.forward(x.copy(), training=True)
+    r = rng.normal(size=out.shape)
+
+    layer.zero_grad()
+    layer.forward(x.copy(), training=True)
+    dx = layer.backward(r.copy())
+
+    errors: dict[str, float] = {}
+
+    def probe_input(values: np.ndarray) -> float:
+        return float((layer.forward(values, training=True) * r).sum())
+
+    num_dx = numerical_gradient(probe_input, x.copy())
+    np.testing.assert_allclose(dx, num_dx, rtol=rtol, atol=atol)
+    errors["input"] = float(np.abs(dx - num_dx).max())
+
+    for param in layer.parameters():
+        analytic = param.grad.copy()
+
+        def probe_param(values: np.ndarray) -> float:
+            saved = param.data
+            param.data = values
+            result = float((layer.forward(x.copy(), training=True) * r).sum())
+            param.data = saved
+            return result
+
+        num = numerical_gradient(probe_param, param.data.copy())
+        np.testing.assert_allclose(analytic, num, rtol=rtol, atol=atol)
+        errors[param.name] = float(np.abs(analytic - num).max())
+    return errors

@@ -1,0 +1,51 @@
+"""Weight initializers used by the model zoo."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_normal", "zeros", "orthogonal"]
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 2:  # dense: (in, out)
+        return shape[0], shape[1]
+    if len(shape) == 4:  # conv: (out_ch, in_ch, kh, kw)
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    n = int(np.prod(shape))
+    return n, n
+
+
+def glorot_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def he_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He normal initialization, the standard choice before ReLU."""
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return (rng.normal(0.0, std, size=shape)).astype(np.float32)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def orthogonal(
+    shape: tuple[int, ...], rng: np.random.Generator
+) -> np.ndarray:
+    """Orthogonal initialization for recurrent weight matrices."""
+    if len(shape) != 2:
+        raise ValueError(f"orthogonal init needs a 2-D shape, got {shape}")
+    a = rng.normal(size=(max(shape), min(shape)))
+    q, _ = np.linalg.qr(a)
+    q = q[: shape[0], : shape[1]] if q.shape != shape else q
+    if q.shape != shape:
+        q = q.T[: shape[0], : shape[1]]
+    return q.astype(np.float32)

@@ -1,0 +1,22 @@
+"""Layer catalogue for the numpy substrate."""
+
+from .activation import ReLU, Sigmoid, Tanh
+from .conv import Conv2d
+from .dense import Dense
+from .dropout import Dropout
+from .flatten import Flatten
+from .norm import BatchNorm
+from .pooling import GlobalAvgPool2d, MaxPool2d
+
+__all__ = [
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Conv2d",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "BatchNorm",
+    "GlobalAvgPool2d",
+    "MaxPool2d",
+]

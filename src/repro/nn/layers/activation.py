@@ -1,0 +1,54 @@
+"""Pointwise activation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..module import Module
+
+__all__ = ["ReLU", "Tanh", "Sigmoid"]
+
+
+class ReLU(Module):
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        mask = x > 0.0
+        self._mask = mask if training else None
+        return np.where(mask, x, 0.0)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before a training forward")
+        return dout * self._mask
+
+
+class Tanh(Module):
+    def __init__(self) -> None:
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        y = np.tanh(x)
+        self._y = y if training else None
+        return y
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before a training forward")
+        return dout * (1.0 - self._y * self._y)
+
+
+class Sigmoid(Module):
+    def __init__(self) -> None:
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        y = 1.0 / (1.0 + np.exp(-x))
+        self._y = y if training else None
+        return y
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before a training forward")
+        return dout * self._y * (1.0 - self._y)

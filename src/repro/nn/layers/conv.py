@@ -1,0 +1,77 @@
+"""2-D convolution via im2col, with full backward."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import init
+from ..functional import col2im, im2col
+from ..module import Module, Parameter
+
+__all__ = ["Conv2d"]
+
+
+class Conv2d(Module):
+    """Square-kernel 2-D convolution on NCHW inputs.
+
+    Weights are stored ``(out_channels, in_channels, k, k)``.  Under
+    the CNTK matrix view (first dim = rows, rest flattened to columns)
+    the gradient matrix has only ``out_channels`` rows per column group
+    — CNTK's actual layout yields columns of length 1-3 on conv
+    kernels, which is the stock-1bitSGD artefact; the paper-scale shape
+    inventory in :mod:`repro.models.specs` captures the real layout.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        name: str,
+        rng: np.random.Generator,
+        stride: int = 1,
+        pad: int | None = None,
+        bias: bool = True,
+    ):
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.pad = pad if pad is not None else kernel // 2
+        self.weight = Parameter(
+            f"{name}.W",
+            init.he_normal((out_channels, in_channels, kernel, kernel), rng),
+            kind="conv",
+        )
+        self.bias = (
+            Parameter(f"{name}.b", init.zeros((out_channels,)), kind="bias")
+            if bias
+            else None
+        )
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        n = x.shape[0]
+        cols, (out_h, out_w) = im2col(x, self.kernel, self.stride, self.pad)
+        w2 = self.weight.data.reshape(self.out_channels, -1)
+        out = cols @ w2.T  # (N*oh*ow, out_ch)
+        if self.bias is not None:
+            out = out + self.bias.data
+        out = out.reshape(n, out_h, out_w, self.out_channels).transpose(
+            0, 3, 1, 2
+        )
+        self._cache = (x.shape, cols) if training else None
+        return np.ascontiguousarray(out)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training forward")
+        x_shape, cols = self._cache
+        n, _, out_h, out_w = dout.shape
+        d2 = dout.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+        self.weight.grad += (d2.T @ cols).reshape(self.weight.data.shape)
+        if self.bias is not None:
+            self.bias.grad += d2.sum(axis=0)
+        w2 = self.weight.data.reshape(self.out_channels, -1)
+        dcols = d2 @ w2
+        return col2im(dcols, x_shape, self.kernel, self.stride, self.pad)

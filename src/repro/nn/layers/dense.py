@@ -1,0 +1,62 @@
+"""Fully connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import init
+from ..module import Module, Parameter
+
+__all__ = ["Dense"]
+
+
+class Dense(Module):
+    """Affine map ``y = x @ W + b`` over the last axis.
+
+    The weight is stored as ``(in_features, out_features)``.  For the
+    CNTK column-quantization semantics the trainer views the gradient
+    with rows = first dimension, so dense weights expose long columns
+    (of length ``in_features``) — the layer type 1bitSGD compresses
+    well (paper Section 3.2.2).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        name: str,
+        rng: np.random.Generator,
+        bias: bool = True,
+    ):
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            f"{name}.W",
+            init.he_normal((in_features, out_features), rng),
+            kind="fc",
+        )
+        self.bias = (
+            Parameter(f"{name}.b", init.zeros((out_features,)), kind="bias")
+            if bias
+            else None
+        )
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._x = x if training else None
+        y = x @ self.weight.data
+        if self.bias is not None:
+            y = y + self.bias.data
+        return y
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before a training forward")
+        x = self._x
+        # flatten any leading batch axes for the weight gradient
+        x2 = x.reshape(-1, self.in_features)
+        d2 = dout.reshape(-1, self.out_features)
+        self.weight.grad += x2.T @ d2
+        if self.bias is not None:
+            self.bias.grad += d2.sum(axis=0)
+        return dout @ self.weight.data.T

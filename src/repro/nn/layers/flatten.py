@@ -1,0 +1,25 @@
+"""Flatten feature maps to vectors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..module import Module
+
+__all__ = ["Flatten"]
+
+
+class Flatten(Module):
+    """(N, ...) -> (N, prod(...))."""
+
+    def __init__(self) -> None:
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        return dout.reshape(self._shape)

@@ -1,0 +1,97 @@
+"""Batch normalization (the "BN" in BN-Inception)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..module import Module, Parameter
+
+__all__ = ["BatchNorm"]
+
+
+class BatchNorm(Module):
+    """Batch normalization over the channel axis.
+
+    Works on both (N, C) dense activations and (N, C, H, W) feature
+    maps; statistics are computed per channel over all other axes.
+    Keeps running estimates for evaluation mode.
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        name: str,
+        momentum: float = 0.9,
+        eps: float = 1e-5,
+    ):
+        self.channels = channels
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(
+            f"{name}.gamma", np.ones(channels, dtype=np.float32),
+            kind="bn",
+        )
+        self.beta = Parameter(
+            f"{name}.beta", np.zeros(channels, dtype=np.float32),
+            kind="bn",
+        )
+        self.running_mean = np.zeros(channels, dtype=np.float32)
+        self.running_var = np.ones(channels, dtype=np.float32)
+        self._cache: tuple | None = None
+
+    @staticmethod
+    def _axes(x: np.ndarray) -> tuple[int, ...]:
+        if x.ndim == 2:
+            return (0,)
+        if x.ndim == 4:
+            return (0, 2, 3)
+        raise ValueError(f"BatchNorm expects 2-D or 4-D input, got {x.ndim}-D")
+
+    @staticmethod
+    def _expand(v: np.ndarray, ndim: int) -> np.ndarray:
+        if ndim == 2:
+            return v[None, :]
+        return v[None, :, None, None]
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        axes = self._axes(x)
+        if training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            self.running_mean = (
+                self.momentum * self.running_mean
+                + (1.0 - self.momentum) * mean
+            ).astype(np.float32)
+            self.running_var = (
+                self.momentum * self.running_var
+                + (1.0 - self.momentum) * var
+            ).astype(np.float32)
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - self._expand(mean, x.ndim)) * self._expand(
+            inv_std, x.ndim
+        )
+        out = self._expand(self.gamma.data, x.ndim) * x_hat + self._expand(
+            self.beta.data, x.ndim
+        )
+        if training:
+            self._cache = (x_hat, inv_std, axes, x.shape)
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training forward")
+        x_hat, inv_std, axes, x_shape = self._cache
+        m = np.prod([x_shape[a] for a in axes])
+        self.gamma.grad += (dout * x_hat).sum(axis=axes)
+        self.beta.grad += dout.sum(axis=axes)
+        gamma = self._expand(self.gamma.data, dout.ndim)
+        dxhat = dout * gamma
+        # standard batchnorm backward, vectorized over channels
+        term1 = dxhat
+        term2 = dxhat.mean(axis=axes, keepdims=True)
+        term3 = x_hat * (dxhat * x_hat).mean(axis=axes, keepdims=True)
+        inv = self._expand(inv_std, dout.ndim)
+        return inv * (term1 - term2 - term3)

@@ -1,0 +1,78 @@
+"""Spatial pooling layers on NCHW inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..functional import conv_output_size
+from ..module import Module
+
+__all__ = ["MaxPool2d", "GlobalAvgPool2d"]
+
+
+class MaxPool2d(Module):
+    """Non-overlapping-friendly max pooling (square window)."""
+
+    def __init__(self, kernel: int, stride: int | None = None):
+        self.kernel = kernel
+        self.stride = stride if stride is not None else kernel
+        self._cache: tuple | None = None
+
+    def _windows(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        out_h = conv_output_size(h, self.kernel, self.stride, 0)
+        out_w = conv_output_size(w, self.kernel, self.stride, 0)
+        sn, sc, sh, sw = x.strides
+        return np.lib.stride_tricks.as_strided(
+            x,
+            shape=(n, c, out_h, out_w, self.kernel, self.kernel),
+            strides=(sn, sc, sh * self.stride, sw * self.stride, sh, sw),
+            writeable=False,
+        )
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        windows = self._windows(x)
+        n, c, out_h, out_w = windows.shape[:4]
+        flat = windows.reshape(n, c, out_h, out_w, -1)
+        argmax = flat.argmax(axis=-1)
+        out = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
+        self._cache = (x.shape, argmax) if training else None
+        return np.ascontiguousarray(out)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training forward")
+        x_shape, argmax = self._cache
+        n, c, h, w = x_shape
+        out_h, out_w = argmax.shape[2:]
+        dx = np.zeros(x_shape, dtype=dout.dtype)
+        ki = argmax // self.kernel
+        kj = argmax % self.kernel
+        oh = np.arange(out_h)[None, None, :, None]
+        ow = np.arange(out_w)[None, None, None, :]
+        rows = oh * self.stride + ki
+        cols = ow * self.stride + kj
+        nn = np.arange(n)[:, None, None, None]
+        cc = np.arange(c)[None, :, None, None]
+        np.add.at(dx, (nn, cc, rows, cols), dout)
+        return dx
+
+
+class GlobalAvgPool2d(Module):
+    """Average over all spatial positions: (N, C, H, W) -> (N, C)."""
+
+    def __init__(self) -> None:
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._shape = x.shape if training else None
+        return x.mean(axis=(2, 3))
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before a training forward")
+        n, c, h, w = self._shape
+        scale = 1.0 / (h * w)
+        return np.broadcast_to(
+            dout[:, :, None, None] * scale, self._shape
+        ).astype(dout.dtype)

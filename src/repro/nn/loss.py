@@ -1,0 +1,46 @@
+"""Losses and classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import log_softmax, softmax
+
+__all__ = ["softmax_cross_entropy", "accuracy", "top_k_accuracy"]
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient w.r.t. the logits.
+
+    Args:
+        logits: (N, C) unnormalized scores.
+        labels: (N,) integer class labels.
+
+    Returns:
+        ``(loss, dlogits)`` where ``dlogits`` already includes the
+        ``1/N`` mean factor, so the backward pass yields the gradient
+        of the *mean* loss (matching CNTK's per-sample normalization).
+    """
+    n = logits.shape[0]
+    logp = log_softmax(logits, axis=1)
+    loss = -float(logp[np.arange(n), labels].mean())
+    dlogits = softmax(logits, axis=1)
+    dlogits[np.arange(n), labels] -= 1.0
+    dlogits /= n
+    return loss, dlogits.astype(np.float32)
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy in [0, 1]."""
+    return float((logits.argmax(axis=1) == labels).mean())
+
+
+def top_k_accuracy(
+    logits: np.ndarray, labels: np.ndarray, k: int = 5
+) -> float:
+    """Top-k accuracy in [0, 1] (the paper reports top-5 on ImageNet)."""
+    k = min(k, logits.shape[1])
+    top = np.argpartition(-logits, kth=k - 1, axis=1)[:, :k]
+    return float((top == labels[:, None]).any(axis=1).mean())

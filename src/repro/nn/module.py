@@ -1,0 +1,121 @@
+"""Module system for the numpy deep-learning substrate.
+
+This package stands in for CNTK + cuDNN: enough of a deep-learning
+framework to train the scaled-down analogues of the paper's networks
+with real forward/backward passes.  Layers are explicit about their
+backward computation (no tape autograd), which keeps the gradient
+data-flow — the thing the paper quantizes — easy to inspect and test.
+
+Conventions:
+    * images are NCHW float32; sequences are (N, T, D);
+    * ``forward`` caches whatever ``backward`` needs;
+    * ``backward`` receives d(loss)/d(output), **accumulates** into each
+      parameter's ``grad``, and returns d(loss)/d(input).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["Parameter", "Module", "Sequential"]
+
+
+class Parameter:
+    """A trainable tensor with its gradient accumulator.
+
+    Attributes:
+        name: unique name within the model; used as the communication
+            stream key by the trainer.
+        data: current value, float32.
+        grad: accumulated gradient, float32, same shape as ``data``.
+        kind: layer-type tag ("fc", "conv", "bn", "rnn", "bias",
+            "param") used by layer-selective quantization (the paper's
+            Section 5.1 "Impact of Layer Types" analysis).
+    """
+
+    def __init__(self, name: str, data: np.ndarray, kind: str = "param"):
+        self.name = name
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad = np.zeros_like(self.data)
+        self.kind = kind
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter({self.name!r}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class for layers and models."""
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters, in a stable order.
+
+        The default implementation collects :class:`Parameter`
+        attributes and recurses into :class:`Module` attributes and
+        lists thereof, in attribute insertion order.
+        """
+        found: list[Parameter] = []
+        for value in self.__dict__.values():
+            found.extend(_collect_parameters(value))
+        return found
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def parameter_count(self) -> int:
+        """Total number of trainable scalars."""
+        return sum(p.size for p in self.parameters())
+
+    def forward(
+        self, x: np.ndarray, training: bool = True
+    ) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        return self.forward(x, training=training)
+
+
+def _collect_parameters(value: object) -> Iterator[Parameter]:
+    if isinstance(value, Parameter):
+        yield value
+    elif isinstance(value, Module):
+        yield from value.parameters()
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _collect_parameters(item)
+
+
+class Sequential(Module):
+    """Chain of layers applied in order."""
+
+    def __init__(self, *layers: Module):
+        self.layers = list(layers)
+
+    def append(self, layer: Module) -> None:
+        self.layers.append(layer)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            dout = layer.backward(dout)
+        return dout

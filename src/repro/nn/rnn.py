@@ -1,0 +1,137 @@
+"""LSTM layer with explicit backward-through-time.
+
+The paper's speech workload is a 3-layer LSTM network on AN4
+(Section 4.2); :class:`Lstm` is the recurrent building block of its
+scaled-down analogue.  Input is (N, T, D), output is the full hidden
+sequence (N, T, H); :class:`TakeLast` extracts the final step for
+sequence classification heads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["Lstm", "TakeLast"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+class Lstm(Module):
+    """Single-layer LSTM.
+
+    Gate pre-activations are computed jointly as ``x @ Wx + h @ Wh + b``
+    with the 4H columns split in (input, forget, output, candidate)
+    order.  The forget-gate bias is initialized to 1, the standard
+    trick to let gradients flow early in training.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        name: str,
+        rng: np.random.Generator,
+    ):
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        h = hidden_size
+        self.wx = Parameter(
+            f"{name}.Wx",
+            init.glorot_uniform((input_size, 4 * h), rng),
+            kind="rnn",
+        )
+        self.wh = Parameter(
+            f"{name}.Wh",
+            init.glorot_uniform((h, 4 * h), rng),
+            kind="rnn",
+        )
+        bias = np.zeros(4 * h, dtype=np.float32)
+        bias[h : 2 * h] = 1.0  # forget-gate bias
+        self.bias = Parameter(f"{name}.b", bias, kind="bias")
+        self._cache: list[tuple] | None = None
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        n, t, d = x.shape
+        if d != self.input_size:
+            raise ValueError(
+                f"expected input size {self.input_size}, got {d}"
+            )
+        h_size = self.hidden_size
+        h = np.zeros((n, h_size), dtype=x.dtype)
+        c = np.zeros((n, h_size), dtype=x.dtype)
+        outputs = np.empty((n, t, h_size), dtype=x.dtype)
+        cache: list[tuple] = []
+        for step in range(t):
+            x_t = x[:, step, :]
+            gates = x_t @ self.wx.data + h @ self.wh.data + self.bias.data
+            i = _sigmoid(gates[:, :h_size])
+            f = _sigmoid(gates[:, h_size : 2 * h_size])
+            o = _sigmoid(gates[:, 2 * h_size : 3 * h_size])
+            g = np.tanh(gates[:, 3 * h_size :])
+            c_next = f * c + i * g
+            tanh_c = np.tanh(c_next)
+            h_next = o * tanh_c
+            if training:
+                cache.append((x_t, h, c, i, f, o, g, tanh_c))
+            h, c = h_next, c_next
+            outputs[:, step, :] = h
+        self._cache = cache if training else None
+        self._x_shape = x.shape
+        return outputs
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training forward")
+        n, t, _ = self._x_shape
+        h_size = self.hidden_size
+        dx = np.zeros(self._x_shape, dtype=dout.dtype)
+        dh_next = np.zeros((n, h_size), dtype=dout.dtype)
+        dc_next = np.zeros((n, h_size), dtype=dout.dtype)
+        for step in reversed(range(t)):
+            x_t, h_prev, c_prev, i, f, o, g, tanh_c = self._cache[step]
+            dh = dout[:, step, :] + dh_next
+            do = dh * tanh_c
+            dc = dh * o * (1.0 - tanh_c * tanh_c) + dc_next
+            di = dc * g
+            df = dc * c_prev
+            dg = dc * i
+            dgates = np.concatenate(
+                [
+                    di * i * (1.0 - i),
+                    df * f * (1.0 - f),
+                    do * o * (1.0 - o),
+                    dg * (1.0 - g * g),
+                ],
+                axis=1,
+            )
+            self.wx.grad += x_t.T @ dgates
+            self.wh.grad += h_prev.T @ dgates
+            self.bias.grad += dgates.sum(axis=0)
+            dx[:, step, :] = dgates @ self.wx.data.T
+            dh_next = dgates @ self.wh.data.T
+            dc_next = dc * f
+        return dx
+
+
+class TakeLast(Module):
+    """Select the final time step: (N, T, H) -> (N, H)."""
+
+    def __init__(self) -> None:
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._shape = x.shape
+        return x[:, -1, :]
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        dx = np.zeros(self._shape, dtype=dout.dtype)
+        dx[:, -1, :] = dout
+        return dx

@@ -1,0 +1,42 @@
+"""Model checkpointing: save/load parameters as compressed npz."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_model", "load_model"]
+
+
+def save_model(model: Module, path: str | os.PathLike) -> None:
+    """Write all parameters of ``model`` to an ``.npz`` checkpoint."""
+    arrays = {p.name: p.data for p in model.parameters()}
+    if not arrays:
+        raise ValueError("model has no parameters to save")
+    np.savez_compressed(path, **arrays)
+
+
+def load_model(model: Module, path: str | os.PathLike) -> None:
+    """Load a checkpoint into ``model`` (shapes and names must match)."""
+    with np.load(path) as archive:
+        stored = set(archive.files)
+        params = model.parameters()
+        expected = {p.name for p in params}
+        if stored != expected:
+            missing = sorted(expected - stored)
+            extra = sorted(stored - expected)
+            raise ValueError(
+                f"checkpoint does not match model: missing={missing}, "
+                f"unexpected={extra}"
+            )
+        for param in params:
+            data = archive[param.name]
+            if data.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {param.name}: checkpoint "
+                    f"{data.shape} vs model {param.data.shape}"
+                )
+            param.data = data.astype(np.float32)

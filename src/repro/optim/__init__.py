@@ -1,0 +1,6 @@
+"""Optimizers for the numpy substrate."""
+
+from .schedule import exponential_decay, step_decay
+from .sgd import Sgd
+
+__all__ = ["Sgd", "exponential_decay", "step_decay"]

@@ -1,0 +1,23 @@
+"""Learning-rate schedules."""
+
+from __future__ import annotations
+
+__all__ = ["exponential_decay", "step_decay"]
+
+
+def exponential_decay(base_lr: float, decay: float, epoch: int) -> float:
+    """``base_lr * decay**epoch``; ``decay=1`` keeps the rate constant."""
+    if base_lr <= 0.0:
+        raise ValueError(f"base_lr must be > 0, got {base_lr}")
+    if not 0.0 < decay <= 1.0:
+        raise ValueError(f"decay must be in (0, 1], got {decay}")
+    return base_lr * decay**epoch
+
+
+def step_decay(
+    base_lr: float, epoch: int, step: int, factor: float = 0.1
+) -> float:
+    """Divide the rate by ``1/factor`` every ``step`` epochs."""
+    if step < 1:
+        raise ValueError(f"step must be >= 1, got {step}")
+    return base_lr * factor ** (epoch // step)

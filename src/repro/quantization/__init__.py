@@ -1,0 +1,100 @@
+"""Gradient quantization schemes from the paper.
+
+The registry maps the scheme names used throughout the paper's tables
+("32bit", "1bit", "1bit*", "qsgd2" ... "qsgd16") to constructors, so
+experiment configurations can name schemes as strings.
+"""
+
+from __future__ import annotations
+
+from .adaptive import AdaptiveQsgd, lloyd_max_levels
+from .base import (
+    MESSAGE_HEADER_BYTES,
+    EncodedTensor,
+    ErrorFeedback,
+    Quantizer,
+)
+from .bucketing import bucket_count, from_buckets, to_buckets
+from .fullprec import FullPrecision
+from .onebit import OneBitSgd
+from .onebit_reshaped import OneBitSgdReshaped
+from .policy import QuantizationPolicy, passthrough_threshold
+from .qsgd import DEFAULT_BUCKET_SIZES, Qsgd
+from .topk import TopK
+
+__all__ = [
+    "MESSAGE_HEADER_BYTES",
+    "EncodedTensor",
+    "ErrorFeedback",
+    "Quantizer",
+    "FullPrecision",
+    "OneBitSgd",
+    "OneBitSgdReshaped",
+    "Qsgd",
+    "AdaptiveQsgd",
+    "TopK",
+    "lloyd_max_levels",
+    "QuantizationPolicy",
+    "passthrough_threshold",
+    "bucket_count",
+    "to_buckets",
+    "from_buckets",
+    "DEFAULT_BUCKET_SIZES",
+    "SCHEME_NAMES",
+    "make_quantizer",
+]
+
+#: scheme names in the order the paper's figures list them
+SCHEME_NAMES = (
+    "32bit",
+    "qsgd16",
+    "qsgd8",
+    "qsgd4",
+    "qsgd2",
+    "1bit*",
+    "1bit",
+)
+
+#: extension schemes from the paper's Sections 2.3 / 7 (non-uniform
+#: levels and sparse top-k), accepted by make_quantizer but not part of
+#: the main study grid
+EXTENSION_SCHEME_PREFIXES = ("aqsgd", "topk")
+
+
+def make_quantizer(name: str, bucket_size: int | None = None, **kwargs) -> Quantizer:
+    """Construct a quantizer from its paper-style scheme name.
+
+    Args:
+        name: one of :data:`SCHEME_NAMES`.
+        bucket_size: overrides the scheme's tuned default bucket size
+            (ignored by "32bit" and column-wise "1bit").
+        **kwargs: forwarded to the scheme constructor (e.g. ``norm`` or
+            ``variant`` for QSGD).
+    """
+    if name == "32bit":
+        return FullPrecision()
+    if name == "1bit":
+        return OneBitSgd()
+    if name == "1bit*":
+        if bucket_size is None:
+            return OneBitSgdReshaped()
+        return OneBitSgdReshaped(bucket_size=bucket_size)
+    if name.startswith("qsgd") and name[len("qsgd"):].isdigit():
+        bits = int(name[len("qsgd"):])
+        return Qsgd(bits, bucket_size=bucket_size, **kwargs)
+    if name.startswith("aqsgd") and name[len("aqsgd"):].isdigit():
+        bits = int(name[len("aqsgd"):])
+        if bucket_size is None:
+            return AdaptiveQsgd(bits, **kwargs)
+        return AdaptiveQsgd(bits, bucket_size=bucket_size, **kwargs)
+    if name.startswith("topk"):
+        try:
+            density = float(name[len("topk"):])
+        except ValueError:
+            density = None
+        if density is not None:
+            return TopK(density, **kwargs)
+    raise ValueError(
+        f"unknown quantizer {name!r}; expected one of {SCHEME_NAMES} "
+        f"or an extension scheme ({EXTENSION_SCHEME_PREFIXES})"
+    )

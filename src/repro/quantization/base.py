@@ -1,0 +1,162 @@
+"""Core quantizer interfaces and byte accounting.
+
+A *quantizer* is the Encode/Decode pair of the paper's Algorithm 1: it
+maps a gradient tensor to a compact wire message and back to an
+(approximate) gradient.  Quantizers here are pure with respect to the
+gradient: stateful error feedback (1bitSGD's ϵ vector, Algorithm 2)
+lives in :class:`ErrorFeedback`, which wraps any quantizer.
+
+All encoders report the exact number of bytes their message occupies on
+the wire via :attr:`EncodedTensor.nbytes`; the performance simulator and
+the communication layer both consume that number, so compression ratios
+in every reproduced figure are measured, never assumed.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+__all__ = [
+    "EncodedTensor",
+    "Quantizer",
+    "ErrorFeedback",
+    "MESSAGE_HEADER_BYTES",
+]
+
+# Fixed per-message framing: scheme id (2B), dtype tag (2B), element
+# count (8B), matrix shape (2 x 4B).  Matches the CNTK message header.
+MESSAGE_HEADER_BYTES = 20
+
+
+@dataclass(frozen=True)
+class EncodedTensor:
+    """A quantized gradient as it would appear on the wire.
+
+    Attributes:
+        scheme: name of the quantizer that produced the message.
+        shape: shape of the original gradient tensor.
+        payload: named binary sections (packed codes, scale vectors...).
+            The wire size is the sum of the section sizes plus the
+            fixed header.
+        meta: small decode-time scalars (bucket size, code width...).
+            Metadata is part of the stream configuration, negotiated
+            once per run, so it does not count toward per-message bytes.
+    """
+
+    scheme: str
+    shape: tuple[int, ...]
+    payload: Mapping[str, np.ndarray]
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def element_count(self) -> int:
+        """Number of scalar gradient entries the message carries."""
+        return int(np.prod(self.shape)) if self.shape else 1
+
+    @property
+    def nbytes(self) -> int:
+        """Exact wire size of the message in bytes."""
+        return MESSAGE_HEADER_BYTES + sum(
+            arr.nbytes for arr in self.payload.values()
+        )
+
+    @property
+    def bits_per_element(self) -> float:
+        """Effective communicated bits per gradient entry."""
+        count = self.element_count
+        if count == 0:
+            return 0.0
+        return 8.0 * self.nbytes / count
+
+
+class Quantizer(abc.ABC):
+    """Encode/Decode pair for gradient communication.
+
+    Subclasses must be deterministic given the same ``rng`` state so
+    that multi-rank training runs are reproducible.
+    """
+
+    #: short scheme identifier used in reports ("32bit", "qsgd4", ...)
+    name: str = "quantizer"
+    #: nominal code width in bits (32 for full precision)
+    nominal_bits: float = 32.0
+    #: whether the scheme needs the trainer to run error feedback
+    requires_error_feedback: bool = False
+
+    @abc.abstractmethod
+    def encode(
+        self, grad: np.ndarray, rng: np.random.Generator | None = None
+    ) -> EncodedTensor:
+        """Quantize ``grad`` into a wire message."""
+
+    @abc.abstractmethod
+    def decode(self, message: EncodedTensor) -> np.ndarray:
+        """Reconstruct the (approximate) gradient from a message."""
+
+    def roundtrip(
+        self, grad: np.ndarray, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Encode then decode; the value the receiving rank will see."""
+        return self.decode(self.encode(grad, rng))
+
+    def encoded_nbytes(self, shape: tuple[int, ...]) -> int:
+        """Wire size for a gradient of ``shape`` without encoding it.
+
+        The default implementation encodes a zero tensor, which is
+        exact for every fixed-rate scheme in this package.  The
+        simulator uses this to cost paper-scale layers cheaply.
+        """
+        zero = np.zeros(shape, dtype=np.float32)
+        return self.encode(zero, np.random.default_rng(0)).nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class ErrorFeedback:
+    """Error-feedback wrapper (Algorithm 2, lines 1 and 4).
+
+    Keeps one residual tensor per gradient stream.  On each call the
+    residual from the previous round is added to the incoming gradient
+    before quantization, and the new residual is the difference between
+    the corrected gradient and its quantized image.  The telescoping
+    identity ``sum_t decoded_t = sum_t grad_t - residual_T`` holds
+    exactly and is verified by property tests.
+    """
+
+    def __init__(self, quantizer: Quantizer):
+        self.quantizer = quantizer
+        self._residuals: dict[str, np.ndarray] = {}
+
+    def residual(self, key: str, shape: tuple[int, ...]) -> np.ndarray:
+        """Current residual for stream ``key`` (zeros before first use)."""
+        if key not in self._residuals:
+            self._residuals[key] = np.zeros(shape, dtype=np.float32)
+        return self._residuals[key]
+
+    def encode(
+        self,
+        key: str,
+        grad: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> EncodedTensor:
+        """Encode ``grad`` for stream ``key`` with error correction."""
+        corrected = grad.astype(np.float32, copy=False) + self.residual(
+            key, grad.shape
+        )
+        message = self.quantizer.encode(corrected, rng)
+        decoded = self.quantizer.decode(message)
+        self._residuals[key] = corrected - decoded
+        return message
+
+    def decode(self, message: EncodedTensor) -> np.ndarray:
+        """Decode a message (no state involved on the receive path)."""
+        return self.quantizer.decode(message)
+
+    def reset(self) -> None:
+        """Drop all residual state (e.g. between training runs)."""
+        self._residuals.clear()

@@ -1,0 +1,107 @@
+"""Bit-packing of small integer codes into 32-bit words.
+
+The paper's CNTK artefact packs quantized values into C++ unsigned
+integers so that a column of ``n`` 1-bit codes occupies ``ceil(n / 32)``
+words (Section 3.2.1).  This module provides the same wire format for
+arbitrary code widths from 1 to 32 bits: codes are laid out
+little-endian within each word, i.e. code ``i`` occupies bits
+``[(i * width) % 32, (i * width) % 32 + width)`` of word
+``(i * width) // 32`` when ``width`` divides 32.
+
+Widths that do not divide 32 are rounded up to the next divisor of 32
+(e.g. 3-bit codes are stored in 4-bit slots).  This matches the
+alignment behaviour of the CNTK kernels, which only ever emit
+power-of-two slot widths, and keeps unpacking branch-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "slot_width",
+    "packed_words",
+    "pack",
+    "unpack",
+]
+
+_WORD_BITS = 32
+_DIVISORS_OF_32 = (1, 2, 4, 8, 16, 32)
+
+
+def slot_width(width: int) -> int:
+    """Return the storage slot width for ``width``-bit codes.
+
+    The slot is the smallest divisor of 32 that can hold ``width`` bits,
+    so that codes never straddle a word boundary.
+    """
+    if not 1 <= width <= _WORD_BITS:
+        raise ValueError(f"code width must be in [1, 32], got {width}")
+    for divisor in _DIVISORS_OF_32:
+        if divisor >= width:
+            return divisor
+    raise AssertionError("unreachable: 32 is a divisor of 32")
+
+
+def packed_words(count: int, width: int) -> int:
+    """Number of uint32 words needed to store ``count`` codes."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    slot = slot_width(width)
+    per_word = _WORD_BITS // slot
+    return -(-count // per_word)  # ceil division
+
+
+def pack(codes: np.ndarray, width: int) -> np.ndarray:
+    """Pack an array of non-negative integer codes into uint32 words.
+
+    Args:
+        codes: 1-D array of integers, each in ``[0, 2**width)``.
+        width: nominal code width in bits.
+
+    Returns:
+        1-D ``uint32`` array of length ``packed_words(len(codes), width)``.
+    """
+    codes = np.ascontiguousarray(codes)
+    if codes.ndim != 1:
+        raise ValueError(f"codes must be 1-D, got shape {codes.shape}")
+    slot = slot_width(width)
+    limit = 1 << width
+    if codes.size and (codes.min() < 0 or codes.max() >= limit):
+        raise ValueError(f"codes out of range for width {width}")
+
+    per_word = _WORD_BITS // slot
+    n_words = packed_words(codes.size, width)
+    padded = np.zeros(n_words * per_word, dtype=np.uint32)
+    padded[: codes.size] = codes.astype(np.uint32, copy=False)
+    lanes = padded.reshape(n_words, per_word)
+    shifts = (np.arange(per_word, dtype=np.uint32) * slot).astype(np.uint32)
+    return np.bitwise_or.reduce(lanes << shifts, axis=1)
+
+
+def unpack(words: np.ndarray, count: int, width: int) -> np.ndarray:
+    """Inverse of :func:`pack`.
+
+    Args:
+        words: packed ``uint32`` array.
+        count: number of codes originally packed.
+        width: nominal code width in bits.
+
+    Returns:
+        1-D ``uint32`` array of ``count`` codes.
+    """
+    words = np.ascontiguousarray(words, dtype=np.uint32)
+    if words.ndim != 1:
+        raise ValueError(f"words must be 1-D, got shape {words.shape}")
+    slot = slot_width(width)
+    per_word = _WORD_BITS // slot
+    expected = packed_words(count, width)
+    if words.size != expected:
+        raise ValueError(
+            f"expected {expected} words for {count} codes of width {width}, "
+            f"got {words.size}"
+        )
+    shifts = (np.arange(per_word, dtype=np.uint32) * slot).astype(np.uint32)
+    mask = np.uint32((1 << slot) - 1) if slot < 32 else np.uint32(0xFFFFFFFF)
+    lanes = (words[:, None] >> shifts) & mask
+    return lanes.reshape(-1)[:count]

@@ -1,0 +1,51 @@
+"""Bucket reshaping shared by QSGD and reshaped 1bitSGD.
+
+The paper (Section 3.2.2) splits the flattened gradient into buckets of
+consecutive scalars and quantizes each bucket independently, which
+bounds the variance added by quantization: variance grows with the
+number of elements sharing one scale factor, so smaller buckets trade
+extra scale floats for accuracy.
+
+Matrices are flattened in column-major (Fortran) order so that
+consecutive elements of the same column land in the same bucket, as the
+paper specifies for its reshaping technique.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bucket_count", "to_buckets", "from_buckets"]
+
+
+def bucket_count(n: int, bucket_size: int) -> int:
+    """Number of buckets needed for ``n`` scalars."""
+    if bucket_size < 1:
+        raise ValueError(f"bucket_size must be >= 1, got {bucket_size}")
+    if n < 0:
+        raise ValueError(f"element count must be >= 0, got {n}")
+    return -(-n // bucket_size)
+
+
+def to_buckets(grad: np.ndarray, bucket_size: int) -> np.ndarray:
+    """Flatten ``grad`` column-major and reshape into padded buckets.
+
+    Returns a ``(n_buckets, bucket_size)`` float32 array.  The tail
+    bucket is zero-padded; zeros quantize to zero under every scheme in
+    this package, so padding never perturbs the reconstruction.
+    """
+    flat = np.asarray(grad, dtype=np.float32).ravel(order="F")
+    n = flat.size
+    buckets = bucket_count(n, bucket_size)
+    padded = np.zeros(buckets * bucket_size, dtype=np.float32)
+    padded[:n] = flat
+    return padded.reshape(buckets, bucket_size)
+
+
+def from_buckets(
+    buckets: np.ndarray, shape: tuple[int, ...]
+) -> np.ndarray:
+    """Inverse of :func:`to_buckets`: drop padding and restore shape."""
+    n = int(np.prod(shape)) if shape else 1
+    flat = np.asarray(buckets, dtype=np.float32).reshape(-1)[:n]
+    return flat.reshape(shape, order="F")

@@ -1,0 +1,44 @@
+"""Full-precision (32-bit) identity codec.
+
+This is the paper's baseline: gradients are shipped as raw IEEE-754
+single-precision values, so the wire size is ``4 * n`` bytes plus the
+message header.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import EncodedTensor, Quantizer
+
+__all__ = ["FullPrecision"]
+
+
+class FullPrecision(Quantizer):
+    """The trivial Encode/Decode pair: ship float32 values verbatim."""
+
+    name = "32bit"
+    nominal_bits = 32.0
+    requires_error_feedback = False
+
+    def encode(
+        self, grad: np.ndarray, rng: np.random.Generator | None = None
+    ) -> EncodedTensor:
+        values = np.ascontiguousarray(grad, dtype=np.float32)
+        return EncodedTensor(
+            scheme=self.name,
+            shape=grad.shape,
+            payload={"values": values.reshape(-1)},
+        )
+
+    def decode(self, message: EncodedTensor) -> np.ndarray:
+        values = message.payload["values"]
+        return np.asarray(values, dtype=np.float32).reshape(message.shape)
+
+    def encoded_nbytes(self, shape: tuple[int, ...]) -> int:
+        from .base import MESSAGE_HEADER_BYTES
+
+        count = 1
+        for dim in shape:
+            count *= dim
+        return MESSAGE_HEADER_BYTES + 4 * count

@@ -1,0 +1,161 @@
+"""1bitSGD quantization (Seide et al., Interspeech 2014; paper Section 2.2).
+
+Each quantization group (a matrix column for the stock CNTK scheme, a
+bucket for the reshaped variant) is reduced to two scale floats —
+``avg+``, the mean of its non-negative entries, and ``avg-``, the mean
+of its negative entries — plus one sign bit per entry.  Reconstruction
+replaces every entry by the average matching its sign.
+
+The stock CNTK implementation quantizes *per column* of the gradient
+matrix, where the first tensor dimension is the row and all remaining
+dimensions are flattened onto columns.  On convolutional layers this
+yields columns of length 1-3, so the two scale floats per column wipe
+out the compression — the performance artefact the paper fixes with
+reshaping (Section 3.2.2, "Reshaped 1bitSGD").
+
+1bitSGD is biased, so it must run under :class:`~repro.quantization.base.
+ErrorFeedback`; ``requires_error_feedback`` is set accordingly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import bitpack
+from .base import EncodedTensor, Quantizer
+
+__all__ = ["OneBitSgd", "encode_groups", "decode_groups"]
+
+
+def _padded_length(group_len: int) -> int:
+    """Group length rounded up to a whole number of 32-bit words."""
+    return bitpack.packed_words(group_len, 1) * 32
+
+
+def _valid_mask(
+    n_groups: int, group_len: int, valid_count: int | None
+) -> np.ndarray:
+    """Boolean mask of real (non-padding) positions in a bucket matrix."""
+    if valid_count is None or valid_count >= n_groups * group_len:
+        return np.ones((n_groups, group_len), dtype=bool)
+    flat = np.zeros(n_groups * group_len, dtype=bool)
+    flat[:valid_count] = True
+    return flat.reshape(n_groups, group_len)
+
+
+def encode_groups(
+    groups: np.ndarray, valid_count: int | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """1-bit encode a ``(n_groups, group_len)`` matrix of values.
+
+    Returns ``(avg_pos, avg_neg, words)`` where ``avg_pos``/``avg_neg``
+    are per-group float32 scale vectors and ``words`` is the packed
+    sign-bit payload (one padded word run per group, group-major).
+
+    Args:
+        valid_count: total number of real elements when ``groups`` is a
+            zero-padded bucket matrix (row-major contiguous).  Padded
+            positions are excluded from the averages so they cannot
+            dilute the scale factors; their sign bits are still packed
+            (the decoder's caller crops them).
+    """
+    groups = np.asarray(groups, dtype=np.float32)
+    if groups.ndim != 2:
+        raise ValueError(f"groups must be 2-D, got shape {groups.shape}")
+    n_groups, group_len = groups.shape
+
+    positive = groups >= 0.0
+    valid = _valid_mask(n_groups, group_len, valid_count)
+    pos_valid = positive & valid
+    neg_valid = ~positive & valid
+    pos_count = pos_valid.sum(axis=1)
+    neg_count = neg_valid.sum(axis=1)
+    pos_sum = np.where(pos_valid, groups, 0.0).sum(axis=1)
+    neg_sum = np.where(neg_valid, groups, 0.0).sum(axis=1)
+    avg_pos = np.divide(
+        pos_sum,
+        pos_count,
+        out=np.zeros(n_groups, dtype=np.float32),
+        where=pos_count > 0,
+    ).astype(np.float32)
+    avg_neg = np.divide(
+        neg_sum,
+        neg_count,
+        out=np.zeros(n_groups, dtype=np.float32),
+        where=neg_count > 0,
+    ).astype(np.float32)
+
+    padded_len = _padded_length(group_len)
+    padded = np.zeros((n_groups, padded_len), dtype=np.uint32)
+    padded[:, :group_len] = positive
+    words = bitpack.pack(padded.reshape(-1), width=1)
+    return avg_pos, avg_neg, words
+
+
+def decode_groups(
+    avg_pos: np.ndarray,
+    avg_neg: np.ndarray,
+    words: np.ndarray,
+    group_len: int,
+) -> np.ndarray:
+    """Inverse of :func:`encode_groups`; returns ``(n_groups, group_len)``."""
+    n_groups = avg_pos.shape[0]
+    padded_len = _padded_length(group_len)
+    bits = bitpack.unpack(words, n_groups * padded_len, width=1)
+    positive = bits.reshape(n_groups, padded_len)[:, :group_len].astype(bool)
+    return np.where(
+        positive, avg_pos[:, None], avg_neg[:, None]
+    ).astype(np.float32)
+
+
+class OneBitSgd(Quantizer):
+    """Stock CNTK 1bitSGD: column-wise 1-bit quantization.
+
+    The gradient tensor is viewed as a matrix whose rows are the first
+    tensor dimension and whose columns flatten the rest, exactly as
+    CNTK lays out objects without dynamic dimensions (Section 3.2.2).
+    """
+
+    name = "1bit"
+    nominal_bits = 1.0
+    requires_error_feedback = True
+
+    def encode(
+        self, grad: np.ndarray, rng: np.random.Generator | None = None
+    ) -> EncodedTensor:
+        grad = np.asarray(grad, dtype=np.float32)
+        rows = grad.shape[0] if grad.ndim else 1
+        matrix = grad.reshape(rows, -1)
+        # groups are the matrix columns: one (avg+, avg-) pair per column
+        avg_pos, avg_neg, words = encode_groups(matrix.T)
+        return EncodedTensor(
+            scheme=self.name,
+            shape=grad.shape,
+            payload={
+                "avg_pos": avg_pos,
+                "avg_neg": avg_neg,
+                "words": words,
+            },
+            meta={"rows": rows},
+        )
+
+    def decode(self, message: EncodedTensor) -> np.ndarray:
+        rows = int(message.meta["rows"])
+        columns = decode_groups(
+            message.payload["avg_pos"],
+            message.payload["avg_neg"],
+            message.payload["words"],
+            group_len=rows,
+        )
+        return columns.T.reshape(message.shape)
+
+    def encoded_nbytes(self, shape: tuple[int, ...]) -> int:
+        from .base import MESSAGE_HEADER_BYTES
+
+        rows = shape[0] if shape else 1
+        count = 1
+        for dim in shape:
+            count *= dim
+        cols = count // rows if rows else 0
+        words_per_col = bitpack.packed_words(rows, 1)
+        return MESSAGE_HEADER_BYTES + cols * (8 + 4 * words_per_col)

@@ -1,0 +1,109 @@
+"""Small-matrix passthrough policy (paper Section 3.2.2).
+
+Quantizing tiny gradient matrices costs kernel-launch time without
+saving meaningful bandwidth, so the paper's artefact ships matrices
+with few elements at full precision, choosing the size threshold such
+that *more than 99% of all parameters are still quantized*.
+
+:func:`passthrough_threshold` computes that threshold from a model's
+parameter-size inventory, and :class:`QuantizationPolicy` pairs a
+quantizer with the threshold to decide per-gradient which codec to use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .base import EncodedTensor, Quantizer
+from .fullprec import FullPrecision
+
+__all__ = ["passthrough_threshold", "QuantizationPolicy"]
+
+DEFAULT_COVERAGE = 0.99
+
+
+def passthrough_threshold(
+    sizes: Sequence[int], coverage: float = DEFAULT_COVERAGE
+) -> int:
+    """Largest size threshold that still quantizes ``coverage`` of params.
+
+    Gradients with ``size < threshold`` are sent at full precision.
+    The threshold is chosen greedily from the smallest matrices up, so
+    the quantized fraction of parameters stays strictly above
+    ``coverage``.
+
+    Returns 0 (nothing skipped) for an empty inventory.
+    """
+    if not 0.0 < coverage <= 1.0:
+        raise ValueError(f"coverage must be in (0, 1], got {coverage}")
+    sizes = sorted(int(s) for s in sizes)
+    if not sizes:
+        return 0
+    total = sum(sizes)
+    budget = (1.0 - coverage) * total
+    skipped = 0
+    threshold = 0
+    index = 0
+    while index < len(sizes):
+        # a size class is skipped only if *all* matrices of that size
+        # fit in the budget — the threshold test is size-based, so
+        # partial classes cannot be excluded
+        size = sizes[index]
+        end = index
+        class_total = 0
+        while end < len(sizes) and sizes[end] == size:
+            class_total += size
+            end += 1
+        if skipped + class_total > budget:
+            break
+        skipped += class_total
+        threshold = size + 1
+        index = end
+    return threshold
+
+
+@dataclass
+class QuantizationPolicy:
+    """Route each gradient to the quantizer or the full-precision path.
+
+    Attributes:
+        quantizer: codec used for large gradients.
+        threshold: gradients with fewer elements than this are sent at
+            full precision.  ``0`` disables the passthrough.
+    """
+
+    quantizer: Quantizer
+    threshold: int = 0
+
+    def __post_init__(self) -> None:
+        self.fullprec = FullPrecision()
+        self._fullprec = self.fullprec  # backwards-compatible alias
+
+    @classmethod
+    def for_model(
+        cls,
+        quantizer: Quantizer,
+        sizes: Sequence[int],
+        coverage: float = DEFAULT_COVERAGE,
+    ) -> "QuantizationPolicy":
+        """Build a policy whose threshold covers ``coverage`` of params."""
+        return cls(quantizer, passthrough_threshold(sizes, coverage))
+
+    def codec_for(self, size: int) -> Quantizer:
+        """The codec a gradient of ``size`` elements will travel through."""
+        if size < self.threshold:
+            return self._fullprec
+        return self.quantizer
+
+    def encode(
+        self, grad: np.ndarray, rng: np.random.Generator | None = None
+    ) -> EncodedTensor:
+        return self.codec_for(grad.size).encode(grad, rng)
+
+    def decode(self, message: EncodedTensor) -> np.ndarray:
+        if message.scheme == self._fullprec.name:
+            return self._fullprec.decode(message)
+        return self.quantizer.decode(message)

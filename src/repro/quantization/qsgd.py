@@ -1,0 +1,189 @@
+"""QSGD stochastic quantization (Alistarh et al., NIPS 2017; Section 2.3).
+
+Values are stochastically rounded to a small set of levels so that the
+quantizer is *unbiased* — ``E[Q(v)] = v`` — which is what guarantees
+SGD convergence without error feedback.  Two level layouts from the
+paper's artefact (Section 3.2.2) are provided:
+
+``sign``
+    One bit stores the sign; the remaining ``bits - 1`` bits address
+    ``s = 2**(bits-1) - 1`` uniformly spaced magnitude levels in
+    ``[0, scale]`` (level 0 encodes an exact zero).  This is the layout
+    of the original QSGD paper.
+
+``grid``
+    The interval ``[-scale, scale]`` is divided into ``2**bits - 1``
+    equal intervals whose ``2**bits`` endpoints are the levels.
+
+Scaling per bucket is either the 2-norm (sparse-friendly, the original
+paper's choice) or the infinity norm (lower variance; the paper found
+it more accurate and uses it by default).  Bucketing bounds the
+variance added per scale factor: the paper's tuned bucket sizes are
+128 (2-bit), 512 (4- and 8-bit) and 8192 (16-bit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import bitpack
+from .base import EncodedTensor, Quantizer
+from .bucketing import from_buckets, to_buckets
+
+__all__ = ["Qsgd", "DEFAULT_BUCKET_SIZES"]
+
+#: bucket sizes tuned for accuracy in the paper (Section 4.4)
+DEFAULT_BUCKET_SIZES = {2: 128, 4: 512, 8: 512, 16: 8192}
+
+_VARIANTS = ("sign", "grid")
+_NORMS = ("inf", "l2")
+
+
+def _default_bucket_size(bits: int) -> int:
+    return DEFAULT_BUCKET_SIZES.get(bits, 512)
+
+
+class Qsgd(Quantizer):
+    """Stochastic uniform quantization with per-bucket scaling."""
+
+    requires_error_feedback = False
+
+    def __init__(
+        self,
+        bits: int,
+        bucket_size: int | None = None,
+        norm: str = "inf",
+        variant: str = "sign",
+    ):
+        if not 2 <= bits <= 16:
+            raise ValueError(f"QSGD bits must be in [2, 16], got {bits}")
+        if norm not in _NORMS:
+            raise ValueError(f"norm must be one of {_NORMS}, got {norm!r}")
+        if variant not in _VARIANTS:
+            raise ValueError(
+                f"variant must be one of {_VARIANTS}, got {variant!r}"
+            )
+        self.bits = bits
+        self.bucket_size = (
+            bucket_size if bucket_size is not None else _default_bucket_size(bits)
+        )
+        if self.bucket_size < 1:
+            raise ValueError(
+                f"bucket_size must be >= 1, got {self.bucket_size}"
+            )
+        self.norm = norm
+        self.variant = variant
+        self.name = f"qsgd{bits}"
+        self.nominal_bits = float(bits)
+
+    def effective_bucket(self, count: int) -> int:
+        """Bucket size actually used for a ``count``-element tensor.
+
+        Capped at the tensor size so that small matrices form a single
+        bucket instead of being padded out to the nominal size (CNTK
+        reshapes the matrix, it never pads beyond it).
+        """
+        return max(1, min(self.bucket_size, count))
+
+    # -- scale ----------------------------------------------------------
+    def _scales(self, buckets: np.ndarray) -> np.ndarray:
+        if self.norm == "inf":
+            return np.abs(buckets).max(axis=1)
+        return np.sqrt(np.square(buckets).sum(axis=1))
+
+    # -- encode ---------------------------------------------------------
+    def encode(
+        self, grad: np.ndarray, rng: np.random.Generator | None = None
+    ) -> EncodedTensor:
+        rng = rng if rng is not None else np.random.default_rng()
+        grad = np.asarray(grad, dtype=np.float32)
+        bucket_size = self.effective_bucket(grad.size)
+        buckets = to_buckets(grad, bucket_size)
+        scales = self._scales(buckets).astype(np.float32)
+
+        if self.variant == "sign":
+            codes = self._encode_sign(buckets, scales, rng)
+        else:
+            codes = self._encode_grid(buckets, scales, rng)
+
+        words = bitpack.pack(codes.reshape(-1), width=self.bits)
+        return EncodedTensor(
+            scheme=self.name,
+            shape=grad.shape,
+            payload={"scales": scales, "words": words},
+            meta={
+                "bits": self.bits,
+                "bucket_size": bucket_size,
+                "variant": self.variant,
+            },
+        )
+
+    def _encode_sign(
+        self,
+        buckets: np.ndarray,
+        scales: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        s = (1 << (self.bits - 1)) - 1
+        safe = np.where(scales > 0.0, scales, 1.0)[:, None]
+        ratio = np.clip(np.abs(buckets) / safe, 0.0, 1.0) * s
+        low = np.floor(ratio)
+        prob = ratio - low
+        level = low + (rng.random(buckets.shape) < prob)
+        level = np.minimum(level, s).astype(np.uint32)
+        negative = (buckets < 0.0).astype(np.uint32)
+        codes = (level << 1) | negative
+        codes[scales == 0.0, :] = 0
+        return codes
+
+    def _encode_grid(
+        self,
+        buckets: np.ndarray,
+        scales: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        n_levels = 1 << self.bits
+        step = 2.0 * scales / (n_levels - 1)
+        safe_step = np.where(step > 0.0, step, 1.0)[:, None]
+        position = (buckets + scales[:, None]) / safe_step
+        low = np.floor(position)
+        prob = position - low
+        index = low + (rng.random(buckets.shape) < prob)
+        index = np.clip(index, 0, n_levels - 1).astype(np.uint32)
+        index[scales == 0.0, :] = 0
+        return index
+
+    # -- decode ---------------------------------------------------------
+    def decode(self, message: EncodedTensor) -> np.ndarray:
+        bits = int(message.meta["bits"])
+        bucket_size = int(message.meta["bucket_size"])
+        variant = str(message.meta["variant"])
+        scales = np.asarray(message.payload["scales"], dtype=np.float32)
+        n_buckets = scales.shape[0]
+        codes = bitpack.unpack(
+            message.payload["words"], n_buckets * bucket_size, width=bits
+        ).reshape(n_buckets, bucket_size)
+
+        if variant == "sign":
+            s = (1 << (bits - 1)) - 1
+            level = (codes >> 1).astype(np.float32)
+            sign = 1.0 - 2.0 * (codes & 1).astype(np.float32)
+            buckets = sign * level / s * scales[:, None]
+        else:
+            n_levels = 1 << bits
+            step = 2.0 * scales / (n_levels - 1)
+            buckets = codes.astype(np.float32) * step[:, None] - scales[:, None]
+            buckets[scales == 0.0, :] = 0.0
+        return from_buckets(buckets.astype(np.float32), message.shape)
+
+    def encoded_nbytes(self, shape: tuple[int, ...]) -> int:
+        from .base import MESSAGE_HEADER_BYTES
+        from .bucketing import bucket_count
+
+        count = 1
+        for dim in shape:
+            count *= dim
+        bucket_size = self.effective_bucket(count)
+        buckets = bucket_count(count, bucket_size)
+        code_words = bitpack.packed_words(buckets * bucket_size, self.bits)
+        return MESSAGE_HEADER_BYTES + 4 * buckets + 4 * code_words

@@ -1,0 +1,182 @@
+"""Machine models: the paper's Figure 2 plus calibrated link constants.
+
+The numbers with physical provenance (GPU counts, architectures, list
+prices, TFLOPS) come straight from Figure 2.  The *effective* link and
+kernel constants are calibration products: they are fit so that the
+simulator reproduces the throughput tables of Figures 10 and 11 — see
+:mod:`repro.simulator.calibration` for the fitting notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GpuSpec", "MachineSpec", "MACHINES", "get_machine"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """One GPU model.
+
+    Attributes:
+        compute_scale: throughput multiplier relative to the K80 (the
+            paper's Section 5.2: the P100 is "about 40% faster").
+        quant_elements_per_second: effective rate of the quantization
+            kernels (elements through encode or decode per second).
+        batch_overhead_samples: the batch-efficiency constant ``c`` in
+            ``time_per_sample(b) ∝ (1 + c / b)`` — small per-GPU
+            batches amortize kernel launches worse.
+    """
+
+    name: str
+    architecture: str
+    tflops_single: float
+    compute_scale: float
+    quant_elements_per_second: float
+    batch_overhead_samples: float
+
+
+K80 = GpuSpec(
+    name="K80",
+    architecture="Kepler",
+    tflops_single=8.73,
+    compute_scale=1.0,
+    # effective rate including host staging of scales and codes,
+    # calibrated against Figure 10's quantized columns
+    quant_elements_per_second=1.5e9,
+    batch_overhead_samples=6.0,
+)
+
+P100 = GpuSpec(
+    name="P100",
+    architecture="Pascal",
+    tflops_single=10.6,
+    compute_scale=1.4,
+    quant_elements_per_second=2.1e9,
+    batch_overhead_samples=6.0,
+)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One machine configuration from the paper's Figure 2.
+
+    Link constants are *effective* values fit against Figures 10/11:
+
+    * MPI is modelled as a host-staged shared bus whose aggregate
+      bandwidth grows sub-linearly with the number of GPUs:
+      ``bw(K) = mpi_bus_gbps * (K / 4) ** mpi_bus_exponent``;
+    * NCCL is modelled as a bandwidth-optimal ring with effective
+      per-rank link bandwidth ``nccl_link_gbps``;
+    * each gradient matrix costs ``matrix_latency_s`` per rank of
+      fixed overhead on the MPI path (message setup + host staging).
+    """
+
+    name: str
+    gpu: GpuSpec
+    max_gpus: int
+    price_per_hour: float
+    cpu_cores: int
+    mpi_bus_gbps: float
+    mpi_bus_exponent: float
+    mpi_matrix_latency_s: float
+    mpi_sync_per_gpu_s: float
+    nccl_link_gbps: float
+    nccl_matrix_latency_s: float
+    nccl_max_gpus: int
+    nccl_quant_speedup: float
+
+    def mpi_bus_bandwidth(self, world_size: int) -> float:
+        """Aggregate MPI bus bandwidth in bytes/second at ``world_size``."""
+        scale = (world_size / 4.0) ** self.mpi_bus_exponent
+        return self.mpi_bus_gbps * 1e9 * scale
+
+    def nccl_link_bandwidth(self) -> float:
+        """Per-rank NCCL ring bandwidth in bytes/second."""
+        return self.nccl_link_gbps * 1e9
+
+    def mpi_sync_seconds(self, world_size: int) -> float:
+        """Straggler/synchronization overhead growing past 4 GPUs."""
+        return max(0, world_size - 4) * self.mpi_sync_per_gpu_s
+
+    def supports(self, world_size: int, exchange: str) -> bool:
+        """Whether the paper ran this (world size, primitive) cell."""
+        if world_size < 1 or world_size > self.max_gpus:
+            return False
+        if exchange == "nccl" and world_size > self.nccl_max_gpus:
+            return False  # "NCCL does not currently support more than 8"
+        return True
+
+
+_EC2_COMMON = {
+    "gpu": K80,
+    "mpi_bus_gbps": 3.0,
+    "mpi_bus_exponent": 0.62,
+    "mpi_matrix_latency_s": 7.5e-6,
+    "mpi_sync_per_gpu_s": 5.0e-3,
+    "nccl_link_gbps": 6.0,
+    "nccl_matrix_latency_s": 4.0e-4,
+    "nccl_max_gpus": 8,
+    "nccl_quant_speedup": 0.25,
+}
+
+MACHINES: dict[str, MachineSpec] = {
+    "p2.xlarge": MachineSpec(
+        name="p2.xlarge",
+        max_gpus=1,
+        price_per_hour=0.9,
+        cpu_cores=4,
+        **_EC2_COMMON,
+    ),
+    "p2.8xlarge": MachineSpec(
+        name="p2.8xlarge",
+        max_gpus=8,
+        price_per_hour=7.2,
+        cpu_cores=32,
+        **_EC2_COMMON,
+    ),
+    "p2.16xlarge": MachineSpec(
+        name="p2.16xlarge",
+        max_gpus=16,
+        price_per_hour=14.4,
+        cpu_cores=64,
+        **_EC2_COMMON,
+    ),
+    "dgx1": MachineSpec(
+        name="dgx1",
+        gpu=P100,
+        max_gpus=8,
+        price_per_hour=50.0,  # Nimbix hourly price quoted in Figure 2
+        cpu_cores=32,
+        mpi_bus_gbps=2.5,
+        mpi_bus_exponent=0.62,
+        mpi_matrix_latency_s=6.0e-6,
+        mpi_sync_per_gpu_s=4.0e-3,
+        nccl_link_gbps=4.0,
+        nccl_matrix_latency_s=3.0e-4,
+        nccl_max_gpus=8,
+        nccl_quant_speedup=0.25,
+    ),
+}
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a machine spec by name."""
+    try:
+        return MACHINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown machine {name!r}; expected one of {sorted(MACHINES)}"
+        ) from None
+
+
+def cheapest_machine_for(world_size: int) -> MachineSpec:
+    """Smallest EC2 instance that fits ``world_size`` GPUs."""
+    candidates = [
+        m
+        for m in MACHINES.values()
+        if m.gpu is K80 and m.max_gpus >= world_size
+    ]
+    if not candidates:
+        raise ValueError(f"no EC2 instance offers {world_size} GPUs")
+    return min(candidates, key=lambda m: m.price_per_hour)

@@ -1,0 +1,228 @@
+"""Figure 5: accuracy-versus-epoch under each quantization scheme.
+
+These experiments run *real* training on the numpy substrate with the
+byte-exact quantized exchanges — the scaled-down equivalent of the
+paper's CNTK runs.  Each sub-figure of Figure 5 maps to one experiment
+below; the schemes and bucket sizes match the paper's legends.
+
+Two scales are provided: ``quick`` (seconds per run; used by tests and
+benchmarks) and ``full`` (minutes per run; richer curves for
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core import History, ParallelTrainer, TrainingConfig
+from ..data import make_image_dataset, make_sequence_dataset
+from ..models import speech_lstm, tiny_alexnet, tiny_resnet
+
+__all__ = ["AccuracyExperiment", "FIG5_EXPERIMENTS", "run_accuracy_experiment"]
+
+#: (scheme, bucket size or None, legend label) per sub-figure
+_FIG5A_SCHEMES = [
+    ("1bit", None, "1bitSGD"),
+    ("1bit*", 512, "1bitSGD* (d=512)"),
+    ("1bit*", 64, "1bitSGD* (d=64)"),
+    ("qsgd2", None, "QSGD 2bit"),
+    ("qsgd4", None, "QSGD 4bit"),
+    ("qsgd8", None, "QSGD 8bit"),
+    ("32bit", None, "32bit"),
+]
+_FIG5B_SCHEMES = [("qsgd8", None, "QSGD 8bit"), ("32bit", None, "32bit")]
+_FIG5C_SCHEMES = [
+    ("1bit*", 64, "1bitSGD*"),
+    ("32bit", None, "32bit"),
+    ("qsgd4", None, "QSGD 4bit"),
+    ("qsgd8", None, "QSGD 8bit"),
+]
+_FIG5D_SCHEMES = [
+    ("1bit", None, "1bitSGD"),
+    ("32bit", None, "32bit"),
+    ("qsgd2", None, "QSGD 2bit"),
+    ("qsgd4", None, "QSGD 4bit"),
+    ("qsgd8", None, "QSGD 8bit"),
+]
+_FIG5E_SCHEMES = _FIG5D_SCHEMES
+
+
+@dataclass(frozen=True)
+class AccuracyExperiment:
+    """One sub-figure of Figure 5."""
+
+    figure: str
+    title: str
+    model_builder: Callable[[int], object]  # seed -> model
+    dataset_builder: Callable[[], object]
+    schemes: list[tuple[str, int | None, str]]
+    lr: float
+    lr_decay: float
+    batch_size: int
+    quick_epochs: int
+    full_epochs: int
+    is_sequence: bool = False
+
+
+def _image_dataset(samples: int):
+    return lambda: make_image_dataset(
+        num_classes=6,
+        train_samples=samples,
+        test_samples=samples // 2,
+        image_size=16,
+        noise=1.2,
+        seed=3,
+    )
+
+
+def _sequence_dataset():
+    return make_sequence_dataset(
+        num_classes=6, train_samples=384, test_samples=192, seed=5
+    )
+
+
+FIG5_EXPERIMENTS: dict[str, AccuracyExperiment] = {
+    "fig5a": AccuracyExperiment(
+        figure="fig5a",
+        title="AlexNet-class / image (test accuracy per epoch)",
+        model_builder=lambda seed: tiny_alexnet(
+            num_classes=6, image_size=16, seed=seed
+        ),
+        dataset_builder=_image_dataset(384),
+        schemes=_FIG5A_SCHEMES,
+        lr=0.01,
+        lr_decay=0.93,
+        batch_size=32,
+        quick_epochs=8,
+        full_epochs=30,
+    ),
+    "fig5b": AccuracyExperiment(
+        figure="fig5b",
+        title="ResNet152-class / image (test accuracy per epoch)",
+        model_builder=lambda seed: tiny_resnet(
+            num_classes=6, blocks_per_stage=3, seed=seed
+        ),
+        dataset_builder=_image_dataset(256),
+        schemes=_FIG5B_SCHEMES,
+        lr=0.04,
+        lr_decay=0.93,
+        batch_size=32,
+        quick_epochs=6,
+        full_epochs=24,
+    ),
+    "fig5c": AccuracyExperiment(
+        figure="fig5c",
+        title="ResNet50-class / image (test accuracy per epoch)",
+        model_builder=lambda seed: tiny_resnet(
+            num_classes=6, blocks_per_stage=2, seed=seed
+        ),
+        dataset_builder=_image_dataset(320),
+        schemes=_FIG5C_SCHEMES,
+        lr=0.04,
+        lr_decay=0.93,
+        batch_size=32,
+        quick_epochs=8,
+        full_epochs=30,
+    ),
+    "fig5d": AccuracyExperiment(
+        figure="fig5d",
+        title="ResNet110-class / CIFAR-like (test accuracy per epoch)",
+        model_builder=lambda seed: tiny_resnet(
+            num_classes=6, blocks_per_stage=2, widths=(8, 16, 32), seed=seed
+        ),
+        dataset_builder=_image_dataset(384),
+        schemes=_FIG5D_SCHEMES,
+        lr=0.04,
+        lr_decay=0.93,
+        batch_size=32,
+        quick_epochs=8,
+        full_epochs=30,
+    ),
+    "fig5e": AccuracyExperiment(
+        figure="fig5e",
+        title="LSTM / speech-like (training loss per time)",
+        model_builder=lambda seed: speech_lstm(num_classes=6, seed=seed),
+        dataset_builder=_sequence_dataset,
+        schemes=_FIG5E_SCHEMES,
+        lr=0.05,
+        lr_decay=0.95,
+        batch_size=16,
+        quick_epochs=8,
+        full_epochs=20,
+        is_sequence=True,
+    ),
+}
+
+
+def run_accuracy_experiment(
+    figure: str,
+    scale: str = "quick",
+    world_size: int = 4,
+    exchange: str = "mpi",
+    seed: int = 0,
+    verbose: bool = False,
+) -> dict[str, History]:
+    """Run one Figure 5 sub-figure; returns label -> history."""
+    try:
+        experiment = FIG5_EXPERIMENTS[figure]
+    except KeyError:
+        raise ValueError(
+            f"unknown figure {figure!r}; expected one of "
+            f"{sorted(FIG5_EXPERIMENTS)}"
+        ) from None
+    if scale not in ("quick", "full"):
+        raise ValueError(f"scale must be 'quick' or 'full', got {scale!r}")
+    epochs = (
+        experiment.quick_epochs if scale == "quick"
+        else experiment.full_epochs
+    )
+    dataset = experiment.dataset_builder()
+
+    histories: dict[str, History] = {}
+    for scheme, bucket, label in experiment.schemes:
+        config = TrainingConfig(
+            scheme=scheme,
+            bucket_size=bucket,
+            exchange=exchange,
+            world_size=world_size,
+            batch_size=experiment.batch_size,
+            lr=experiment.lr,
+            lr_decay=experiment.lr_decay,
+            seed=seed,
+        )
+        model = experiment.model_builder(seed + 1)
+        trainer = ParallelTrainer(model, config)
+        histories[label] = trainer.fit(
+            dataset.train_x,
+            dataset.train_y,
+            dataset.test_x,
+            dataset.test_y,
+            epochs=epochs,
+            verbose=verbose,
+        )
+    return histories
+
+
+def run_accuracy_experiment_multiseed(
+    figure: str,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    scale: str = "quick",
+    world_size: int = 4,
+    exchange: str = "mpi",
+) -> dict[str, list[History]]:
+    """Repeat one Figure 5 sub-figure across seeds.
+
+    Toy-scale training has seed-level variance of several accuracy
+    points; EXPERIMENTS.md quotes multi-seed means wherever a claim is
+    about a gap between schemes.
+    """
+    runs: dict[str, list[History]] = {}
+    for seed in seeds:
+        histories = run_accuracy_experiment(
+            figure, scale=scale, world_size=world_size, exchange=exchange,
+            seed=seed,
+        )
+        for label, history in histories.items():
+            runs.setdefault(label, []).append(history)
+    return runs

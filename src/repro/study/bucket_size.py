@@ -1,0 +1,104 @@
+"""Bucket-size sensitivity study (paper Section 5.1).
+
+The paper: bucketing "can be used to directly throttle the added
+variance of the quantization process, at the cost of extra
+communication"; on AlexNet, 4-bit QSGD with bucket 8192 ends >0.6%
+below full precision while bucket 512 recovers it, and quantizing too
+aggressively (2-bit) "can lead to significant accuracy loss".
+
+At this repository's scale the same mechanism shows up one notch
+later: tuned buckets keep every scheme at full-precision accuracy,
+while 2-bit with oversized buckets collapses — the variance argument
+made measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import History, ParallelTrainer, TrainingConfig
+from ..data import make_image_dataset
+from ..models import tiny_alexnet
+
+__all__ = ["BucketPoint", "run_bucket_study", "print_bucket_study"]
+
+#: (scheme, bucket size) grid of the study
+GRID: tuple[tuple[str, int | None], ...] = (
+    ("32bit", None),
+    ("qsgd4", 512),
+    ("qsgd4", 8192),
+    ("qsgd2", 128),
+    ("qsgd2", 8192),
+)
+
+
+@dataclass(frozen=True)
+class BucketPoint:
+    scheme: str
+    bucket_size: int | None
+    final_accuracy: float
+    bits_per_epoch_mb: float
+    history: History
+
+    @property
+    def label(self) -> str:
+        if self.bucket_size is None:
+            return self.scheme
+        return f"{self.scheme} (d={self.bucket_size})"
+
+
+def run_bucket_study(
+    epochs: int = 12, world_size: int = 4, seed: int = 0
+) -> list[BucketPoint]:
+    """Train the AlexNet-class model across the (scheme, bucket) grid."""
+    dataset = make_image_dataset(
+        num_classes=6, train_samples=384, test_samples=256,
+        image_size=16, noise=1.2, seed=3,
+    )
+    points = []
+    for scheme, bucket in GRID:
+        config = TrainingConfig(
+            scheme=scheme,
+            bucket_size=bucket,
+            exchange="mpi",
+            world_size=world_size,
+            batch_size=32,
+            lr=0.02,
+            lr_decay=0.97,
+            seed=seed,
+        )
+        model = tiny_alexnet(num_classes=6, image_size=16, seed=1)
+        trainer = ParallelTrainer(model, config)
+        history = trainer.fit(
+            dataset.train_x, dataset.train_y,
+            dataset.test_x, dataset.test_y, epochs=epochs,
+        )
+        points.append(
+            BucketPoint(
+                scheme=scheme,
+                bucket_size=bucket,
+                final_accuracy=history.final_test_accuracy,
+                bits_per_epoch_mb=history.epochs[-1].comm_bytes / 1e6,
+                history=history,
+            )
+        )
+    return points
+
+
+def print_bucket_study(epochs: int = 12) -> list[BucketPoint]:
+    """Run and print the bucket-size sensitivity comparison."""
+    from .report import print_table
+
+    points = run_bucket_study(epochs=epochs)
+    print_table(
+        ["Variant", "Final acc", "Comm MB/epoch"],
+        [
+            [p.label, p.final_accuracy, p.bits_per_epoch_mb]
+            for p in points
+        ],
+        title=(
+            "Bucket-size sensitivity (paper Section 5.1, "
+            "'Impact of Bucket Size')"
+        ),
+    )
+    return points

@@ -1,0 +1,79 @@
+"""Compression report: wire bits per gradient element, per network.
+
+Summarizes what each scheme actually puts on the wire for each
+paper-scale network — the quantity behind every performance figure.
+This is where the stock-1bitSGD artefact is visible as *data*: on
+convolutional networks its column layout yields more bits per element
+than full precision (Section 3.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.specs import NETWORKS
+from ..simulator.costmodel import NetworkCostModel
+
+__all__ = ["CompressionCell", "compression_report", "print_compression_report"]
+
+REPORT_SCHEMES = ("32bit", "qsgd16", "qsgd8", "qsgd4", "qsgd2", "1bit*",
+                  "1bit")
+
+
+@dataclass(frozen=True)
+class CompressionCell:
+    network: str
+    scheme: str
+    bits_per_element: float
+    compression_vs_32bit: float
+
+
+def compression_report(
+    networks: tuple[str, ...] | None = None,
+    schemes: tuple[str, ...] = REPORT_SCHEMES,
+) -> list[CompressionCell]:
+    """Wire rate of every (network, scheme) pair at 8 ranks."""
+    names = networks if networks is not None else tuple(NETWORKS)
+    cells = []
+    for network in names:
+        spec = NETWORKS[network]
+        baseline = None
+        for scheme in schemes:
+            cost = NetworkCostModel(spec, scheme, world_size=8)
+            bits = 8.0 * cost.total_whole_bytes / spec.parameter_count
+            if scheme == "32bit":
+                baseline = bits
+            cells.append(
+                CompressionCell(
+                    network=network,
+                    scheme=scheme,
+                    bits_per_element=bits,
+                    compression_vs_32bit=(
+                        baseline / bits if baseline else 1.0
+                    ),
+                )
+            )
+    return cells
+
+
+def print_compression_report() -> list[CompressionCell]:
+    """Print the per-network wire-rate matrix; return the cells."""
+    from .report import print_table
+
+    cells = compression_report()
+    by_network: dict[str, dict[str, CompressionCell]] = {}
+    for cell in cells:
+        by_network.setdefault(cell.network, {})[cell.scheme] = cell
+    rows = []
+    for network, row in by_network.items():
+        rows.append(
+            [network]
+            + [row[scheme].bits_per_element for scheme in REPORT_SCHEMES]
+        )
+    print_table(
+        ["Network"] + list(REPORT_SCHEMES),
+        rows,
+        title="Wire bits per gradient element (8 ranks, includes "
+        "scales/headers)",
+    )
+    return cells

@@ -1,0 +1,112 @@
+"""Figure 16 (left): price vs accuracy of training to convergence.
+
+For each ImageNet network the paper plots the dollar cost of training
+for a number of epochs (at current EC2 pricing, using the cheapest
+configuration derived from the scalability results) against the
+accuracy reached.  Accuracy-versus-epoch is modelled with a saturating
+learning curve anchored at the published (epochs-to-converge, final
+accuracy) recipe of Figure 3 — the real curve requires the full
+ImageNet run the paper itself spent 1400 machine-hours on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..models.specs import get_network
+from ..simulator import MACHINES, simulate
+from .report import print_table
+
+__all__ = ["CostPoint", "cheapest_configuration", "cost_accuracy_curve",
+           "print_cost_accuracy"]
+
+#: networks shown in Figure 16 left
+COST_NETWORKS = ("AlexNet", "ResNet50", "ResNet152")
+
+#: the paper trains the cost study with 8-bit QSGD over NCCL
+COST_SCHEME = "qsgd8"
+COST_EXCHANGE = "nccl"
+
+
+@dataclass(frozen=True)
+class CostPoint:
+    network: str
+    epochs: int
+    dollars: float
+    accuracy: float
+    machine: str
+    world_size: int
+
+
+def cheapest_configuration(network: str) -> tuple[str, int, float]:
+    """(machine, world size, $/epoch) minimizing training cost.
+
+    Scans the EC2 instances of Figure 2 at every supported GPU count
+    with the study's 8-bit NCCL configuration.
+    """
+    spec = get_network(network)
+    best: tuple[str, int, float] | None = None
+    for machine_name, machine in MACHINES.items():
+        if machine.gpu.name != "K80":
+            continue  # the cost study prices EC2 only
+        for world_size in spec.gpu_counts:
+            if not machine.supports(world_size, COST_EXCHANGE):
+                continue
+            result = simulate(
+                network, machine_name, COST_SCHEME, COST_EXCHANGE, world_size
+            )
+            hours = result.epoch_seconds(spec.samples_per_epoch) / 3600.0
+            dollars_per_epoch = hours * machine.price_per_hour
+            if best is None or dollars_per_epoch < best[2]:
+                best = (machine_name, world_size, dollars_per_epoch)
+    assert best is not None
+    return best
+
+
+def _accuracy_at(network: str, epochs: int) -> float:
+    """Saturating learning curve anchored at the published recipe."""
+    spec = get_network(network)
+    # reaches ~98% of final accuracy at the published epoch budget
+    rate = 4.0 / spec.epochs_to_converge
+    return spec.published_accuracy * (1.0 - math.exp(-rate * epochs))
+
+
+def cost_accuracy_curve(
+    network: str, fractions: tuple[float, ...] = (0.25, 0.5, 1.0)
+) -> list[CostPoint]:
+    """Cost/accuracy points for training ``fractions`` of the recipe."""
+    spec = get_network(network)
+    machine, world_size, dollars_per_epoch = cheapest_configuration(network)
+    points = []
+    for fraction in fractions:
+        epochs = max(1, round(fraction * spec.epochs_to_converge))
+        points.append(
+            CostPoint(
+                network=network,
+                epochs=epochs,
+                dollars=epochs * dollars_per_epoch,
+                accuracy=_accuracy_at(network, epochs),
+                machine=machine,
+                world_size=world_size,
+            )
+        )
+    return points
+
+
+def print_cost_accuracy() -> list[CostPoint]:
+    """Print the Figure 16 (left) point cloud; return the points."""
+    points = []
+    for network in COST_NETWORKS:
+        points.extend(cost_accuracy_curve(network))
+    print_table(
+        ["Network", "Epochs", "Cost ($)", "Accuracy (%)", "Machine", "GPUs"],
+        [
+            [p.network, p.epochs, p.dollars, p.accuracy, p.machine,
+             p.world_size]
+            for p in points
+        ],
+        title="Figure 16 (left): EC2 training cost vs accuracy "
+        f"({COST_SCHEME} over {COST_EXCHANGE.upper()})",
+    )
+    return points

@@ -1,0 +1,94 @@
+"""Figure 16 (right): quantization speedup vs model-size/compute ratio.
+
+The paper grows AlexNet's model artificially ("dummy models") and
+plots the 8-bit-over-32-bit speedup on 8-GPU NCCL against the ratio of
+model size to computation (MB/GFLOPS).  The speedup approaches — but
+never exceeds — the 4x bandwidth ratio between 8-bit and 32-bit
+payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..models.specs import GradientMatrixSpec, get_network
+from ..simulator import simulate_spec
+
+__all__ = ["ExtrapolationPoint", "dummy_alexnet", "extrapolation_curve",
+           "print_extrapolation"]
+
+
+@dataclass(frozen=True)
+class ExtrapolationPoint:
+    scale: float
+    mb_per_gflops: float
+    speedup: float
+
+
+def dummy_alexnet(scale: float):
+    """AlexNet with its fully connected layers scaled by ``scale``.
+
+    Mirrors the paper's dummy-model methodology: computation stays
+    AlexNet's, while the model (hence the gradient payload) grows.
+    """
+    base = get_network("AlexNet")
+    layers = []
+    for layer in base.layers:
+        if layer.kind == "fc":
+            layers.append(
+                GradientMatrixSpec(
+                    layer.name,
+                    layer.rows,
+                    max(1, int(layer.cols * scale)),
+                    layer.kind,
+                )
+            )
+        else:
+            layers.append(layer)
+    return replace(
+        base, name=f"AlexNet-x{scale:g}", layers=tuple(layers)
+    )
+
+
+def extrapolation_curve(
+    scales: tuple[float, ...] = (0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0,
+                                 300.0, 1000.0),
+    world_size: int = 8,
+    machine: str = "p2.8xlarge",
+) -> list[ExtrapolationPoint]:
+    """Speedup of qsgd8 over 32bit NCCL as the dummy model grows."""
+    points = []
+    for scale in scales:
+        spec = dummy_alexnet(scale)
+        full = simulate_spec(spec, machine, "32bit", "nccl", world_size)
+        quantized = simulate_spec(spec, machine, "qsgd8", "nccl", world_size)
+        points.append(
+            ExtrapolationPoint(
+                scale=scale,
+                mb_per_gflops=spec.model_megabytes / spec.gflops_per_sample,
+                speedup=(
+                    full.iteration_seconds / quantized.iteration_seconds
+                ),
+            )
+        )
+    return points
+
+
+def print_extrapolation() -> list[ExtrapolationPoint]:
+    """Print the Figure 16 (right) curve; return the points."""
+    points = extrapolation_curve()
+    print(
+        "\nFigure 16 (right): 8-bit vs 32-bit speedup on 8-GPU NCCL "
+        "as the AlexNet dummy model grows"
+    )
+    for p in points:
+        bar = "#" * int(round(p.speedup * 10))
+        print(
+            f"  MB/GFLOPS={p.mb_per_gflops:9.1f}  "
+            f"speedup={p.speedup:5.2f}x  {bar}"
+        )
+    ceiling = max(p.speedup for p in points)
+    print(f"  asymptote observed: {ceiling:.2f}x (bandwidth bound: ~4x)")
+    return points

@@ -1,0 +1,125 @@
+"""Figures 6-9: time-per-epoch bars with comm/compute breakdown.
+
+Each paper figure is a row of bar charts (one per network); each bar is
+one precision, split into communication time (bottom) and computation
+time — which includes compression — on top.  This module regenerates
+the numbers behind every bar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.specs import get_network
+from ..simulator import simulate
+from .report import print_table
+
+__all__ = ["EpochBar", "epoch_bars", "print_epoch_bars", "FIGURE_SETUPS"]
+
+#: the four performance figures: (figure id, machine, exchange, schemes,
+#: GPU counts shown)
+FIGURE_SETUPS = {
+    "fig6": (
+        "p2.16xlarge",
+        "mpi",
+        ("32bit", "qsgd16", "qsgd8", "qsgd4", "qsgd2", "1bit*", "1bit"),
+        (8,),
+    ),
+    "fig7": (
+        "p2.16xlarge",
+        "nccl",
+        ("32bit", "qsgd16", "qsgd8", "qsgd4", "qsgd2"),
+        (8,),
+    ),
+    "fig8": (
+        "dgx1",
+        "mpi",
+        ("32bit", "qsgd4", "1bit*", "1bit"),
+        (2, 4, 8),
+    ),
+    "fig9": (
+        "dgx1",
+        "nccl",
+        ("32bit", "qsgd4"),
+        (2, 4, 8),
+    ),
+}
+
+PERFORMANCE_NETWORKS = (
+    "AlexNet",
+    "VGG19",
+    "ResNet152",
+    "ResNet50",
+    "BN-Inception",
+)
+
+
+@dataclass(frozen=True)
+class EpochBar:
+    """One bar of Figures 6-9."""
+
+    network: str
+    scheme: str
+    world_size: int
+    epoch_hours: float
+    comm_hours: float
+    compute_hours: float  # includes compression, as in the paper
+
+
+def epoch_bars(figure: str) -> list[EpochBar]:
+    """All bars of one of Figures 6-9."""
+    try:
+        machine, exchange, schemes, gpu_counts = FIGURE_SETUPS[figure]
+    except KeyError:
+        raise ValueError(
+            f"unknown figure {figure!r}; expected one of "
+            f"{sorted(FIGURE_SETUPS)}"
+        ) from None
+    bars = []
+    for network in PERFORMANCE_NETWORKS:
+        samples = get_network(network).samples_per_epoch
+        for scheme in schemes:
+            for world_size in gpu_counts:
+                result = simulate(
+                    network, machine, scheme, exchange, world_size
+                )
+                epoch_hours = result.epoch_seconds(samples) / 3600.0
+                comm_hours = epoch_hours * result.comm_fraction
+                bars.append(
+                    EpochBar(
+                        network=network,
+                        scheme=scheme,
+                        world_size=world_size,
+                        epoch_hours=epoch_hours,
+                        comm_hours=comm_hours,
+                        compute_hours=epoch_hours - comm_hours,
+                    )
+                )
+    return bars
+
+
+def print_epoch_bars(figure: str) -> list[EpochBar]:
+    """Print one of Figures 6-9 as a table; return the bars."""
+    machine, exchange, _, _ = FIGURE_SETUPS[figure]
+    bars = epoch_bars(figure)
+    rows = [
+        [
+            bar.network,
+            bar.scheme,
+            bar.world_size,
+            bar.epoch_hours,
+            bar.comm_hours,
+            bar.compute_hours,
+        ]
+        for bar in bars
+    ]
+    print_table(
+        ["Network", "Precision", "GPUs", "Epoch (h)", "Comm (h)",
+         "Compute (h)"],
+        rows,
+        title=(
+            f"{figure}: time per epoch on {machine} over "
+            f"{exchange.upper()}"
+        ),
+    )
+    return bars

@@ -1,0 +1,60 @@
+"""Plain-text table and series rendering for the study harness.
+
+Benchmarks and examples print the same rows/series the paper reports;
+these helpers keep that output consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "print_table", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> None:
+    if title:
+        print(f"\n{title}")
+        print("=" * len(title))
+    print(format_table(headers, rows))
+
+
+def format_series(
+    label: str, xs: Sequence[object], ys: Sequence[float]
+) -> str:
+    """Render one figure series as 'label: (x, y) ...'."""
+    points = " ".join(f"({x}, {y:.3g})" for x, y in zip(xs, ys))
+    return f"{label}: {points}"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    if value is None:
+        return "/"
+    return str(value)

@@ -1,0 +1,113 @@
+"""Figures 12-15: scalability curves.
+
+Scalability at K GPUs is defined (Section 5.3) as the configuration's
+samples/second divided by the single-GPU full-precision rate of the
+same network on the same hardware family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simulator import simulate
+from .report import format_series
+from .throughput import ec2_machine_for
+
+__all__ = ["ScalabilitySeries", "scalability_series", "print_scalability"]
+
+#: figure id -> (machine family, exchange, schemes, GPU counts)
+SCALABILITY_SETUPS = {
+    "fig12": (
+        "ec2",
+        "mpi",
+        ("32bit", "qsgd8", "qsgd4", "qsgd2", "1bit", "1bit*"),
+        (1, 2, 4, 8, 16),
+    ),
+    "fig13": ("ec2", "nccl", ("32bit", "qsgd8", "qsgd4", "qsgd2"), (1, 2, 4, 8)),
+    "fig14": ("dgx", "mpi", ("32bit", "qsgd4", "1bit", "1bit*"), (1, 2, 4, 8)),
+    "fig15": ("dgx", "nccl", ("32bit", "qsgd4"), (1, 2, 4, 8)),
+}
+
+SCALABILITY_NETWORKS = (
+    "AlexNet",
+    "VGG19",
+    "ResNet152",
+    "ResNet50",
+    "BN-Inception",
+)
+
+
+def _machine(family: str, world_size: int) -> str:
+    if family == "ec2":
+        return ec2_machine_for(world_size)
+    if family == "dgx":
+        return "dgx1"
+    raise ValueError(f"unknown machine family {family!r}")
+
+
+@dataclass(frozen=True)
+class ScalabilitySeries:
+    """One curve of Figures 12-15."""
+
+    network: str
+    scheme: str
+    gpu_counts: tuple[int, ...]
+    scalability: tuple[float, ...]
+
+    @property
+    def peak(self) -> float:
+        return max(self.scalability)
+
+
+def scalability_series(figure: str) -> list[ScalabilitySeries]:
+    """All curves of one of Figures 12-15."""
+    try:
+        family, exchange, schemes, gpu_counts = SCALABILITY_SETUPS[figure]
+    except KeyError:
+        raise ValueError(
+            f"unknown figure {figure!r}; expected one of "
+            f"{sorted(SCALABILITY_SETUPS)}"
+        ) from None
+    series = []
+    for network in SCALABILITY_NETWORKS:
+        base = simulate(
+            network, _machine(family, 1), "32bit", "mpi", 1
+        ).samples_per_second
+        for scheme in schemes:
+            values = []
+            for world_size in gpu_counts:
+                if world_size == 1:
+                    values.append(1.0 if scheme == "32bit" else float("nan"))
+                    continue
+                rate = simulate(
+                    network,
+                    _machine(family, world_size),
+                    scheme,
+                    exchange,
+                    world_size,
+                ).samples_per_second
+                values.append(rate / base)
+            series.append(
+                ScalabilitySeries(
+                    network, scheme, tuple(gpu_counts), tuple(values)
+                )
+            )
+    return series
+
+
+def print_scalability(figure: str) -> list[ScalabilitySeries]:
+    """Print one of Figures 12-15 as labelled series; return them."""
+    family, exchange, _, _ = SCALABILITY_SETUPS[figure]
+    series = scalability_series(figure)
+    print(
+        f"\n{figure}: scalability on {family} over {exchange.upper()} "
+        "(samples/s relative to 1-GPU 32bit)"
+    )
+    for s in series:
+        print(
+            "  "
+            + format_series(
+                f"{s.network}/{s.scheme}", s.gpu_counts, s.scalability
+            )
+        )
+    return series

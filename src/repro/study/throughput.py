@@ -1,0 +1,137 @@
+"""Figures 10 and 11: samples-per-second tables on EC2.
+
+Regenerates the paper's throughput tables (six networks x seven
+schemes x 1-16 GPUs for MPI; five networks x five schemes x 1-8 GPUs
+for NCCL) from the performance simulator, and compares each cell
+against the published value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simulator import PAPER_MPI_TABLE, PAPER_NCCL_TABLE, simulate
+from .report import print_table
+
+__all__ = [
+    "ec2_machine_for",
+    "throughput_table",
+    "print_throughput_tables",
+    "MPI_SCHEMES",
+    "NCCL_SCHEMES",
+    "MPI_NETWORKS",
+    "NCCL_NETWORKS",
+]
+
+MPI_SCHEMES = ("32bit", "qsgd16", "qsgd8", "qsgd4", "qsgd2", "1bit", "1bit*")
+NCCL_SCHEMES = ("32bit", "qsgd16", "qsgd8", "qsgd4", "qsgd2")
+MPI_NETWORKS = (
+    "AlexNet",
+    "ResNet50",
+    "ResNet110",
+    "ResNet152",
+    "VGG19",
+    "BN-Inception",
+)
+NCCL_NETWORKS = (
+    "AlexNet",
+    "ResNet50",
+    "ResNet152",
+    "VGG19",
+    "BN-Inception",
+)
+
+
+def ec2_machine_for(world_size: int) -> str:
+    """Smallest EC2 P2 instance with ``world_size`` GPUs."""
+    if world_size == 1:
+        return "p2.xlarge"
+    if world_size <= 8:
+        return "p2.8xlarge"
+    return "p2.16xlarge"
+
+
+@dataclass(frozen=True)
+class ThroughputCell:
+    network: str
+    scheme: str
+    world_size: int
+    simulated: float
+    paper: float | None
+
+    @property
+    def relative_error(self) -> float | None:
+        if self.paper is None:
+            return None
+        return (self.simulated - self.paper) / self.paper
+
+
+def throughput_table(exchange: str) -> list[ThroughputCell]:
+    """All cells of Figure 10 (mpi) or Figure 11 (nccl), simulated."""
+    if exchange == "mpi":
+        networks, schemes = MPI_NETWORKS, MPI_SCHEMES
+        gpu_counts = (1, 2, 4, 8, 16)
+        paper_table = PAPER_MPI_TABLE
+    elif exchange == "nccl":
+        networks, schemes = NCCL_NETWORKS, NCCL_SCHEMES
+        gpu_counts = (1, 2, 4, 8)
+        paper_table = PAPER_NCCL_TABLE
+    else:
+        raise ValueError(f"exchange must be 'mpi' or 'nccl', got {exchange!r}")
+
+    cells = []
+    for network in networks:
+        for scheme in schemes:
+            for world_size in gpu_counts:
+                if world_size == 1 and scheme != "32bit":
+                    continue  # the paper only runs 32bit at 1 GPU
+                result = simulate(
+                    network,
+                    ec2_machine_for(world_size),
+                    scheme,
+                    exchange,
+                    world_size,
+                )
+                paper = paper_table.get(network, {}).get(scheme, {}).get(
+                    world_size
+                )
+                cells.append(
+                    ThroughputCell(
+                        network,
+                        scheme,
+                        world_size,
+                        result.samples_per_second,
+                        paper,
+                    )
+                )
+    return cells
+
+
+def print_throughput_tables(exchange: str) -> list[ThroughputCell]:
+    """Print Figure 10/11 tables in the paper's layout; return cells."""
+    cells = throughput_table(exchange)
+    gpu_counts = (1, 2, 4, 8, 16) if exchange == "mpi" else (1, 2, 4, 8)
+    figure = "Figure 10" if exchange == "mpi" else "Figure 11"
+    by_network: dict[str, dict[str, dict[int, ThroughputCell]]] = {}
+    for cell in cells:
+        by_network.setdefault(cell.network, {}).setdefault(
+            cell.scheme, {}
+        )[cell.world_size] = cell
+
+    for network, schemes in by_network.items():
+        rows = []
+        for scheme, cols in schemes.items():
+            row: list[object] = [scheme]
+            for k in gpu_counts:
+                cell = cols.get(k)
+                row.append(None if cell is None else cell.simulated)
+            rows.append(row)
+        print_table(
+            ["Precision"] + [f"{k} GPUs" for k in gpu_counts],
+            rows,
+            title=(
+                f"{figure} [{exchange.upper()}] {network} — simulated "
+                "samples/second"
+            ),
+        )
+    return cells

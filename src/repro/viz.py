@@ -1,0 +1,97 @@
+"""ASCII rendering of study results (curves and stacked bars).
+
+The original paper ships matplotlib figures; this repository has no
+plotting dependency, so examples and the CLI render the same artefacts
+as plain text: line charts for accuracy/scalability curves, stacked
+horizontal bars for the epoch-time breakdowns.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["line_chart", "stacked_bars"]
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    y_label: str = "",
+) -> str:
+    """Render named series as an ASCII line chart.
+
+    All series share the x-axis by index.  NaN points are skipped.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    points = [
+        (name, [v for v in values if not math.isnan(v)])
+        for name, values in series.items()
+    ]
+    flat = [v for _, values in points for v in values]
+    if not flat:
+        raise ValueError("all series are empty")
+    lo, hi = min(flat), max(flat)
+    if hi == lo:
+        hi = lo + 1.0
+    longest = max(len(values) for _, values in series.items())
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    for index, (name, _) in enumerate(points):
+        values = list(series[name])
+        marker = markers[index % len(markers)]
+        for x_index, value in enumerate(values):
+            if math.isnan(value):
+                continue
+            col = (
+                int(x_index / max(longest - 1, 1) * (width - 1))
+                if longest > 1
+                else 0
+            )
+            row = int((value - lo) / (hi - lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if y_label:
+        lines.append(f"{y_label}  [{lo:.3g} .. {hi:.3g}]")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    for index, (name, _) in enumerate(points):
+        lines.append(f"  {markers[index % len(markers)]} = {name}")
+    return "\n".join(lines)
+
+
+def stacked_bars(
+    bars: Mapping[str, tuple[float, float]],
+    width: int = 50,
+    labels: tuple[str, str] = ("comm", "compute"),
+) -> str:
+    """Render (bottom, top) stacked horizontal bars, paper-figure style.
+
+    Args:
+        bars: name -> (bottom segment, top segment) values.
+        labels: legend names for the two segments.
+    """
+    if not bars:
+        raise ValueError("need at least one bar")
+    totals = {name: bottom + top for name, (bottom, top) in bars.items()}
+    peak = max(totals.values())
+    if peak <= 0:
+        raise ValueError("bar totals must be positive")
+    name_width = max(len(name) for name in bars)
+    lines = []
+    for name, (bottom, top) in bars.items():
+        bottom_cells = int(round(bottom / peak * width))
+        top_cells = int(round(top / peak * width))
+        lines.append(
+            f"{name.rjust(name_width)} |"
+            + "#" * bottom_cells
+            + "." * top_cells
+            + f"  {totals[name]:.3g}"
+        )
+    lines.append(f"{' ' * name_width}  # = {labels[0]}, . = {labels[1]}")
+    return "\n".join(lines)

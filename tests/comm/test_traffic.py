@@ -1,0 +1,56 @@
+"""Tests for link-traffic accounting."""
+
+import pytest
+
+from repro.comm import LinkTraffic
+
+
+class TestLinkTraffic:
+    def test_empty(self):
+        traffic = LinkTraffic()
+        assert traffic.total_bytes == 0
+        assert traffic.max_link_bytes == 0
+
+    def test_record_accumulates(self):
+        traffic = LinkTraffic()
+        traffic.record(0, 1, 100)
+        traffic.record(0, 1, 50)
+        traffic.record(1, 0, 25)
+        assert traffic.link_bytes(0, 1) == 150
+        assert traffic.link_bytes(1, 0) == 25
+        assert traffic.total_bytes == 175
+        assert traffic.max_link_bytes == 150
+
+    def test_per_rank_totals(self):
+        traffic = LinkTraffic()
+        traffic.record(0, 1, 100)
+        traffic.record(0, 2, 10)
+        traffic.record(2, 0, 1)
+        assert traffic.sent_by(0) == 110
+        assert traffic.received_by(1) == 100
+        assert traffic.received_by(0) == 1
+        assert traffic.sent_by(1) == 0
+
+    def test_self_sends_are_free(self):
+        # local hand-off never crosses a link
+        traffic = LinkTraffic()
+        traffic.record(2, 2, 1000)
+        assert traffic.total_bytes == 0
+        assert not traffic.records
+
+    def test_negative_bytes_rejected(self):
+        traffic = LinkTraffic()
+        with pytest.raises(ValueError):
+            traffic.record(0, 1, -1)
+
+    def test_reset(self):
+        traffic = LinkTraffic()
+        traffic.record(0, 1, 10, tag="w")
+        traffic.reset()
+        assert traffic.total_bytes == 0
+        assert traffic.link_bytes(0, 1) == 0
+
+    def test_records_keep_tags(self):
+        traffic = LinkTraffic()
+        traffic.record(0, 1, 10, tag="fc6.W")
+        assert traffic.records[0].tag == "fc6.W"

@@ -1,0 +1,41 @@
+"""Tests for TrainingConfig validation."""
+
+import pytest
+
+from repro.core import TrainingConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = TrainingConfig()
+        assert config.scheme == "32bit"
+        assert config.world_size == 1
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            TrainingConfig(scheme="qsgd3.5")
+
+    def test_unknown_exchange_rejected(self):
+        with pytest.raises(ValueError, match="unknown exchange"):
+            TrainingConfig(exchange="carrier-pigeon")
+
+    def test_world_size_positive(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(world_size=0)
+
+    def test_batch_at_least_world(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(world_size=8, batch_size=4)
+
+    def test_label(self):
+        config = TrainingConfig(
+            scheme="qsgd4", exchange="nccl", world_size=8, batch_size=64
+        )
+        assert config.label == "qsgd4/nccl/8gpu"
+
+    @pytest.mark.parametrize(
+        "scheme", ["32bit", "1bit", "1bit*", "qsgd2", "qsgd4", "qsgd8",
+                   "qsgd16"]
+    )
+    def test_all_paper_schemes_accepted(self, scheme):
+        TrainingConfig(scheme=scheme)

@@ -1,0 +1,66 @@
+"""Failure-injection tests: divergence and bad inputs surface loudly."""
+
+import numpy as np
+import pytest
+
+from repro.core import ParallelTrainer, TrainingConfig
+from repro.nn import Dense, Sequential
+
+
+def dataset(seed=0, n=64):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 8)).astype(np.float32)
+    y = rng.integers(0, 4, size=n).astype(np.int64)
+    return x, y
+
+
+class TestDivergenceDetection:
+    def test_nonfinite_loss_raises(self):
+        # corrupted inputs (NaN features, e.g. a broken reader) must
+        # fail loudly instead of training on garbage
+        x, y = dataset()
+        x[3, 2] = np.nan
+        config = TrainingConfig(scheme="32bit", batch_size=64, lr=0.01)
+        rng = np.random.default_rng(0)
+        model = Sequential(Dense(8, 4, "fc", rng))
+        trainer = ParallelTrainer(model, config)
+        with pytest.raises(FloatingPointError, match="diverged"):
+            trainer.train_epoch(x, y)
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_error_message_names_configuration(self):
+        x, y = dataset()
+        x[0, 0] = np.inf
+        config = TrainingConfig(
+            scheme="qsgd8", batch_size=64, lr=0.01, world_size=2
+        )
+        rng = np.random.default_rng(0)
+        model = Sequential(Dense(8, 4, "fc", rng))
+        trainer = ParallelTrainer(model, config)
+        with pytest.raises(FloatingPointError, match="qsgd8/mpi/2gpu"):
+            trainer.train_epoch(x, y)
+
+
+class TestBadInputs:
+    def test_empty_epoch_is_noop(self):
+        x = np.zeros((0, 8), dtype=np.float32)
+        y = np.zeros(0, dtype=np.int64)
+        config = TrainingConfig(batch_size=4)
+        rng = np.random.default_rng(0)
+        trainer = ParallelTrainer(Sequential(Dense(8, 4, "fc", rng)),
+                                  config)
+        loss, acc = trainer.train_epoch(x, y)
+        assert np.isnan(loss) or loss == 0.0 or acc == acc  # no crash
+
+    def test_more_ranks_than_samples_in_batch(self):
+        # a 4-rank step fed a 4-sample batch leaves every rank one
+        # sample; fed fewer, empty shards contribute zero gradients
+        x, y = dataset(n=6)
+        config = TrainingConfig(
+            scheme="32bit", world_size=4, batch_size=4, lr=0.01
+        )
+        rng = np.random.default_rng(0)
+        trainer = ParallelTrainer(Sequential(Dense(8, 4, "fc", rng)),
+                                  config)
+        loss, acc = trainer.train_step(x[:3], y[:3])
+        assert np.isfinite(loss)

@@ -1,0 +1,179 @@
+"""Integration tests for the data-parallel trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core import ParallelTrainer, TrainingConfig
+from repro.data import make_image_dataset, make_sequence_dataset
+from repro.models import speech_lstm, tiny_alexnet
+from repro.nn import Dense, Sequential
+
+
+@pytest.fixture(scope="module")
+def image_dataset():
+    return make_image_dataset(
+        num_classes=4,
+        train_samples=128,
+        test_samples=64,
+        image_size=8,
+        noise=0.8,
+        seed=0,
+    )
+
+
+def linear_model(seed=0, features=8, classes=4):
+    rng = np.random.default_rng(seed)
+    return Sequential(Dense(features, classes, "fc", rng))
+
+
+class TestTrainingImproves:
+    def test_fullprec_learns(self, image_dataset):
+        ds = image_dataset
+        config = TrainingConfig(
+            scheme="32bit", world_size=2, batch_size=16, lr=0.01, seed=0
+        )
+        trainer = ParallelTrainer(
+            tiny_alexnet(num_classes=4, image_size=8, seed=1), config
+        )
+        history = trainer.fit(
+            ds.train_x, ds.train_y, ds.test_x, ds.test_y, epochs=5
+        )
+        assert history.final_test_accuracy > 0.5
+        assert len(history.epochs) == 5
+
+    @pytest.mark.parametrize("scheme", ["qsgd4", "1bit*"])
+    def test_quantized_learns(self, image_dataset, scheme):
+        ds = image_dataset
+        config = TrainingConfig(
+            scheme=scheme, world_size=2, batch_size=16, lr=0.01, seed=0
+        )
+        trainer = ParallelTrainer(
+            tiny_alexnet(num_classes=4, image_size=8, seed=1), config
+        )
+        history = trainer.fit(
+            ds.train_x, ds.train_y, ds.test_x, ds.test_y, epochs=5
+        )
+        assert history.final_test_accuracy > 0.45
+
+    def test_lstm_learns(self):
+        ds = make_sequence_dataset(
+            num_classes=3, train_samples=96, test_samples=48, seed=2
+        )
+        config = TrainingConfig(
+            scheme="qsgd4", world_size=2, batch_size=16, lr=0.05, seed=0
+        )
+        trainer = ParallelTrainer(
+            speech_lstm(num_classes=3, input_size=20, hidden_size=24,
+                        layers=2, seed=1),
+            config,
+        )
+        history = trainer.fit(
+            ds.train_x, ds.train_y, ds.test_x, ds.test_y, epochs=6
+        )
+        assert history.final_test_accuracy > 0.5
+
+
+class TestSynchronousSemantics:
+    def test_k_workers_match_single_worker_at_full_precision(self):
+        # with 32bit exchange and even shards, data-parallel training is
+        # numerically the same computation as single-worker training
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64, 8)).astype(np.float32)
+        y = rng.integers(0, 4, size=64).astype(np.int64)
+
+        runs = {}
+        for world_size in (1, 4):
+            config = TrainingConfig(
+                scheme="32bit",
+                world_size=world_size,
+                batch_size=16,
+                lr=0.1,
+                momentum=0.9,
+                seed=0,
+            )
+            trainer = ParallelTrainer(linear_model(seed=5), config)
+            trainer.fit(x, y, x, y, epochs=3)
+            runs[world_size] = [
+                p.data.copy() for p in trainer.parameters
+            ]
+        for a, b in zip(runs[1], runs[4]):
+            np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-5)
+
+    def test_comm_bytes_recorded_per_epoch(self, image_dataset):
+        ds = image_dataset
+        config = TrainingConfig(
+            scheme="qsgd4", world_size=2, batch_size=16, lr=0.01
+        )
+        trainer = ParallelTrainer(
+            tiny_alexnet(num_classes=4, image_size=8, seed=1), config
+        )
+        history = trainer.fit(
+            ds.train_x, ds.train_y, ds.test_x, ds.test_y, epochs=2
+        )
+        assert history.epochs[0].comm_bytes > 0
+        # per-epoch traffic is constant for a fixed dataset/batch size
+        assert history.epochs[0].comm_bytes == history.epochs[1].comm_bytes
+
+    def test_quantized_uses_fewer_bytes(self, image_dataset):
+        ds = image_dataset
+        byte_counts = {}
+        for scheme in ("32bit", "qsgd4"):
+            config = TrainingConfig(
+                scheme=scheme, world_size=2, batch_size=16, lr=0.01
+            )
+            trainer = ParallelTrainer(
+                tiny_alexnet(num_classes=4, image_size=8, seed=1), config
+            )
+            history = trainer.fit(
+                ds.train_x, ds.train_y, ds.test_x, ds.test_y, epochs=1
+            )
+            byte_counts[scheme] = history.total_comm_bytes
+        assert byte_counts["qsgd4"] < byte_counts["32bit"] / 5
+
+    def test_single_gpu_no_comm(self, image_dataset):
+        ds = image_dataset
+        config = TrainingConfig(
+            scheme="32bit", world_size=1, batch_size=16, lr=0.01
+        )
+        trainer = ParallelTrainer(
+            tiny_alexnet(num_classes=4, image_size=8, seed=1), config
+        )
+        history = trainer.fit(
+            ds.train_x, ds.train_y, ds.test_x, ds.test_y, epochs=1
+        )
+        assert history.total_comm_bytes == 0
+
+
+class TestLrSchedule:
+    def test_lr_decay_applied(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(32, 8)).astype(np.float32)
+        y = rng.integers(0, 4, size=32).astype(np.int64)
+        config = TrainingConfig(
+            scheme="32bit", batch_size=16, lr=0.1, lr_decay=0.5
+        )
+        trainer = ParallelTrainer(linear_model(), config)
+        trainer.fit(x, y, x, y, epochs=3)
+        assert trainer.optimizer.lr == pytest.approx(0.1 * 0.25)
+
+
+class TestHistory:
+    def test_series_extraction(self, image_dataset):
+        ds = image_dataset
+        config = TrainingConfig(batch_size=32, lr=0.01)
+        trainer = ParallelTrainer(
+            tiny_alexnet(num_classes=4, image_size=8, seed=1), config
+        )
+        history = trainer.fit(
+            ds.train_x, ds.train_y, ds.test_x, ds.test_y, epochs=2
+        )
+        assert len(history.series("test_accuracy")) == 2
+        assert history.best_test_accuracy >= history.final_test_accuracy
+
+    def test_duplicate_parameter_names_rejected(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(
+            Dense(4, 4, "same", rng), Dense(4, 4, "same", rng)
+        )
+        with pytest.raises(ValueError, match="unique"):
+            ParallelTrainer(model, TrainingConfig(batch_size=8))

@@ -1,0 +1,64 @@
+"""Gradient and behaviour tests for residual and inception blocks."""
+
+import numpy as np
+import pytest
+
+from repro.models.blocks import InceptionBlock, ResidualBlock
+from repro.nn.gradcheck import check_layer_gradients
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestResidualBlock:
+    def test_identity_shortcut_gradients(self, rng):
+        block = ResidualBlock(4, 4, "b", rng, stride=1)
+        errors = check_layer_gradients(
+            block, rng.normal(size=(2, 4, 6, 6)), rtol=1e-3, atol=1e-5
+        )
+        assert max(errors.values()) < 1e-4
+
+    def test_projection_shortcut_gradients(self, rng):
+        block = ResidualBlock(4, 8, "b", rng, stride=2)
+        check_layer_gradients(
+            block, rng.normal(size=(2, 4, 6, 6)), rtol=1e-3, atol=1e-5
+        )
+
+    def test_identity_shortcut_has_no_projection(self, rng):
+        assert ResidualBlock(4, 4, "b", rng).shortcut is None
+
+    def test_downsample_halves_spatial(self, rng):
+        block = ResidualBlock(4, 8, "b", rng, stride=2)
+        out = block.forward(np.zeros((1, 4, 8, 8), dtype=np.float32))
+        assert out.shape == (1, 8, 4, 4)
+
+    def test_skip_path_carries_signal(self, rng):
+        # zeroing the main path must leave the skip path intact
+        block = ResidualBlock(4, 4, "b", rng)
+        for p in block.main.parameters():
+            p.data[:] = 0.0
+        x = np.abs(rng.normal(size=(1, 4, 4, 4))).astype(np.float32)
+        out = block.forward(x, training=True)
+        np.testing.assert_allclose(out, np.maximum(x, 0.0), atol=1e-5)
+
+
+class TestInceptionBlock:
+    def test_output_channels_are_sum_of_widths(self, rng):
+        block = InceptionBlock(8, (4, 6, 6, 4), "i", rng)
+        out = block.forward(np.zeros((2, 8, 6, 6), dtype=np.float32))
+        assert out.shape == (2, 20, 6, 6)
+
+    def test_gradients(self, rng):
+        block = InceptionBlock(4, (2, 4, 4, 2), "i", rng)
+        check_layer_gradients(
+            block, rng.normal(size=(2, 4, 5, 5)), rtol=1e-3, atol=1e-5
+        )
+
+    def test_backward_splits_channels(self, rng):
+        block = InceptionBlock(4, (2, 4, 4, 2), "i", rng)
+        x = rng.normal(size=(1, 4, 5, 5)).astype(np.float32)
+        out = block.forward(x, training=True)
+        dx = block.backward(np.ones_like(out))
+        assert dx.shape == x.shape

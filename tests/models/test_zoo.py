@@ -1,0 +1,118 @@
+"""Tests for the trainable model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    MODEL_BUILDERS,
+    build_model,
+    speech_lstm,
+    tiny_alexnet,
+    tiny_inception,
+    tiny_resnet,
+    tiny_vgg,
+)
+from repro.nn.loss import softmax_cross_entropy
+
+IMAGE_MODELS = ["alexnet", "vgg", "resnet", "inception"]
+
+
+class TestForwardBackward:
+    @pytest.mark.parametrize("name", IMAGE_MODELS)
+    def test_image_models_run(self, name):
+        model = build_model(name, num_classes=5, seed=0)
+        x = np.random.default_rng(0).normal(size=(4, 3, 32, 32)).astype(
+            np.float32
+        )
+        logits = model.forward(x, training=True)
+        assert logits.shape == (4, 5)
+        loss, dlogits = softmax_cross_entropy(
+            logits, np.array([0, 1, 2, 3])
+        )
+        dx = model.backward(dlogits)
+        assert dx.shape == x.shape
+        assert all(np.isfinite(p.grad).all() for p in model.parameters())
+
+    def test_lstm_model_runs(self):
+        model = speech_lstm(num_classes=4, input_size=10, seed=0)
+        x = np.random.default_rng(0).normal(size=(3, 12, 10)).astype(
+            np.float32
+        )
+        logits = model.forward(x, training=True)
+        assert logits.shape == (3, 4)
+        _, dlogits = softmax_cross_entropy(logits, np.array([0, 1, 2]))
+        dx = model.backward(dlogits)
+        assert dx.shape == x.shape
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            build_model("transformer")
+
+
+class TestCommunicationProfiles:
+    def test_alexnet_is_fc_dominated(self):
+        # like paper AlexNet: most parameters in the dense head
+        model = tiny_alexnet(seed=0)
+        fc = sum(
+            p.size for p in model.parameters() if p.name.startswith("fc")
+        )
+        assert fc / model.parameter_count() > 0.9
+
+    def test_vgg_is_fc_dominated(self):
+        model = tiny_vgg(seed=0)
+        fc = sum(
+            p.size for p in model.parameters() if p.name.startswith("fc")
+        )
+        assert fc / model.parameter_count() > 0.8
+
+    def test_resnet_is_conv_dominated(self):
+        model = tiny_resnet(seed=0)
+        conv = sum(
+            p.size
+            for p in model.parameters()
+            if ".c" in p.name or "conv" in p.name or "stem" in p.name
+            or "proj" in p.name
+        )
+        assert conv / model.parameter_count() > 0.9
+
+    def test_parameter_names_unique(self):
+        for name in MODEL_BUILDERS:
+            model = build_model(name, seed=0)
+            names = [p.name for p in model.parameters()]
+            assert len(names) == len(set(names)), name
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["alexnet", "resnet", "lstm"])
+    def test_same_seed_same_weights(self, name):
+        a = build_model(name, seed=7)
+        b = build_model(name, seed=7)
+        for pa, pb in zip(a.parameters(), b.parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_different_seed_different_weights(self):
+        a = tiny_alexnet(seed=1)
+        b = tiny_alexnet(seed=2)
+        assert any(
+            not np.array_equal(pa.data, pb.data)
+            for pa, pb in zip(a.parameters(), b.parameters())
+        )
+
+
+class TestResNetOptions:
+    def test_depth_scales_with_blocks(self):
+        shallow = tiny_resnet(blocks_per_stage=1, seed=0)
+        deep = tiny_resnet(blocks_per_stage=3, seed=0)
+        assert deep.parameter_count() > shallow.parameter_count()
+
+    def test_custom_widths(self):
+        model = tiny_resnet(widths=(8, 16, 32), seed=0)
+        x = np.zeros((2, 3, 16, 16), dtype=np.float32)
+        assert model.forward(x, training=False).shape == (2, 10)
+
+
+class TestInception:
+    def test_branch_concat_width(self):
+        model = tiny_inception(num_classes=3, seed=0)
+        x = np.zeros((2, 3, 16, 16), dtype=np.float32)
+        assert model.forward(x, training=False).shape == (2, 3)

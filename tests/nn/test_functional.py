@@ -1,0 +1,60 @@
+"""Tests for im2col/col2im and softmax helpers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import col2im, conv_output_size, im2col, log_softmax, softmax
+
+
+class TestConvOutputSize:
+    def test_basic(self):
+        assert conv_output_size(8, 3, 1, 1) == 8
+        assert conv_output_size(8, 3, 2, 1) == 4
+        assert conv_output_size(8, 2, 2, 0) == 4
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_size(2, 5, 1, 0)
+
+
+class TestIm2Col:
+    def test_shapes(self):
+        x = np.zeros((2, 3, 8, 8), dtype=np.float32)
+        cols, (oh, ow) = im2col(x, kernel=3, stride=1, pad=1)
+        assert (oh, ow) == (8, 8)
+        assert cols.shape == (2 * 64, 3 * 9)
+
+    def test_content_identity_kernel(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        cols, _ = im2col(x, kernel=1, stride=1, pad=0)
+        np.testing.assert_array_equal(cols.reshape(-1), x.reshape(-1))
+
+    def test_col2im_is_adjoint_of_im2col(self):
+        # <im2col(x), y> == <x, col2im(y)> for random x, y
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 6, 6)).astype(np.float32)
+        cols, _ = im2col(x, kernel=3, stride=2, pad=1)
+        y = rng.normal(size=cols.shape).astype(np.float32)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, 3, 2, 1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-4)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(5, 7))
+        np.testing.assert_allclose(softmax(logits).sum(axis=1), 1.0,
+                                   rtol=1e-6)
+
+    def test_stable_for_large_logits(self):
+        logits = np.array([[1000.0, 1000.0]])
+        out = softmax(logits)
+        np.testing.assert_allclose(out, 0.5)
+
+    def test_log_softmax_consistent(self):
+        rng = np.random.default_rng(2)
+        logits = rng.normal(size=(4, 6))
+        np.testing.assert_allclose(
+            log_softmax(logits), np.log(softmax(logits)), atol=1e-6
+        )

@@ -1,0 +1,182 @@
+"""Gradient checks and behavioural tests for every layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm,
+    Conv2d,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    MaxPool2d,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.gradcheck import check_layer_gradients
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestGradients:
+    def test_dense(self, rng):
+        errors = check_layer_gradients(
+            Dense(12, 7, "d", rng), rng.normal(size=(4, 12))
+        )
+        assert max(errors.values()) < 1e-6
+
+    def test_dense_no_bias(self, rng):
+        layer = Dense(6, 5, "d", rng, bias=False)
+        assert len(layer.parameters()) == 1
+        check_layer_gradients(layer, rng.normal(size=(3, 6)))
+
+    @pytest.mark.parametrize("stride,pad", [(1, 1), (2, 1), (1, 0), (2, 0)])
+    def test_conv(self, rng, stride, pad):
+        layer = Conv2d(3, 4, 3, "c", rng, stride=stride, pad=pad)
+        check_layer_gradients(layer, rng.normal(size=(2, 3, 8, 8)))
+
+    def test_conv_1x1(self, rng):
+        layer = Conv2d(4, 6, 1, "c", rng, pad=0)
+        check_layer_gradients(layer, rng.normal(size=(2, 4, 5, 5)))
+
+    def test_batchnorm_4d(self, rng):
+        check_layer_gradients(
+            BatchNorm(3, "bn"), rng.normal(size=(2, 3, 6, 6))
+        )
+
+    def test_batchnorm_2d(self, rng):
+        check_layer_gradients(BatchNorm(5, "bn"), rng.normal(size=(6, 5)))
+
+    def test_maxpool(self, rng):
+        check_layer_gradients(MaxPool2d(2), rng.normal(size=(2, 3, 8, 8)))
+
+    def test_global_avg_pool(self, rng):
+        check_layer_gradients(
+            GlobalAvgPool2d(), rng.normal(size=(2, 3, 4, 4))
+        )
+
+    def test_activations(self, rng):
+        for layer in (ReLU(), Tanh(), Sigmoid()):
+            check_layer_gradients(layer, rng.normal(size=(4, 6)))
+
+    def test_flatten(self, rng):
+        check_layer_gradients(Flatten(), rng.normal(size=(2, 3, 4, 4)))
+
+
+class TestDense:
+    def test_output_shape(self, rng):
+        layer = Dense(8, 3, "d", rng)
+        assert layer.forward(np.zeros((5, 8), dtype=np.float32)).shape == (
+            5,
+            3,
+        )
+
+    def test_backward_before_forward_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            Dense(4, 4, "d", rng).backward(np.zeros((2, 4)))
+
+    def test_parameter_names(self, rng):
+        layer = Dense(4, 4, "fc6", rng)
+        assert [p.name for p in layer.parameters()] == ["fc6.W", "fc6.b"]
+
+
+class TestConv:
+    def test_output_shape_same_padding(self, rng):
+        layer = Conv2d(3, 8, 3, "c", rng)  # default pad = k//2
+        out = layer.forward(np.zeros((2, 3, 16, 16), dtype=np.float32))
+        assert out.shape == (2, 8, 16, 16)
+
+    def test_output_shape_stride2(self, rng):
+        layer = Conv2d(3, 8, 3, "c", rng, stride=2)
+        out = layer.forward(np.zeros((2, 3, 16, 16), dtype=np.float32))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_matches_naive_convolution(self, rng):
+        layer = Conv2d(2, 3, 3, "c", rng, stride=1, pad=1)
+        x = rng.normal(size=(1, 2, 5, 5)).astype(np.float32)
+        out = layer.forward(x, training=False)
+        w = layer.weight.data
+        b = layer.bias.data
+        padded = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        for f in range(3):
+            for i in range(5):
+                for j in range(5):
+                    window = padded[0, :, i : i + 3, j : j + 3]
+                    expected = (window * w[f]).sum() + b[f]
+                    assert out[0, f, i, j] == pytest.approx(
+                        expected, rel=1e-4, abs=1e-4
+                    )
+
+
+class TestBatchNorm:
+    def test_normalizes_in_training(self, rng):
+        layer = BatchNorm(4, "bn")
+        x = rng.normal(loc=5.0, scale=3.0, size=(64, 4)).astype(np.float32)
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_eval_uses_running_stats(self, rng):
+        layer = BatchNorm(4, "bn", momentum=0.0)  # running = last batch
+        x = rng.normal(loc=2.0, size=(256, 4)).astype(np.float32)
+        layer.forward(x, training=True)
+        out = layer.forward(x, training=False)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=0.05)
+
+    def test_rejects_3d_input(self):
+        layer = BatchNorm(4, "bn")
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((2, 4, 3), dtype=np.float32))
+
+
+class TestPooling:
+    def test_maxpool_selects_maximum(self):
+        layer = MaxPool2d(2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        np.testing.assert_array_equal(
+            out[0, 0], [[5.0, 7.0], [13.0, 15.0]]
+        )
+
+    def test_maxpool_backward_routes_to_argmax(self):
+        layer = MaxPool2d(2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        layer.forward(x, training=True)
+        dx = layer.backward(np.ones((1, 1, 2, 2), dtype=np.float32))
+        assert dx.sum() == 4.0
+        assert dx[0, 0, 1, 1] == 1.0  # position of 5
+        assert dx[0, 0, 3, 3] == 1.0  # position of 15
+
+    def test_global_avg(self):
+        layer = GlobalAvgPool2d()
+        x = np.ones((2, 3, 4, 4), dtype=np.float32) * 7
+        np.testing.assert_allclose(layer.forward(x), 7.0)
+
+
+class TestDropout:
+    def test_identity_at_eval(self, rng):
+        layer = Dropout(0.5, rng)
+        x = rng.normal(size=(10, 10)).astype(np.float32)
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_preserves_expectation(self, rng):
+        layer = Dropout(0.5, rng)
+        x = np.ones((200, 200), dtype=np.float32)
+        out = layer.forward(x, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_backward_uses_same_mask(self, rng):
+        layer = Dropout(0.5, rng)
+        x = np.ones((50, 50), dtype=np.float32)
+        out = layer.forward(x, training=True)
+        dx = layer.backward(np.ones_like(x))
+        np.testing.assert_array_equal((out > 0), (dx > 0))
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)

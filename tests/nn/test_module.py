@@ -1,0 +1,112 @@
+"""Tests for Parameter / Module / Sequential plumbing."""
+
+import numpy as np
+
+from repro.nn import Dense, ReLU, Sequential
+from repro.nn.loss import accuracy, softmax_cross_entropy, top_k_accuracy
+from repro.nn.module import Parameter
+
+
+class TestParameter:
+    def test_grad_initialized_to_zero(self):
+        p = Parameter("w", np.ones((2, 3)))
+        assert p.grad.shape == (2, 3)
+        assert p.grad.sum() == 0.0
+
+    def test_zero_grad(self):
+        p = Parameter("w", np.ones(4))
+        p.grad += 5.0
+        p.zero_grad()
+        assert p.grad.sum() == 0.0
+
+    def test_data_cast_to_float32(self):
+        p = Parameter("w", np.ones(3, dtype=np.float64))
+        assert p.data.dtype == np.float32
+
+
+class TestSequential:
+    def test_collects_parameters_in_order(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(
+            Dense(4, 8, "a", rng), ReLU(), Dense(8, 2, "b", rng)
+        )
+        names = [p.name for p in model.parameters()]
+        assert names == ["a.W", "a.b", "b.W", "b.b"]
+
+    def test_parameter_count(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(Dense(4, 8, "a", rng))
+        assert model.parameter_count() == 4 * 8 + 8
+
+    def test_forward_backward_chain(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(
+            Dense(4, 8, "a", rng), ReLU(), Dense(8, 2, "b", rng)
+        )
+        x = rng.normal(size=(3, 4)).astype(np.float32)
+        out = model.forward(x)
+        assert out.shape == (3, 2)
+        dx = model.backward(np.ones_like(out))
+        assert dx.shape == x.shape
+        assert any(p.grad.any() for p in model.parameters())
+
+    def test_zero_grad_clears_all(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(Dense(4, 2, "a", rng))
+        x = rng.normal(size=(3, 4)).astype(np.float32)
+        model.backward_input = model.forward(x)
+        model.backward(np.ones((3, 2), dtype=np.float32))
+        model.zero_grad()
+        assert all(not p.grad.any() for p in model.parameters())
+
+    def test_append(self):
+        model = Sequential()
+        model.append(ReLU())
+        assert len(model.layers) == 1
+
+
+class TestLosses:
+    def test_cross_entropy_value_uniform(self):
+        logits = np.zeros((4, 10), dtype=np.float32)
+        labels = np.array([0, 1, 2, 3])
+        loss, _ = softmax_cross_entropy(logits, labels)
+        assert loss == np.float32(np.log(10)).item() or abs(
+            loss - np.log(10)
+        ) < 1e-5
+
+    def test_cross_entropy_gradient_sums_to_zero(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(6, 5)).astype(np.float32)
+        labels = rng.integers(0, 5, size=6)
+        _, dlogits = softmax_cross_entropy(logits, labels)
+        np.testing.assert_allclose(dlogits.sum(axis=1), 0.0, atol=1e-6)
+
+    def test_cross_entropy_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(3, 4)).astype(np.float64)
+        labels = np.array([1, 0, 3])
+        _, dlogits = softmax_cross_entropy(logits, labels)
+        eps = 1e-5
+        for i in range(3):
+            for j in range(4):
+                plus = logits.copy()
+                plus[i, j] += eps
+                minus = logits.copy()
+                minus[i, j] -= eps
+                numeric = (
+                    softmax_cross_entropy(plus, labels)[0]
+                    - softmax_cross_entropy(minus, labels)[0]
+                ) / (2 * eps)
+                assert dlogits[i, j] == np.float32(numeric) or abs(
+                    dlogits[i, j] - numeric
+                ) < 1e-4
+
+    def test_accuracy(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8]], dtype=np.float32)
+        assert accuracy(logits, np.array([0, 1])) == 1.0
+        assert accuracy(logits, np.array([1, 1])) == 0.5
+
+    def test_top_k_accuracy(self):
+        logits = np.array([[3.0, 2.0, 1.0, 0.0]], dtype=np.float32)
+        assert top_k_accuracy(logits, np.array([2]), k=3) == 1.0
+        assert top_k_accuracy(logits, np.array([3]), k=3) == 0.0

@@ -1,0 +1,62 @@
+"""Tests for the LSTM layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Lstm, TakeLast
+from repro.nn.gradcheck import check_layer_gradients
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestLstm:
+    def test_gradients(self, rng):
+        layer = Lstm(4, 6, "l", rng)
+        errors = check_layer_gradients(layer, rng.normal(size=(2, 5, 4)))
+        assert max(errors.values()) < 1e-6
+
+    def test_output_shape(self, rng):
+        layer = Lstm(3, 8, "l", rng)
+        out = layer.forward(np.zeros((4, 7, 3), dtype=np.float32))
+        assert out.shape == (4, 7, 8)
+
+    def test_wrong_input_size_rejected(self, rng):
+        layer = Lstm(3, 8, "l", rng)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((4, 7, 5), dtype=np.float32))
+
+    def test_forget_bias_initialized_to_one(self, rng):
+        layer = Lstm(3, 8, "l", rng)
+        np.testing.assert_array_equal(layer.bias.data[8:16], 1.0)
+        np.testing.assert_array_equal(layer.bias.data[:8], 0.0)
+
+    def test_state_integrates_over_time(self, rng):
+        # a constant non-zero input must produce evolving hidden states
+        layer = Lstm(2, 4, "l", rng)
+        x = np.ones((1, 6, 2), dtype=np.float32)
+        out = layer.forward(x)
+        steps = [out[0, t] for t in range(6)]
+        assert not np.allclose(steps[0], steps[-1])
+
+    def test_parameter_count(self, rng):
+        layer = Lstm(10, 20, "l", rng)
+        expected = 10 * 80 + 20 * 80 + 80
+        assert sum(p.size for p in layer.parameters()) == expected
+
+
+class TestTakeLast:
+    def test_selects_final_step(self):
+        layer = TakeLast()
+        x = np.arange(24, dtype=np.float32).reshape(2, 3, 4)
+        np.testing.assert_array_equal(layer.forward(x), x[:, -1, :])
+
+    def test_backward_routes_to_final_step(self):
+        layer = TakeLast()
+        x = np.zeros((2, 3, 4), dtype=np.float32)
+        layer.forward(x)
+        dx = layer.backward(np.ones((2, 4), dtype=np.float32))
+        assert dx[:, -1, :].sum() == 8.0
+        assert dx[:, :-1, :].sum() == 0.0

@@ -1,0 +1,78 @@
+"""Tests for model checkpointing and history export."""
+
+import numpy as np
+import pytest
+
+from repro.core import EpochMetrics, History
+from repro.models import tiny_alexnet, tiny_resnet
+from repro.nn.serialization import load_model, save_model
+
+
+class TestCheckpoints:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "model.npz"
+        source = tiny_alexnet(num_classes=4, image_size=8, seed=1)
+        save_model(source, path)
+        target = tiny_alexnet(num_classes=4, image_size=8, seed=2)
+        load_model(target, path)
+        for a, b in zip(source.parameters(), target.parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_loaded_model_predicts_identically(self, tmp_path):
+        path = tmp_path / "model.npz"
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(4, 3, 8, 8)).astype(np.float32)
+        source = tiny_alexnet(num_classes=4, image_size=8, seed=1)
+        save_model(source, path)
+        target = tiny_alexnet(num_classes=4, image_size=8, seed=9)
+        load_model(target, path)
+        np.testing.assert_allclose(
+            source.forward(x, training=False),
+            target.forward(x, training=False),
+            rtol=1e-6,
+        )
+
+    def test_mismatched_architecture_rejected(self, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(tiny_alexnet(num_classes=4, image_size=8, seed=1), path)
+        other = tiny_resnet(num_classes=4, seed=1)
+        with pytest.raises(ValueError, match="does not match"):
+            load_model(other, path)
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(tiny_alexnet(num_classes=4, image_size=8, seed=1), path)
+        other = tiny_alexnet(num_classes=6, image_size=8, seed=1)
+        with pytest.raises(ValueError):
+            load_model(other, path)
+
+
+class TestHistoryExport:
+    def make_history(self):
+        history = History(label="qsgd4/mpi/4gpu")
+        history.append(
+            EpochMetrics(
+                epoch=0, train_loss=1.5, train_accuracy=0.4,
+                test_accuracy=0.35, comm_bytes=1000, wall_seconds=2.0,
+            )
+        )
+        history.append(
+            EpochMetrics(
+                epoch=1, train_loss=0.9, train_accuracy=0.7,
+                test_accuracy=0.65, comm_bytes=1000, wall_seconds=2.1,
+            )
+        )
+        return history
+
+    def test_roundtrip(self):
+        history = self.make_history()
+        restored = History.from_dict(history.to_dict())
+        assert restored.label == history.label
+        assert restored.final_test_accuracy == history.final_test_accuracy
+        assert restored.series("train_loss") == history.series("train_loss")
+
+    def test_json_serializable(self):
+        import json
+
+        text = json.dumps(self.make_history().to_dict())
+        assert "qsgd4/mpi/4gpu" in text

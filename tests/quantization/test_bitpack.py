@@ -1,0 +1,106 @@
+"""Tests for the bit-packing wire format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantization import bitpack
+
+
+class TestSlotWidth:
+    def test_exact_divisors_map_to_themselves(self):
+        for width in (1, 2, 4, 8, 16, 32):
+            assert bitpack.slot_width(width) == width
+
+    def test_non_divisors_round_up(self):
+        assert bitpack.slot_width(3) == 4
+        assert bitpack.slot_width(5) == 8
+        assert bitpack.slot_width(9) == 16
+        assert bitpack.slot_width(17) == 32
+
+    @pytest.mark.parametrize("width", [0, -1, 33])
+    def test_out_of_range_width_rejected(self, width):
+        with pytest.raises(ValueError):
+            bitpack.slot_width(width)
+
+
+class TestPackedWords:
+    def test_one_bit_codes_pack_32_per_word(self):
+        assert bitpack.packed_words(32, 1) == 1
+        assert bitpack.packed_words(33, 1) == 2
+        assert bitpack.packed_words(0, 1) == 0
+
+    def test_matches_paper_column_formula(self):
+        # Section 3.2.1: n bits pack into ceil(n/32) unsigned ints
+        for n in (1, 31, 32, 64, 100, 1000):
+            assert bitpack.packed_words(n, 1) == -(-n // 32)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            bitpack.packed_words(-1, 8)
+
+
+class TestPackUnpackRoundtrip:
+    @pytest.mark.parametrize("width", [1, 2, 3, 4, 5, 8, 12, 16, 32])
+    def test_roundtrip_fixed(self, width):
+        rng = np.random.default_rng(width)
+        codes = rng.integers(0, 1 << width, size=1000, dtype=np.uint32)
+        words = bitpack.pack(codes, width)
+        assert words.dtype == np.uint32
+        recovered = bitpack.unpack(words, codes.size, width)
+        np.testing.assert_array_equal(recovered, codes)
+
+    def test_empty_input(self):
+        words = bitpack.pack(np.zeros(0, dtype=np.uint32), 4)
+        assert words.size == 0
+        assert bitpack.unpack(words, 0, 4).size == 0
+
+    def test_out_of_range_codes_rejected(self):
+        with pytest.raises(ValueError):
+            bitpack.pack(np.array([4], dtype=np.int64), 2)
+        with pytest.raises(ValueError):
+            bitpack.pack(np.array([-1], dtype=np.int64), 2)
+
+    def test_2d_codes_rejected(self):
+        with pytest.raises(ValueError):
+            bitpack.pack(np.zeros((2, 2), dtype=np.uint32), 2)
+
+    def test_word_count_mismatch_rejected(self):
+        words = bitpack.pack(np.arange(10, dtype=np.uint32) % 4, 2)
+        with pytest.raises(ValueError):
+            bitpack.unpack(words, 100, 2)
+
+    def test_known_layout_one_bit(self):
+        # bit i of the word is code i (little-endian lanes)
+        codes = np.zeros(32, dtype=np.uint32)
+        codes[0] = 1
+        codes[31] = 1
+        word = bitpack.pack(codes, 1)[0]
+        assert word == (1 | (1 << 31))
+
+    def test_known_layout_eight_bit(self):
+        codes = np.array([0x11, 0x22, 0x33, 0x44], dtype=np.uint32)
+        word = bitpack.pack(codes, 8)[0]
+        assert word == 0x44332211
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        width=st.sampled_from([1, 2, 4, 8, 16]),
+        data=st.data(),
+    )
+    def test_roundtrip_property(self, width, data):
+        count = data.draw(st.integers(min_value=0, max_value=300))
+        codes = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=(1 << width) - 1),
+                min_size=count,
+                max_size=count,
+            )
+        )
+        codes = np.array(codes, dtype=np.uint32)
+        words = bitpack.pack(codes, width)
+        assert words.size == bitpack.packed_words(count, width)
+        np.testing.assert_array_equal(
+            bitpack.unpack(words, count, width), codes
+        )

@@ -1,0 +1,65 @@
+"""Tests for bucket reshaping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quantization import bucket_count, from_buckets, to_buckets
+
+
+class TestBucketCount:
+    def test_exact_division(self):
+        assert bucket_count(128, 64) == 2
+
+    def test_remainder_rounds_up(self):
+        assert bucket_count(129, 64) == 3
+
+    def test_zero_elements(self):
+        assert bucket_count(0, 64) == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            bucket_count(10, 0)
+        with pytest.raises(ValueError):
+            bucket_count(-1, 4)
+
+
+class TestRoundtrip:
+    def test_column_major_flattening(self):
+        grad = np.array([[1, 3], [2, 4]], dtype=np.float32)
+        buckets = to_buckets(grad, 4)
+        # consecutive elements of the same column share a bucket
+        np.testing.assert_array_equal(buckets, [[1, 2, 3, 4]])
+
+    def test_padding_is_zero(self):
+        grad = np.arange(5, dtype=np.float32)
+        buckets = to_buckets(grad, 4)
+        assert buckets.shape == (2, 4)
+        np.testing.assert_array_equal(buckets[1], [4, 0, 0, 0])
+
+    def test_padding_cropped_on_restore(self):
+        grad = np.arange(5, dtype=np.float32)
+        buckets = to_buckets(grad, 4)
+        buckets[1, 1:] = 99.0  # corrupt padding: must not leak back
+        np.testing.assert_array_equal(
+            from_buckets(buckets, (5,)), np.arange(5, dtype=np.float32)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        grad=hnp.arrays(
+            np.float32,
+            hnp.array_shapes(min_dims=1, max_dims=3, min_side=1,
+                             max_side=12),
+            elements=st.floats(
+                min_value=-1e3, max_value=1e3, allow_nan=False, width=32
+            ),
+        ),
+        bucket=st.integers(min_value=1, max_value=40),
+    )
+    def test_roundtrip_property(self, grad, bucket):
+        np.testing.assert_array_equal(
+            from_buckets(to_buckets(grad, bucket), grad.shape), grad
+        )

@@ -1,0 +1,105 @@
+"""Cross-codec property tests: invariants every quantizer must obey."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quantization import make_quantizer
+from repro.quantization.base import Quantizer
+
+ALL_SCHEMES = [
+    "32bit", "1bit", "1bit*", "qsgd2", "qsgd4", "qsgd8", "qsgd16",
+    "aqsgd4", "topk0.1",
+]
+
+FLOATS = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, width=32
+)
+SHAPES = hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=16)
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+class TestUniversalInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_shape_preserved(self, scheme, data):
+        grad = data.draw(hnp.arrays(np.float32, SHAPES, elements=FLOATS))
+        codec = make_quantizer(scheme)
+        decoded = codec.roundtrip(grad, np.random.default_rng(0))
+        assert decoded.shape == grad.shape
+        assert decoded.dtype == np.float32
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_decoded_values_finite(self, scheme, data):
+        grad = data.draw(hnp.arrays(np.float32, SHAPES, elements=FLOATS))
+        codec = make_quantizer(scheme)
+        decoded = codec.roundtrip(grad, np.random.default_rng(0))
+        assert np.isfinite(decoded).all()
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_idempotent_on_own_image(self, scheme, data):
+        # re-quantizing an already quantized tensor with the same rng
+        # must keep the reconstruction within one quantization step
+        if scheme.startswith("topk"):
+            pytest.skip("top-k image depends on tie-breaking")
+        grad = data.draw(
+            hnp.arrays(np.float32, st.just((8, 8)), elements=FLOATS)
+        )
+        codec = make_quantizer(scheme)
+        once = codec.roundtrip(grad, np.random.default_rng(1))
+        twice = codec.roundtrip(once, np.random.default_rng(1))
+        scale = max(float(np.abs(once).max()), 1e-6)
+        assert np.abs(twice - once).max() <= scale + 1e-5
+
+    def test_zero_maps_to_zero(self, scheme):
+        codec = make_quantizer(scheme)
+        grad = np.zeros((7, 5), dtype=np.float32)
+        np.testing.assert_array_equal(
+            codec.roundtrip(grad, np.random.default_rng(0)), 0.0
+        )
+
+    def test_analytic_size_matches_real_encoding(self, scheme):
+        codec = make_quantizer(scheme)
+        for shape in [(33,), (5, 17), (2, 3, 4)]:
+            assert codec.encoded_nbytes(shape) == Quantizer.encoded_nbytes(
+                codec, shape
+            )
+
+    def test_scale_equivariance(self, scheme):
+        # quantizers normalize by a scale, so doubling the input
+        # roughly doubles the reconstruction (exactly, for the
+        # deterministic codecs)
+        codec = make_quantizer(scheme)
+        grad = np.random.default_rng(3).normal(size=128).astype(np.float32)
+        a = codec.roundtrip(grad, np.random.default_rng(7))
+        b = codec.roundtrip(2.0 * grad, np.random.default_rng(7))
+        np.testing.assert_allclose(b, 2.0 * a, rtol=1e-4, atol=1e-4)
+
+    def test_nbytes_positive_and_ordered(self, scheme):
+        codec = make_quantizer(scheme)
+        small = codec.encoded_nbytes((100,))
+        large = codec.encoded_nbytes((10_000,))
+        assert 0 < small < large
+
+
+class TestCompressionOrdering:
+    def test_wire_rate_ordering_on_large_tensors(self):
+        grad = np.random.default_rng(0).normal(size=(512, 512)).astype(
+            np.float32
+        )
+        rng = np.random.default_rng(1)
+        rates = {
+            scheme: make_quantizer(scheme)
+            .encode(grad, rng)
+            .bits_per_element
+            for scheme in ("32bit", "qsgd16", "qsgd8", "qsgd4", "qsgd2",
+                           "1bit*")
+        }
+        assert (
+            rates["32bit"] > rates["qsgd16"] > rates["qsgd8"]
+            > rates["qsgd4"] > rates["qsgd2"] > rates["1bit*"]
+        )

@@ -1,0 +1,197 @@
+"""Tests for QSGD stochastic quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quantization import Qsgd
+from repro.quantization.base import Quantizer
+
+FLOATS = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, width=32
+)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("bits", [1, 0, 17, 32])
+    def test_invalid_bits_rejected(self, bits):
+        with pytest.raises(ValueError):
+            Qsgd(bits)
+
+    def test_invalid_norm_rejected(self):
+        with pytest.raises(ValueError):
+            Qsgd(4, norm="l1")
+
+    def test_invalid_variant_rejected(self):
+        with pytest.raises(ValueError):
+            Qsgd(4, variant="fancy")
+
+    def test_invalid_bucket_rejected(self):
+        with pytest.raises(ValueError):
+            Qsgd(4, bucket_size=0)
+
+    def test_paper_default_buckets(self):
+        # Section 4.4: 2bit->128, 4/8bit->512, 16bit->8192
+        assert Qsgd(2).bucket_size == 128
+        assert Qsgd(4).bucket_size == 512
+        assert Qsgd(8).bucket_size == 512
+        assert Qsgd(16).bucket_size == 8192
+
+
+class TestSignVariant:
+    def test_two_bit_levels_are_ternary(self):
+        # 2-bit sign variant has levels {-scale, 0, +scale}
+        q = Qsgd(2, bucket_size=16, norm="inf")
+        rng = np.random.default_rng(0)
+        grad = rng.normal(size=64).astype(np.float32)
+        decoded = q.roundtrip(grad, np.random.default_rng(1))
+        scale = np.abs(grad.reshape(4, 16)).max(axis=1)
+        for bucket in range(4):
+            values = np.unique(decoded.reshape(4, 16)[bucket])
+            allowed = np.array([0.0, scale[bucket], -scale[bucket]])
+            distances = np.abs(values[:, None] - allowed[None, :])
+            assert (distances.min(axis=1) < 1e-5).all()
+
+    def test_unbiasedness(self):
+        q = Qsgd(4, bucket_size=64)
+        rng = np.random.default_rng(2)
+        grad = rng.normal(size=256).astype(np.float32)
+        total = np.zeros_like(grad, dtype=np.float64)
+        n = 400
+        for i in range(n):
+            total += q.roundtrip(grad, np.random.default_rng(i))
+        mean = total / n
+        scale = np.abs(grad).max()
+        # standard error of the estimate shrinks as 1/sqrt(n)
+        assert np.abs(mean - grad).max() < 6 * scale / 15 / np.sqrt(n) * 15
+
+    def test_inf_norm_never_expands_values(self):
+        q = Qsgd(4, bucket_size=32, norm="inf")
+        rng = np.random.default_rng(3)
+        grad = rng.normal(size=128).astype(np.float32)
+        decoded = q.roundtrip(grad, np.random.default_rng(4))
+        assert np.abs(decoded).max() <= np.abs(grad).max() + 1e-6
+
+    def test_higher_bits_lower_error(self):
+        rng = np.random.default_rng(5)
+        grad = rng.normal(size=4096).astype(np.float32)
+        errors = []
+        for bits in (2, 4, 8, 16):
+            q = Qsgd(bits, bucket_size=512)
+            decoded = q.roundtrip(grad, np.random.default_rng(6))
+            errors.append(float(np.abs(decoded - grad).mean()))
+        assert errors == sorted(errors, reverse=True)
+
+    def test_smaller_buckets_lower_error_l2(self):
+        # bucketing throttles the added variance (Section 5.1)
+        rng = np.random.default_rng(7)
+        grad = rng.normal(size=8192).astype(np.float32)
+        errors = []
+        for bucket in (8192, 512, 64):
+            q = Qsgd(4, bucket_size=bucket, norm="l2")
+            decoded = q.roundtrip(grad, np.random.default_rng(8))
+            errors.append(float(np.square(decoded - grad).mean()))
+        assert errors == sorted(errors, reverse=True)
+
+    def test_inf_norm_less_variance_than_l2(self):
+        # the paper found inf-norm scaling preserves more information
+        rng = np.random.default_rng(9)
+        grad = rng.normal(size=4096).astype(np.float32)
+        err = {}
+        for norm in ("inf", "l2"):
+            q = Qsgd(4, bucket_size=512, norm=norm)
+            decoded = q.roundtrip(grad, np.random.default_rng(10))
+            err[norm] = float(np.square(decoded - grad).mean())
+        assert err["inf"] < err["l2"]
+
+    def test_zero_vector(self):
+        q = Qsgd(4, bucket_size=16)
+        grad = np.zeros(64, dtype=np.float32)
+        np.testing.assert_array_equal(
+            q.roundtrip(grad, np.random.default_rng(0)), 0.0
+        )
+
+    def test_zero_bucket_among_nonzero(self):
+        q = Qsgd(4, bucket_size=4)
+        grad = np.array([0, 0, 0, 0, 1, -2, 3, -4], dtype=np.float32)
+        decoded = q.roundtrip(grad, np.random.default_rng(0))
+        np.testing.assert_array_equal(decoded[:4], 0.0)
+
+
+class TestGridVariant:
+    def test_endpoints_are_levels(self):
+        q = Qsgd(2, bucket_size=4, variant="grid", norm="inf")
+        grad = np.array([3.0, -3.0, 1.0, -1.0], dtype=np.float32)
+        decoded = q.roundtrip(grad, np.random.default_rng(0))
+        # 2^2 - 1 = 3 intervals over [-3, 3]: levels -3, -1, 1, 3
+        allowed = {-3.0, -1.0, 1.0, 3.0}
+        assert set(np.round(decoded, 5)) <= allowed
+
+    def test_grid_unbiased(self):
+        q = Qsgd(3, bucket_size=32, variant="grid")
+        rng = np.random.default_rng(11)
+        grad = rng.normal(size=64).astype(np.float32)
+        total = np.zeros_like(grad, dtype=np.float64)
+        n = 500
+        for i in range(n):
+            total += q.roundtrip(grad, np.random.default_rng(100 + i))
+        assert np.abs(total / n - grad).max() < 0.3
+
+    def test_zero_vector_grid(self):
+        q = Qsgd(4, bucket_size=16, variant="grid")
+        grad = np.zeros(32, dtype=np.float32)
+        np.testing.assert_array_equal(
+            q.roundtrip(grad, np.random.default_rng(0)), 0.0
+        )
+
+
+class TestWireFormat:
+    def test_bits_per_element_close_to_nominal(self):
+        rng = np.random.default_rng(12)
+        grad = rng.normal(size=(512, 512)).astype(np.float32)
+        for bits in (2, 4, 8, 16):
+            q = Qsgd(bits, bucket_size=512)
+            bpe = q.encode(grad, rng).bits_per_element
+            # nominal bits + one float32 scale per 512-element bucket
+            assert bits <= bpe < bits + 0.2
+
+    def test_analytic_nbytes_matches_encoding(self):
+        for bits in (2, 4, 8, 16):
+            q = Qsgd(bits)
+            for shape in [(64, 300), (17,), (1, 1), (700,)]:
+                assert q.encoded_nbytes(shape) == Quantizer.encoded_nbytes(
+                    q, shape
+                )
+
+    def test_effective_bucket_caps_at_size(self):
+        q = Qsgd(16, bucket_size=8192)
+        message = q.encode(
+            np.ones(100, dtype=np.float32), np.random.default_rng(0)
+        )
+        assert int(message.meta["bucket_size"]) == 100
+        # a 100-element tensor must not pad out to 8192 codes
+        assert message.bits_per_element < 21
+
+    def test_deterministic_given_rng(self):
+        q = Qsgd(4, bucket_size=64)
+        grad = np.random.default_rng(13).normal(size=256).astype(np.float32)
+        a = q.roundtrip(grad, np.random.default_rng(7))
+        b = q.roundtrip(grad, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        grad=hnp.arrays(
+            np.float32,
+            st.integers(min_value=1, max_value=200),
+            elements=FLOATS,
+        ),
+        bits=st.sampled_from([2, 4, 8]),
+    )
+    def test_roundtrip_bounded_property(self, grad, bits):
+        q = Qsgd(bits, bucket_size=32, norm="inf")
+        decoded = q.roundtrip(grad, np.random.default_rng(0))
+        assert decoded.shape == grad.shape
+        assert np.abs(decoded).max() <= np.abs(grad).max() + 1e-4

@@ -1,0 +1,89 @@
+"""Integrity tests for the transcribed Figure 10/11 tables.
+
+These guard the *data entry*: spot-check cells against the paper text,
+and verify the structural properties the analysis sections rely on.
+"""
+
+from repro.simulator import PAPER_MPI_TABLE, PAPER_NCCL_TABLE
+
+
+class TestTranscriptionSpotChecks:
+    def test_figure10_headline_cells(self):
+        # cells quoted in the running text of Section 5
+        assert PAPER_MPI_TABLE["AlexNet"]["32bit"][1] == 240.80
+        assert PAPER_MPI_TABLE["AlexNet"]["qsgd4"][8] == 964.90
+        assert PAPER_MPI_TABLE["ResNet50"]["1bit"][8] == 160.15
+        assert PAPER_MPI_TABLE["VGG19"]["32bit"][16] == 40.60
+        assert PAPER_MPI_TABLE["ResNet110"]["32bit"][8] == 1229.10
+
+    def test_figure11_headline_cells(self):
+        assert PAPER_NCCL_TABLE["AlexNet"]["32bit"][8] == 1138.30
+        assert PAPER_NCCL_TABLE["VGG19"]["qsgd4"][8] == 179.50
+
+    def test_one_gpu_rates_identical_across_primitives(self):
+        # the 1-GPU column is compute-only, so Figures 10 and 11 agree
+        for network in PAPER_NCCL_TABLE:
+            assert (
+                PAPER_NCCL_TABLE[network]["32bit"][1]
+                == PAPER_MPI_TABLE[network]["32bit"][1]
+            )
+
+
+class TestStructure:
+    def test_mpi_grid_complete(self):
+        for network, schemes in PAPER_MPI_TABLE.items():
+            assert set(schemes) == {
+                "32bit", "qsgd16", "qsgd8", "qsgd4", "qsgd2", "1bit",
+                "1bit*",
+            }, network
+            for scheme, cells in schemes.items():
+                expected = {1, 2, 4, 8, 16} if scheme == "32bit" else {
+                    2, 4, 8, 16
+                }
+                assert set(cells) == expected, (network, scheme)
+
+    def test_nccl_grid_complete(self):
+        for network, schemes in PAPER_NCCL_TABLE.items():
+            assert set(schemes) == {
+                "32bit", "qsgd16", "qsgd8", "qsgd4", "qsgd2"
+            }, network
+            for scheme, cells in schemes.items():
+                expected = {1, 2, 4, 8} if scheme == "32bit" else {2, 4, 8}
+                assert set(cells) == expected, (network, scheme)
+
+    def test_all_rates_positive(self):
+        for table in (PAPER_MPI_TABLE, PAPER_NCCL_TABLE):
+            for schemes in table.values():
+                for cells in schemes.values():
+                    assert all(rate > 0 for rate in cells.values())
+
+
+class TestPaperInternalClaims:
+    """Claims the paper's text makes about its own tables."""
+
+    def test_alexnet_mpi_32bit_peaks_at_4_gpus(self):
+        row = PAPER_MPI_TABLE["AlexNet"]["32bit"]
+        assert row[4] == max(row.values())
+
+    def test_stock_1bit_slower_than_32bit_on_resnets_at_8(self):
+        for network in ("ResNet50", "ResNet152"):
+            assert (
+                PAPER_MPI_TABLE[network]["1bit"][8]
+                < PAPER_MPI_TABLE[network]["32bit"][8]
+            )
+
+    def test_nccl_32bit_beats_mpi_best_quantized_on_alexnet(self):
+        mpi_best = max(
+            cells[8] for cells in PAPER_MPI_TABLE["AlexNet"].values()
+            if 8 in cells
+        )
+        assert PAPER_NCCL_TABLE["AlexNet"]["32bit"][8] > mpi_best
+
+    def test_vgg_nccl_superlinear_at_8(self):
+        table = PAPER_NCCL_TABLE["VGG19"]
+        assert table["32bit"][8] > 8 * table["32bit"][1]
+
+    def test_resnet110_mpi_drops_from_8_to_16(self):
+        for scheme, cells in PAPER_MPI_TABLE["ResNet110"].items():
+            if 8 in cells and 16 in cells:
+                assert cells[16] < cells[8], scheme

@@ -1,0 +1,90 @@
+"""Tests for the per-matrix cost model."""
+
+import pytest
+
+from repro.models.specs import get_network
+from repro.simulator import NetworkCostModel
+from repro.simulator.costmodel import cached_cost_model
+
+
+class TestPayloads:
+    def test_fullprec_payload_is_four_bytes_per_param(self):
+        spec = get_network("AlexNet")
+        cost = NetworkCostModel(spec, "32bit", world_size=8)
+        payload = cost.total_whole_bytes
+        assert payload == pytest.approx(4 * spec.parameter_count, rel=0.01)
+
+    def test_qsgd4_compresses_roughly_8x(self):
+        spec = get_network("AlexNet")
+        full = NetworkCostModel(spec, "32bit", world_size=8)
+        quant = NetworkCostModel(spec, "qsgd4", world_size=8)
+        ratio = full.total_whole_bytes / quant.total_whole_bytes
+        assert 7 < ratio < 8.2
+
+    def test_stock_1bit_expands_conv_networks(self):
+        # Section 3.2.2: on conv-dominated nets stock 1bitSGD sends
+        # MORE bytes than full precision
+        spec = get_network("ResNet152")
+        full = NetworkCostModel(spec, "32bit", world_size=8)
+        onebit = NetworkCostModel(spec, "1bit", world_size=8)
+        assert onebit.total_whole_bytes > full.total_whole_bytes
+
+    def test_stock_1bit_compresses_fc_networks(self):
+        spec = get_network("AlexNet")
+        full = NetworkCostModel(spec, "32bit", world_size=8)
+        onebit = NetworkCostModel(spec, "1bit", world_size=8)
+        # AlexNet's conv layers barely compress under the column
+        # scheme, but the FC mass dominates: ~10x overall
+        assert onebit.total_whole_bytes < full.total_whole_bytes / 8
+
+    def test_reshaping_fixes_conv_networks(self):
+        # the 1bitSGD* fix: ~up to 4x less data than stock on ResNet
+        spec = get_network("ResNet152")
+        stock = NetworkCostModel(spec, "1bit", world_size=8)
+        reshaped = NetworkCostModel(spec, "1bit*", world_size=8)
+        assert stock.total_whole_bytes > 10 * reshaped.total_whole_bytes
+
+    def test_range_bytes_close_to_whole_bytes(self):
+        # per-range encoding adds headers/tail-bucket overhead only
+        spec = get_network("VGG19")
+        cost = NetworkCostModel(spec, "qsgd8", world_size=8)
+        assert (
+            cost.total_whole_bytes
+            <= cost.total_range_bytes
+            <= cost.total_whole_bytes * 1.2
+        )
+
+    def test_over_99_percent_quantized(self):
+        for name in ("AlexNet", "ResNet50", "VGG19", "BN-Inception"):
+            cost = NetworkCostModel(get_network(name), "qsgd4", 8)
+            assert cost.quantized_fraction > 0.99
+
+
+class TestWork:
+    def test_stock_1bit_has_many_more_groups_on_convnets(self):
+        spec = get_network("ResNet152")
+        stock = NetworkCostModel(spec, "1bit", world_size=8)
+        reshaped = NetworkCostModel(spec, "1bit*", world_size=8)
+        assert stock.total_groups > 20 * reshaped.total_groups
+
+    def test_fullprec_does_no_quant_work(self):
+        cost = NetworkCostModel(get_network("AlexNet"), "32bit", 8)
+        assert cost.quant_work_units(3.0) == 0.0
+
+    def test_work_scales_with_passes(self):
+        cost = NetworkCostModel(get_network("AlexNet"), "qsgd4", 8)
+        assert cost.quant_work_units(2.0) == pytest.approx(
+            2 * cost.quant_work_units(1.0)
+        )
+
+
+class TestCache:
+    def test_cached_model_reused(self):
+        a = cached_cost_model("AlexNet", "qsgd4", 8, None)
+        b = cached_cost_model("AlexNet", "qsgd4", 8, None)
+        assert a is b
+
+    def test_different_keys_different_models(self):
+        a = cached_cost_model("AlexNet", "qsgd4", 8, None)
+        b = cached_cost_model("AlexNet", "qsgd4", 4, None)
+        assert a is not b

@@ -1,0 +1,67 @@
+"""Tests for machine specs (the paper's Figure 2)."""
+
+import pytest
+
+from repro.simulator import MACHINES, cheapest_machine_for, get_machine
+
+
+class TestFigure2:
+    @pytest.mark.parametrize(
+        "name,gpus,price",
+        [
+            ("p2.xlarge", 1, 0.9),
+            ("p2.8xlarge", 8, 7.2),
+            ("p2.16xlarge", 16, 14.4),
+            ("dgx1", 8, 50.0),
+        ],
+    )
+    def test_machine_rows(self, name, gpus, price):
+        machine = get_machine(name)
+        assert machine.max_gpus == gpus
+        assert machine.price_per_hour == price
+
+    def test_ec2_uses_kepler(self):
+        for name in ("p2.xlarge", "p2.8xlarge", "p2.16xlarge"):
+            assert get_machine(name).gpu.architecture == "Kepler"
+
+    def test_dgx_uses_pascal(self):
+        machine = get_machine("dgx1")
+        assert machine.gpu.architecture == "Pascal"
+        # Section 5.2: the P100 is about 40% faster than the K80
+        assert machine.gpu.compute_scale == pytest.approx(1.4)
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(ValueError, match="unknown machine"):
+            get_machine("p5.48xlarge")
+
+
+class TestSupportMatrix:
+    def test_nccl_capped_at_8_gpus(self):
+        # Section 5.2: "NCCL does not currently support more than 8 GPUs"
+        machine = get_machine("p2.16xlarge")
+        assert machine.supports(16, "mpi")
+        assert not machine.supports(16, "nccl")
+        assert machine.supports(8, "nccl")
+
+    def test_world_size_bounded_by_machine(self):
+        assert not get_machine("p2.8xlarge").supports(16, "mpi")
+        assert not get_machine("p2.xlarge").supports(2, "mpi")
+
+    def test_mpi_bus_grows_sublinearly(self):
+        machine = get_machine("p2.8xlarge")
+        bw4 = machine.mpi_bus_bandwidth(4)
+        bw8 = machine.mpi_bus_bandwidth(8)
+        assert bw4 < bw8 < 2 * bw4
+
+    def test_cheapest_machine(self):
+        assert cheapest_machine_for(1).name == "p2.xlarge"
+        assert cheapest_machine_for(8).name == "p2.8xlarge"
+        assert cheapest_machine_for(16).name == "p2.16xlarge"
+        with pytest.raises(ValueError):
+            cheapest_machine_for(32)
+
+    def test_all_machines_have_positive_link_constants(self):
+        for machine in MACHINES.values():
+            assert machine.mpi_bus_gbps > 0
+            assert machine.nccl_link_gbps > 0
+            assert machine.gpu.quant_elements_per_second > 0

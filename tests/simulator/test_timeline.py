@@ -1,0 +1,88 @@
+"""Tests for the discrete-event exchange timeline."""
+
+import pytest
+
+from repro.models.specs import get_network
+from repro.simulator import NetworkCostModel, get_machine, simulate
+from repro.simulator.timeline import pipeline_timeline
+
+
+def timeline_for(network, scheme, world_size=8, machine="p2.8xlarge"):
+    cost = NetworkCostModel(get_network(network), scheme, world_size)
+    return pipeline_timeline(cost, get_machine(machine), world_size)
+
+
+class TestScheduleValidity:
+    @pytest.mark.parametrize("scheme", ["32bit", "qsgd4", "1bit*"])
+    def test_stage_ordering_per_matrix(self, scheme):
+        timeline = timeline_for("AlexNet", scheme)
+        for event in timeline.events:
+            assert event.encode_start <= event.encode_end
+            assert event.encode_end <= event.transfer_start
+            assert event.transfer_start <= event.transfer_end
+            assert event.transfer_end <= event.decode_start
+            assert event.decode_start <= event.decode_end
+
+    def test_bus_never_double_booked(self):
+        timeline = timeline_for("ResNet50", "qsgd4")
+        intervals = sorted(
+            (e.transfer_start, e.transfer_end) for e in timeline.events
+        )
+        for (_, a_end), (b_start, _) in zip(intervals, intervals[1:]):
+            assert b_start >= a_end - 1e-12
+
+    def test_makespan_covers_all_events(self):
+        timeline = timeline_for("VGG19", "qsgd8")
+        assert timeline.makespan >= max(
+            e.completion for e in timeline.events
+        )
+
+    def test_single_gpu_empty_timeline(self):
+        cost = NetworkCostModel(get_network("AlexNet"), "qsgd4", 1)
+        timeline = pipeline_timeline(cost, get_machine("p2.xlarge"), 1)
+        assert timeline.makespan == 0.0
+        assert not timeline.events
+
+
+class TestOverlapModel:
+    def test_utilizations_bounded(self):
+        timeline = timeline_for("ResNet152", "qsgd4")
+        assert 0.0 < timeline.bus_utilization <= 1.0
+        assert 0.0 < timeline.gpu_utilization <= 1.0
+
+    def test_comm_bound_schedule_saturates_bus(self):
+        # 32bit AlexNet over MPI is strongly communication-bound: the
+        # wire should be busy almost the whole makespan
+        timeline = timeline_for("AlexNet", "32bit")
+        assert timeline.bus_utilization > 0.9
+
+    def test_closed_form_within_pipeline_bounds(self):
+        # the analytic exchange estimate must land between the ideal
+        # full-overlap bound and the no-overlap serial bound derived
+        # from the event-driven schedule
+        for network, scheme in [
+            ("AlexNet", "qsgd4"),
+            ("ResNet152", "1bit*"),
+            ("VGG19", "qsgd8"),
+        ]:
+            timeline = timeline_for(network, scheme)
+            result = simulate(network, "p2.8xlarge", scheme, "mpi", 8)
+            exchange_estimate = (
+                result.iteration_seconds - result.compute_seconds
+            )
+            lower = max(timeline.gpu_busy, timeline.bus_busy)
+            upper = timeline.gpu_busy + timeline.bus_busy + 0.2
+            assert lower * 0.5 <= exchange_estimate <= upper * 1.5, (
+                network,
+                scheme,
+            )
+
+    def test_quantized_timeline_shorter_than_fullprec(self):
+        quantized = timeline_for("AlexNet", "qsgd4")
+        full = timeline_for("AlexNet", "32bit")
+        assert quantized.makespan < full.makespan
+
+    def test_reshaped_timeline_shorter_than_stock_on_convnets(self):
+        stock = timeline_for("ResNet152", "1bit")
+        reshaped = timeline_for("ResNet152", "1bit*")
+        assert reshaped.makespan < stock.makespan

@@ -1,0 +1,91 @@
+"""Quick-scale tests for the Figure 5 accuracy harness.
+
+Full study runs live in the benchmark suite; here a pruned experiment
+(one scheme, few epochs) verifies the harness plumbing and the key
+accuracy orderings on the smallest viable workloads.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.study import FIG5_EXPERIMENTS
+from repro.study.accuracy import run_accuracy_experiment
+
+
+class TestExperimentDefinitions:
+    def test_all_five_subfigures_defined(self):
+        assert set(FIG5_EXPERIMENTS) == {
+            "fig5a", "fig5b", "fig5c", "fig5d", "fig5e"
+        }
+
+    def test_fig5a_legend_matches_paper(self):
+        labels = [label for _, _, label in FIG5_EXPERIMENTS["fig5a"].schemes]
+        assert "1bitSGD" in labels
+        assert "1bitSGD* (d=512)" in labels
+        assert "1bitSGD* (d=64)" in labels
+        assert "QSGD 2bit" in labels
+
+    def test_bucket_sizes_match_paper_legends(self):
+        buckets = {
+            label: bucket
+            for _, bucket, label in FIG5_EXPERIMENTS["fig5a"].schemes
+        }
+        assert buckets["1bitSGD* (d=512)"] == 512
+        assert buckets["1bitSGD* (d=64)"] == 64
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError):
+            run_accuracy_experiment("fig5z")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            run_accuracy_experiment("fig5a", scale="epic")
+
+
+class TestQuickRuns:
+    def test_pruned_fig5d_runs_and_learns(self, monkeypatch):
+        # prune to two schemes and two epochs to keep the test fast
+        experiment = FIG5_EXPERIMENTS["fig5d"]
+        pruned = dataclasses.replace(
+            experiment,
+            schemes=[("32bit", None, "32bit"), ("qsgd4", None, "QSGD 4bit")],
+            quick_epochs=2,
+        )
+        monkeypatch.setitem(FIG5_EXPERIMENTS, "fig5d", pruned)
+        histories = run_accuracy_experiment("fig5d", scale="quick")
+        assert set(histories) == {"32bit", "QSGD 4bit"}
+        for history in histories.values():
+            assert len(history.epochs) == 2
+            assert history.final_test_accuracy > 1.0 / 6  # beats chance
+
+    def test_multiseed_runner_groups_by_label(self, monkeypatch):
+        experiment = FIG5_EXPERIMENTS["fig5e"]
+        pruned = dataclasses.replace(
+            experiment,
+            schemes=[("qsgd8", None, "QSGD 8bit")],
+            quick_epochs=1,
+        )
+        monkeypatch.setitem(FIG5_EXPERIMENTS, "fig5e", pruned)
+        from repro.study import run_accuracy_experiment_multiseed
+
+        runs = run_accuracy_experiment_multiseed(
+            "fig5e", seeds=(0, 1), scale="quick"
+        )
+        assert set(runs) == {"QSGD 8bit"}
+        assert len(runs["QSGD 8bit"]) == 2
+        # different seeds shuffle differently: losses should differ
+        a, b = runs["QSGD 8bit"]
+        assert a.epochs[0].train_loss != b.epochs[0].train_loss
+
+    def test_lstm_experiment_runs(self, monkeypatch):
+        experiment = FIG5_EXPERIMENTS["fig5e"]
+        pruned = dataclasses.replace(
+            experiment,
+            schemes=[("qsgd4", None, "QSGD 4bit")],
+            quick_epochs=2,
+        )
+        monkeypatch.setitem(FIG5_EXPERIMENTS, "fig5e", pruned)
+        histories = run_accuracy_experiment("fig5e", scale="quick")
+        history = histories["QSGD 4bit"]
+        assert history.epochs[-1].train_loss < history.epochs[0].train_loss

@@ -1,0 +1,71 @@
+"""Tests for the compression report and the convergence-rate metric."""
+
+import pytest
+
+from repro.core import EpochMetrics, History
+from repro.study.compression import (
+    compression_report,
+    print_compression_report,
+)
+
+
+class TestCompressionReport:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return {
+            (c.network, c.scheme): c
+            for c in compression_report(networks=("AlexNet", "ResNet152"))
+        }
+
+    def test_fullprec_is_32_bits(self, cells):
+        assert cells[("AlexNet", "32bit")].bits_per_element == (
+            pytest.approx(32.0, rel=0.01)
+        )
+
+    def test_qsgd_rates_near_nominal(self, cells):
+        for bits, scheme in [(16, "qsgd16"), (8, "qsgd8"), (4, "qsgd4")]:
+            rate = cells[("AlexNet", scheme)].bits_per_element
+            assert bits <= rate < bits + 1.0
+
+    def test_stock_1bit_expands_resnet(self, cells):
+        # the Section 3.2.2 artefact as data
+        assert cells[("ResNet152", "1bit")].bits_per_element > 32.0
+        assert cells[("ResNet152", "1bit")].compression_vs_32bit < 1.0
+
+    def test_stock_1bit_compresses_alexnet(self, cells):
+        assert cells[("AlexNet", "1bit")].bits_per_element < 3.0
+
+    def test_reshaped_1bit_always_compresses(self, cells):
+        for network in ("AlexNet", "ResNet152"):
+            assert cells[(network, "1bit*")].bits_per_element < 3.0
+
+    def test_print(self, capsys):
+        print_compression_report()
+        out = capsys.readouterr().out
+        assert "Wire bits per gradient element" in out
+        assert "AlexNet" in out
+
+
+class TestConvergenceRate:
+    def make_history(self, accuracies):
+        history = History(label="test")
+        for epoch, accuracy in enumerate(accuracies):
+            history.append(
+                EpochMetrics(
+                    epoch=epoch, train_loss=1.0, train_accuracy=accuracy,
+                    test_accuracy=accuracy, comm_bytes=0, wall_seconds=1.0,
+                )
+            )
+        return history
+
+    def test_first_crossing_reported(self):
+        history = self.make_history([0.3, 0.5, 0.7, 0.72])
+        assert history.epochs_to_reach(0.6) == 3
+
+    def test_reached_on_first_epoch(self):
+        history = self.make_history([0.9])
+        assert history.epochs_to_reach(0.5) == 1
+
+    def test_never_reached(self):
+        history = self.make_history([0.3, 0.4])
+        assert history.epochs_to_reach(0.9) is None

@@ -1,0 +1,105 @@
+"""Tests for the Figure 16 cost and extrapolation studies."""
+
+import pytest
+
+from repro.study.cost import (
+    cheapest_configuration,
+    cost_accuracy_curve,
+    print_cost_accuracy,
+)
+from repro.study.extrapolation import (
+    dummy_alexnet,
+    extrapolation_curve,
+    print_extrapolation,
+)
+
+
+class TestCostStudy:
+    def test_cheapest_configuration_is_ec2(self):
+        machine, world_size, dollars = cheapest_configuration("AlexNet")
+        assert machine.startswith("p2.")
+        assert world_size >= 1
+        assert dollars > 0
+
+    def test_cost_scales_with_epochs(self):
+        points = cost_accuracy_curve("ResNet50", fractions=(0.5, 1.0))
+        assert points[1].dollars == pytest.approx(
+            2 * points[0].dollars, rel=0.05
+        )
+        assert points[1].accuracy > points[0].accuracy
+
+    def test_paper_discussion_deltas(self):
+        # Section 5.4: "+$600 AlexNet -> ResNet-50 buys ~15 accuracy
+        # points; another ~$1500 to ResNet-152 buys ~2 more"
+        full = {
+            net: cost_accuracy_curve(net, fractions=(1.0,))[0]
+            for net in ("AlexNet", "ResNet50", "ResNet152")
+        }
+        step1_cost = full["ResNet50"].dollars - full["AlexNet"].dollars
+        step1_acc = full["ResNet50"].accuracy - full["AlexNet"].accuracy
+        step2_cost = full["ResNet152"].dollars - full["ResNet50"].dollars
+        step2_acc = full["ResNet152"].accuracy - full["ResNet50"].accuracy
+        assert 400 < step1_cost < 900
+        assert 10 < step1_acc < 20
+        assert 1000 < step2_cost < 2000
+        assert 0.5 < step2_acc < 4
+
+    def test_monotone_cost_accuracy(self):
+        # "almost monotonic correlation between $ cost and accuracy"
+        points = sorted(
+            (
+                p
+                for net in ("AlexNet", "ResNet50", "ResNet152")
+                for p in cost_accuracy_curve(net, fractions=(1.0,))
+            ),
+            key=lambda p: p.dollars,
+        )
+        accuracies = [p.accuracy for p in points]
+        assert accuracies == sorted(accuracies)
+
+    def test_print(self, capsys):
+        print_cost_accuracy()
+        out = capsys.readouterr().out
+        assert "Figure 16 (left)" in out
+
+
+class TestExtrapolation:
+    def test_dummy_model_grows_fc_only(self):
+        base = dummy_alexnet(1.0)
+        big = dummy_alexnet(10.0)
+        assert big.parameter_count > 9 * base.parameter_count
+        base_conv = sum(
+            l.size for l in base.layers if l.kind == "conv"
+        )
+        big_conv = sum(l.size for l in big.layers if l.kind == "conv")
+        assert base_conv == big_conv
+
+    def test_speedup_grows_with_model_size(self):
+        points = extrapolation_curve(scales=(0.1, 10.0, 1000.0))
+        speedups = [p.speedup for p in points]
+        assert speedups == sorted(speedups)
+
+    def test_speedup_bounded_by_bandwidth_ratio(self):
+        # Section 6: "upper bounded by the difference in bandwidth
+        # usage, which is 4x"
+        points = extrapolation_curve(scales=(1000.0, 10000.0))
+        assert all(p.speedup <= 4.0 for p in points)
+
+    def test_small_models_show_no_speedup(self):
+        point = extrapolation_curve(scales=(0.1,))[0]
+        assert point.speedup < 1.1
+
+    def test_large_models_show_substantial_speedup(self):
+        point = extrapolation_curve(scales=(1000.0,))[0]
+        assert point.speedup > 1.5
+
+    def test_mb_per_gflops_axis_monotone(self):
+        points = extrapolation_curve(scales=(0.1, 1.0, 10.0))
+        ratios = [p.mb_per_gflops for p in points]
+        assert ratios == sorted(ratios)
+
+    def test_print(self, capsys):
+        print_extrapolation()
+        out = capsys.readouterr().out
+        assert "Figure 16 (right)" in out
+        assert "asymptote" in out

@@ -1,0 +1,26 @@
+"""Tests for the insight scoreboard."""
+
+from repro.study import evaluate_insights, print_insights
+
+
+class TestInsights:
+    def test_five_questions_evaluated(self):
+        insights = evaluate_insights()
+        assert len(insights) == 5
+
+    def test_all_performance_insights_hold(self):
+        # the reproduction's acceptance criterion: every performance
+        # conclusion of the paper must re-derive from simulated data
+        for insight in evaluate_insights():
+            assert insight.holds, insight.question
+
+    def test_answers_carry_evidence(self):
+        for insight in evaluate_insights():
+            assert insight.evidence
+            assert insight.paper_answer
+            assert insight.reproduced_answer
+
+    def test_print_scoreboard(self, capsys):
+        print_insights()
+        out = capsys.readouterr().out
+        assert out.count("HOLDS") == 5

@@ -1,0 +1,99 @@
+"""Tests for the layer-type sensitivity study."""
+
+import numpy as np
+import pytest
+
+from repro.core import SynchronousStep, TrainingConfig
+from repro.nn.module import Parameter
+from repro.study.layer_sensitivity import VARIANTS, run_layer_sensitivity
+
+
+def make_params():
+    rng = np.random.default_rng(0)
+    return [
+        Parameter("conv1.W", rng.normal(size=(16, 16, 3, 3)).astype(
+            np.float32), kind="conv"),
+        Parameter("fc1.W", rng.normal(size=(256, 64)).astype(np.float32),
+                  kind="fc"),
+    ]
+
+
+def grads_for(params, world):
+    return {
+        p.name: [
+            np.random.default_rng(r).normal(size=p.shape).astype(np.float32)
+            for r in range(world)
+        ]
+        for p in params
+    }
+
+
+class TestSelectiveQuantization:
+    def test_conv_only_routes_fc_to_fullprec(self):
+        params = make_params()
+        step = SynchronousStep(
+            TrainingConfig(
+                scheme="qsgd2", world_size=2, batch_size=4,
+                quantize_kinds=("conv",),
+            ),
+            params,
+        )
+        grads = grads_for(params, 2)
+        fc_result = step.aggregate("fc1.W", grads["fc1.W"])
+        exact = sum(grads["fc1.W"]) / 2
+        np.testing.assert_allclose(fc_result, exact, rtol=1e-5, atol=1e-5)
+        conv_result = step.aggregate("conv1.W", grads["conv1.W"])
+        conv_exact = sum(grads["conv1.W"]) / 2
+        assert np.abs(conv_result - conv_exact).max() > 1e-3
+
+    def test_empty_kinds_disables_quantization(self):
+        params = make_params()
+        step = SynchronousStep(
+            TrainingConfig(
+                scheme="qsgd2", world_size=2, batch_size=4,
+                quantize_kinds=(),
+            ),
+            params,
+        )
+        grads = grads_for(params, 2)
+        for name in ("fc1.W", "conv1.W"):
+            result = step.aggregate(name, grads[name])
+            np.testing.assert_allclose(
+                result, sum(grads[name]) / 2, rtol=1e-5, atol=1e-5
+            )
+
+    def test_none_quantizes_everything_large(self):
+        params = make_params()
+        step = SynchronousStep(
+            TrainingConfig(scheme="qsgd2", world_size=2, batch_size=4),
+            params,
+        )
+        grads = grads_for(params, 2)
+        result = step.aggregate("fc1.W", grads["fc1.W"])
+        exact = sum(grads["fc1.W"]) / 2
+        assert np.abs(result - exact).max() > 1e-3
+
+
+class TestStudy:
+    def test_variants_cover_paper_comparison(self):
+        assert "quantize all" in VARIANTS
+        assert VARIANTS["quantize conv only"] == ("conv",)
+        assert VARIANTS["quantize fc only"] == ("fc",)
+
+    @pytest.mark.slow
+    def test_study_runs_and_orders_sensibly(self):
+        results = {
+            r.variant: r
+            for r in run_layer_sensitivity(scheme="qsgd2", epochs=4)
+        }
+        # quantizing nothing moves the most bytes; quantizing all the
+        # fewest (fc dominates AlexNet-class models)
+        assert (
+            results["quantize none (32bit)"].comm_megabytes
+            > results["quantize conv only"].comm_megabytes
+            > results["quantize all"].comm_megabytes
+        )
+        assert (
+            results["quantize fc only"].comm_megabytes
+            < results["quantize conv only"].comm_megabytes
+        )

@@ -1,0 +1,66 @@
+"""Tests for the Figures 6-9 epoch-time harness."""
+
+import pytest
+
+from repro.study.performance import (
+    FIGURE_SETUPS,
+    epoch_bars,
+    print_epoch_bars,
+)
+
+
+class TestEpochBars:
+    @pytest.mark.parametrize("figure", sorted(FIGURE_SETUPS))
+    def test_all_figures_generate(self, figure):
+        bars = epoch_bars(figure)
+        assert bars
+        for bar in bars:
+            assert bar.epoch_hours > 0
+            assert 0 <= bar.comm_hours <= bar.epoch_hours
+            assert bar.comm_hours + bar.compute_hours == pytest.approx(
+                bar.epoch_hours
+            )
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError):
+            epoch_bars("fig99")
+
+    def test_fig6_quantization_shrinks_comm_share(self):
+        bars = {
+            (b.network, b.scheme): b for b in epoch_bars("fig6")
+        }
+        for network in ("AlexNet", "VGG19"):
+            full = bars[(network, "32bit")]
+            quant = bars[(network, "qsgd4")]
+            assert quant.comm_hours < full.comm_hours / 2
+            assert quant.epoch_hours < full.epoch_hours
+
+    def test_fig7_nccl_epochs_shorter_than_fig6_mpi(self):
+        mpi = {
+            (b.network, b.scheme): b
+            for b in epoch_bars("fig6")
+        }
+        nccl = {
+            (b.network, b.scheme): b
+            for b in epoch_bars("fig7")
+        }
+        for network in ("AlexNet", "VGG19", "ResNet50"):
+            assert (
+                nccl[(network, "32bit")].epoch_hours
+                < mpi[(network, "32bit")].epoch_hours
+            )
+
+    def test_fig8_dgx_epoch_time_falls_with_gpus_when_quantized(self):
+        bars = epoch_bars("fig8")
+        vgg_q4 = {
+            b.world_size: b.epoch_hours
+            for b in bars
+            if b.network == "VGG19" and b.scheme == "qsgd4"
+        }
+        assert vgg_q4[2] > vgg_q4[4] > vgg_q4[8]
+
+    def test_print_outputs_table(self, capsys):
+        print_epoch_bars("fig9")
+        out = capsys.readouterr().out
+        assert "fig9" in out
+        assert "Epoch (h)" in out

@@ -1,0 +1,35 @@
+"""Tests for the experiment registry."""
+
+import pytest
+
+from repro.study import EXPERIMENTS, run_experiment
+
+EXPECTED_IDS = {
+    "fig5a", "fig5b", "fig5c", "fig5d", "fig5e",
+    "fig6", "fig7", "fig8", "fig9",
+    "fig10", "fig11",
+    "fig12", "fig13", "fig14", "fig15",
+    "fig16-left", "fig16-right",
+}
+
+
+class TestRegistry:
+    def test_every_paper_figure_registered(self):
+        assert set(EXPERIMENTS) == EXPECTED_IDS
+
+    def test_experiments_carry_descriptions(self):
+        for experiment in EXPERIMENTS.values():
+            assert experiment.description
+            assert experiment.paper_artefact.startswith("Figure")
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("fig42")
+
+    @pytest.mark.parametrize(
+        "exp_id", ["fig6", "fig10", "fig13", "fig16-right"]
+    )
+    def test_simulator_experiments_run(self, exp_id, capsys):
+        result = run_experiment(exp_id)
+        assert result is not None
+        assert capsys.readouterr().out

@@ -1,0 +1,41 @@
+"""Tests for the table/series renderer."""
+
+import pytest
+
+from repro.study import format_series, format_table, print_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.5], ["long-name", 20.25]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_floats_formatted(self):
+        text = format_table(["x"], [[1.23456]])
+        assert "1.23" in text
+
+    def test_none_rendered_as_slash(self):
+        # the paper's tables use "/" for cells that were not run
+        text = format_table(["x"], [[None]])
+        assert "/" in text
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_print_with_title(self, capsys):
+        print_table(["a"], [[1]], title="My Table")
+        out = capsys.readouterr().out
+        assert "My Table" in out
+        assert "=" in out
+
+
+class TestFormatSeries:
+    def test_points_rendered(self):
+        text = format_series("net/scheme", [1, 2, 4], [1.0, 1.9, 3.5])
+        assert text.startswith("net/scheme:")
+        assert "(4, 3.5)" in text

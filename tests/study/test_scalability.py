@@ -1,0 +1,84 @@
+"""Tests for the Figures 12-15 scalability harness."""
+
+import math
+
+import pytest
+
+from repro.study.scalability import (
+    SCALABILITY_SETUPS,
+    print_scalability,
+    scalability_series,
+)
+
+
+def series_map(figure):
+    return {
+        (s.network, s.scheme): s for s in scalability_series(figure)
+    }
+
+
+class TestSeries:
+    @pytest.mark.parametrize("figure", sorted(SCALABILITY_SETUPS))
+    def test_all_figures_generate(self, figure):
+        series = scalability_series(figure)
+        assert series
+        for s in series:
+            assert len(s.scalability) == len(s.gpu_counts)
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError):
+            scalability_series("fig99")
+
+    def test_baseline_is_one(self):
+        s = series_map("fig12")[("AlexNet", "32bit")]
+        assert s.scalability[0] == 1.0
+
+    def test_quantized_only_defined_beyond_one_gpu(self):
+        s = series_map("fig12")[("AlexNet", "qsgd4")]
+        assert math.isnan(s.scalability[0])
+
+    def test_scalability_never_exceeds_gpu_count_much(self):
+        # only VGG may exceed linear (the small-batch anomaly)
+        for s in scalability_series("fig12"):
+            if s.network == "VGG19":
+                continue
+            for k, value in zip(s.gpu_counts, s.scalability):
+                if not math.isnan(value):
+                    assert value <= k * 1.15
+
+    def test_quantization_improves_mpi_scalability(self):
+        # Section 5.3: quantized communication consistently improves
+        # scalability over 32bit on MPI
+        curves = series_map("fig12")
+        for network in ("AlexNet", "VGG19", "ResNet152"):
+            full = curves[(network, "32bit")].scalability[-1]
+            quant = curves[(network, "qsgd4")].scalability[-1]
+            assert quant > full
+
+    def test_alexnet_mpi_fullprec_scales_poorly(self):
+        # "for AlexNet, 32-bit full precision with MPI only achieves
+        # 2x scale up with 16 GPUs"
+        s = series_map("fig12")[("AlexNet", "32bit")]
+        assert s.scalability[-1] < 2.0
+
+    def test_nccl_closes_the_gap(self):
+        # Figure 13: quantization adds at most ~50% over 32bit NCCL
+        curves = series_map("fig13")
+        for network in ("AlexNet", "ResNet50", "ResNet152",
+                        "BN-Inception"):
+            full = curves[(network, "32bit")].scalability[-1]
+            quant = curves[(network, "qsgd4")].scalability[-1]
+            assert quant < full * 1.5
+
+    def test_resnet152_quantized_near_linear(self):
+        # "networks such as ResNet152 scale almost linearly once
+        # quantization is applied even with MPI"
+        s = series_map("fig12")[("ResNet152", "qsgd4")]
+        at16 = s.scalability[-1]
+        assert at16 > 11  # paper: ~12x at 16 GPUs
+
+    def test_print_outputs_series(self, capsys):
+        print_scalability("fig15")
+        out = capsys.readouterr().out
+        assert "fig15" in out
+        assert "AlexNet/32bit" in out

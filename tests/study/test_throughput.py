@@ -1,0 +1,51 @@
+"""Tests for the Figure 10/11 throughput harness."""
+
+import pytest
+
+from repro.study.throughput import (
+    ec2_machine_for,
+    print_throughput_tables,
+    throughput_table,
+)
+
+
+class TestMachineSelection:
+    def test_ec2_machine_for(self):
+        assert ec2_machine_for(1) == "p2.xlarge"
+        assert ec2_machine_for(2) == "p2.8xlarge"
+        assert ec2_machine_for(8) == "p2.8xlarge"
+        assert ec2_machine_for(16) == "p2.16xlarge"
+
+
+class TestTables:
+    def test_mpi_table_covers_all_paper_cells(self):
+        cells = throughput_table("mpi")
+        with_paper = [c for c in cells if c.paper is not None]
+        # Figure 10: 6 networks x (1 + 7 schemes x 4 GPU counts) cells
+        assert len(with_paper) == 6 * (1 + 7 * 4)
+
+    def test_nccl_table_covers_all_paper_cells(self):
+        cells = throughput_table("nccl")
+        with_paper = [c for c in cells if c.paper is not None]
+        # Figure 11: 5 networks x (1 + 5 schemes x 3 GPU counts) cells
+        assert len(with_paper) == 5 * (1 + 5 * 3)
+
+    def test_all_simulated_rates_positive(self):
+        for cell in throughput_table("mpi"):
+            assert cell.simulated > 0
+
+    def test_unknown_exchange_rejected(self):
+        with pytest.raises(ValueError):
+            throughput_table("smoke-signals")
+
+    def test_print_returns_cells(self, capsys):
+        cells = print_throughput_tables("nccl")
+        out = capsys.readouterr().out
+        assert "Figure 11" in out
+        assert "AlexNet" in out
+        assert len(cells) > 0
+
+    def test_relative_error_none_without_paper_value(self):
+        cells = throughput_table("mpi")
+        missing = [c for c in cells if c.paper is None]
+        assert all(c.relative_error is None for c in missing)

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out
+        assert "fig16-right" in out
+
+    def test_networks(self, capsys):
+        assert main(["networks"]) == 0
+        out = capsys.readouterr().out
+        assert "AlexNet" in out
+        assert "62.4M" in out
+
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "p2.16xlarge" in out
+        assert "$14.4/h" in out
+
+    def test_run_simulator_experiment(self, capsys):
+        assert main(["run", "fig16-right"]) == 0
+        assert "asymptote" in capsys.readouterr().out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_calibration_passes_threshold(self, capsys):
+        assert main(["calibration"]) == 0
+        out = capsys.readouterr().out
+        assert "overall mean |error|" in out
+
+    def test_calibration_verbose_lists_cells(self, capsys):
+        assert main(["calibration", "-v"]) == 0
+        assert "AlexNet" in capsys.readouterr().out
+
+    def test_insights_all_hold(self, capsys):
+        assert main(["insights"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("HOLDS") == 5
+        assert "DIVERGES" not in out
+
+    def test_compression_report(self, capsys):
+        assert main(["compression"]) == 0
+        out = capsys.readouterr().out
+        assert "Wire bits per gradient element" in out
+        assert "ResNet152" in out
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

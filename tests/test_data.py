@@ -1,0 +1,159 @@
+"""Tests for the synthetic datasets and loaders."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASET_STATS,
+    iterate_minibatches,
+    make_image_dataset,
+    make_sequence_dataset,
+    split_among_ranks,
+)
+
+
+class TestPaperDatasetStats:
+    """The Figure 1 statistics table kept as reference data."""
+
+    def test_imagenet_row(self):
+        row = DATASET_STATS["ImageNet"]
+        assert row["train_samples"] == 1_281_167
+        assert row["classes"] == 1000
+        assert row["task"] == "Image"
+
+    def test_cifar_row(self):
+        row = DATASET_STATS["CIFAR-10"]
+        assert row["train_samples"] == 50_000
+        assert row["validation_samples"] == 10_000
+
+    def test_an4_row(self):
+        row = DATASET_STATS["AN4"]
+        assert row["train_samples"] == 948
+        assert row["validation_samples"] == 130
+        assert row["task"] == "Speech"
+
+
+class TestImageDataset:
+    def test_shapes_and_dtypes(self):
+        ds = make_image_dataset(
+            num_classes=4, train_samples=64, test_samples=32, image_size=8
+        )
+        assert ds.train_x.shape == (64, 3, 8, 8)
+        assert ds.train_x.dtype == np.float32
+        assert ds.train_y.dtype == np.int64
+        assert ds.test_x.shape == (32, 3, 8, 8)
+        assert len(ds) == 64
+
+    def test_labels_in_range(self):
+        ds = make_image_dataset(num_classes=4, train_samples=200)
+        assert ds.train_y.min() >= 0
+        assert ds.train_y.max() < 4
+
+    def test_deterministic_by_seed(self):
+        a = make_image_dataset(seed=3)
+        b = make_image_dataset(seed=3)
+        np.testing.assert_array_equal(a.train_x, b.train_x)
+        np.testing.assert_array_equal(a.train_y, b.train_y)
+
+    def test_different_seeds_differ(self):
+        a = make_image_dataset(seed=3)
+        b = make_image_dataset(seed=4)
+        assert not np.array_equal(a.train_x, b.train_x)
+
+    def test_classes_are_separable_but_not_trivially(self):
+        # a nearest-prototype classifier should beat chance but noise
+        # keeps the problem non-trivial
+        ds = make_image_dataset(
+            num_classes=4, train_samples=400, test_samples=200, noise=1.0,
+            seed=0,
+        )
+        prototypes = np.stack(
+            [
+                ds.train_x[ds.train_y == c].mean(axis=0)
+                for c in range(4)
+            ]
+        )
+        flat_test = ds.test_x.reshape(len(ds.test_x), -1)
+        flat_proto = prototypes.reshape(4, -1)
+        dists = ((flat_test[:, None] - flat_proto[None]) ** 2).sum(-1)
+        acc = (dists.argmin(1) == ds.test_y).mean()
+        assert 0.5 < acc <= 1.0
+
+    def test_invalid_correlation(self):
+        with pytest.raises(ValueError):
+            make_image_dataset(class_correlation=1.0)
+
+
+class TestSequenceDataset:
+    def test_shapes(self):
+        ds = make_sequence_dataset(
+            num_classes=3, train_samples=48, test_samples=24, seq_len=10,
+            features=6,
+        )
+        assert ds.train_x.shape == (48, 10, 6)
+        assert ds.seq_shape == (10, 6)
+
+    def test_deterministic_by_seed(self):
+        a = make_sequence_dataset(seed=1)
+        b = make_sequence_dataset(seed=1)
+        np.testing.assert_array_equal(a.train_x, b.train_x)
+
+    def test_labels_in_range(self):
+        ds = make_sequence_dataset(num_classes=5)
+        assert set(np.unique(ds.train_y)) <= set(range(5))
+
+
+class TestLoader:
+    def test_batches_cover_dataset(self):
+        x = np.arange(10, dtype=np.float32).reshape(10, 1)
+        y = np.arange(10)
+        seen = []
+        for bx, by in iterate_minibatches(x, y, 3):
+            assert bx.shape[0] == by.shape[0]
+            seen.extend(by.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_drop_last(self):
+        x = np.zeros((10, 1), dtype=np.float32)
+        y = np.zeros(10, dtype=np.int64)
+        batches = list(iterate_minibatches(x, y, 3, drop_last=True))
+        assert all(b[0].shape[0] == 3 for b in batches)
+        assert len(batches) == 3
+
+    def test_shuffling_uses_rng(self):
+        x = np.arange(10, dtype=np.float32).reshape(10, 1)
+        y = np.arange(10)
+        rng = np.random.default_rng(0)
+        first = next(iterate_minibatches(x, y, 10, rng=rng))[1]
+        assert not np.array_equal(first, np.arange(10))
+        assert sorted(first.tolist()) == list(range(10))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(np.zeros((3, 1)), np.zeros(4), 2))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(np.zeros((3, 1)), np.zeros(3), 0))
+
+
+class TestSharding:
+    def test_shards_partition_batch(self):
+        x = np.arange(10, dtype=np.float32).reshape(10, 1)
+        y = np.arange(10)
+        shards = split_among_ranks(x, y, 4)
+        assert len(shards) == 4
+        recovered = sorted(
+            label for _, sy in shards for label in sy.tolist()
+        )
+        assert recovered == list(range(10))
+
+    def test_shard_sizes_balanced(self):
+        x = np.zeros((10, 1), dtype=np.float32)
+        y = np.zeros(10, dtype=np.int64)
+        sizes = [sx.shape[0] for sx, _ in split_among_ranks(x, y, 4)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid_world_size(self):
+        with pytest.raises(ValueError):
+            split_among_ranks(np.zeros((4, 1)), np.zeros(4), 0)

@@ -1,0 +1,81 @@
+"""Smoke tests for the example scripts' importable pieces.
+
+The full example scripts train for minutes; these tests exercise their
+fast building blocks so the examples cannot silently rot.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+
+class TestPlannerLogic:
+    def test_sweep_covers_all_feasible_cells(self):
+        sys.path.insert(0, "examples")
+        try:
+            from throughput_planner import sweep
+        finally:
+            sys.path.pop(0)
+        rows = sweep("ResNet50")
+        assert rows
+        machines = {row["machine"] for row in rows}
+        assert "dgx1" in machines
+        assert all(row["samples_per_s"] > 0 for row in rows)
+        # NCCL at 16 GPUs must be absent (unsupported)
+        assert not any(
+            row["gpus"] == 16 and row["exchange"] == "nccl" for row in rows
+        )
+
+
+class TestReproducePaperScript:
+    def test_list_flag(self):
+        result = subprocess.run(
+            [sys.executable, "examples/reproduce_paper.py", "--list"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "fig10" in result.stdout
+        assert "fig16-right" in result.stdout
+
+    def test_unknown_id_rejected(self):
+        result = subprocess.run(
+            [sys.executable, "examples/reproduce_paper.py", "fig99"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode != 0
+
+    def test_single_simulator_figure_runs(self):
+        result = subprocess.run(
+            [sys.executable, "examples/reproduce_paper.py", "fig16-right"],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0
+        assert "asymptote" in result.stdout
+
+
+class TestDgxExample:
+    def test_runs_for_resnet(self):
+        result = subprocess.run(
+            [sys.executable, "examples/dgx_vs_ec2.py", "ResNet50"],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0
+        assert "4-bit speedup" in result.stdout
+
+    def test_unknown_network_rejected(self):
+        result = subprocess.run(
+            [sys.executable, "examples/dgx_vs_ec2.py", "GPT-5"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode != 0

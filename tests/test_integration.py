@@ -1,0 +1,131 @@
+"""Cross-layer integration tests.
+
+The strongest consistency check in the repository: the performance
+simulator's *analytic* byte counts must agree with the bytes the real
+communication layer actually puts on the wire when exchanging
+gradients of the same shapes — the two are computed by entirely
+different code paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import MpiReduceBroadcast, NcclRingAllreduce
+from repro.models.specs import GradientMatrixSpec, NetworkSpec
+from repro.quantization import make_quantizer
+from repro.simulator import NetworkCostModel
+
+
+def tiny_network() -> NetworkSpec:
+    """A small synthetic spec the comm layer can exchange for real."""
+    layers = (
+        GradientMatrixSpec("fc1", 64, 96, "fc"),
+        GradientMatrixSpec("conv1", 3, 1200, "conv"),
+        GradientMatrixSpec("fc2", 128, 32, "fc"),
+        GradientMatrixSpec("bias", 17, 1, "bias"),
+    )
+    return NetworkSpec(
+        name="Tiny",
+        dataset="synthetic",
+        samples_per_epoch=1000,
+        epochs_to_converge=10,
+        initial_lr=0.1,
+        gflops_per_sample=0.1,
+        k80_samples_per_second=100.0,
+        published_accuracy=0.0,
+        batch_sizes={1: 32, 2: 32, 4: 32},
+        layers=layers,
+    )
+
+
+WORLD = 4
+
+
+def exchange_all_layers(exchange, codec, spec):
+    rng = np.random.default_rng(0)
+    for layer in spec.layers:
+        tensors = [
+            np.random.default_rng(rank)
+            .normal(size=layer.shape)
+            .astype(np.float32)
+            for rank in range(WORLD)
+        ]
+        exchange.exchange(layer.name, tensors, codec, rng)
+
+
+class TestSimulatorMatchesCommLayer:
+    @pytest.mark.parametrize(
+        "scheme", ["32bit", "qsgd4", "qsgd8", "1bit", "1bit*"]
+    )
+    def test_mpi_reduce_traffic_matches_cost_model(self, scheme):
+        spec = tiny_network()
+        cost = NetworkCostModel(
+            spec, scheme, world_size=WORLD, passthrough_coverage=0.99
+        )
+
+        # route each layer through the same codec the cost model chose
+        exchange = MpiReduceBroadcast(WORLD, requantize_broadcast=True)
+        rng = np.random.default_rng(0)
+        for layer, matrix_cost in zip(spec.layers, cost.matrices):
+            codec = (
+                cost.codec
+                if matrix_cost.quantized
+                else make_quantizer("32bit")
+            )
+            tensors = [
+                np.random.default_rng(rank)
+                .normal(size=layer.shape)
+                .astype(np.float32)
+                for rank in range(WORLD)
+            ]
+            exchange.exchange(layer.name, tensors, codec, rng)
+
+        # reduce phase sends (K-1) x range payload; the requantized
+        # broadcast phase sends (K-1) x the same payload again
+        expected = 2 * (WORLD - 1) * cost.total_range_bytes
+        actual = exchange.traffic.total_bytes
+        assert actual == pytest.approx(expected, rel=0.02)
+
+    def test_nccl_ring_traffic_matches_cost_model(self):
+        spec = tiny_network()
+        cost = NetworkCostModel(spec, "qsgd8", world_size=WORLD)
+        # disable slice padding so the analytic count is exact
+        exchange = NcclRingAllreduce(WORLD, slice_bytes=1)
+        rng = np.random.default_rng(0)
+        for layer, matrix_cost in zip(spec.layers, cost.matrices):
+            codec = (
+                cost.codec
+                if matrix_cost.quantized
+                else make_quantizer("32bit")
+            )
+            tensors = [
+                np.random.default_rng(rank)
+                .normal(size=layer.shape)
+                .astype(np.float32)
+                for rank in range(WORLD)
+            ]
+            exchange.exchange(layer.name, tensors, codec, rng)
+        expected = 2 * (WORLD - 1) * cost.total_whole_bytes
+        actual = exchange.traffic.total_bytes
+        # ceil-per-chunk rounding adds at most a few bytes per message
+        assert actual == pytest.approx(expected, rel=0.02)
+
+    def test_passthrough_threshold_agrees_across_layers(self):
+        # the cost model and the trainer's policy must route the same
+        # matrices to full precision
+        from repro.core import SynchronousStep, TrainingConfig
+        from repro.nn.module import Parameter
+
+        spec = tiny_network()
+        cost = NetworkCostModel(spec, "qsgd4", world_size=WORLD)
+        params = [
+            Parameter(l.name, np.zeros(l.shape, dtype=np.float32))
+            for l in spec.layers
+        ]
+        step = SynchronousStep(
+            TrainingConfig(scheme="qsgd4", world_size=WORLD, batch_size=8),
+            params,
+        )
+        for layer, matrix_cost in zip(spec.layers, cost.matrices):
+            codec = step.policy.codec_for(layer.size)
+            assert (codec.name != "32bit") == matrix_cost.quantized

@@ -1,0 +1,63 @@
+"""Tests for the ASCII chart renderer."""
+
+import math
+
+import pytest
+
+from repro.viz import line_chart, stacked_bars
+
+
+class TestLineChart:
+    def test_renders_all_series_legends(self):
+        chart = line_chart({"a": [0, 1, 2], "b": [2, 1, 0]})
+        assert "o = a" in chart
+        assert "x = b" in chart
+
+    def test_extremes_hit_borders(self):
+        chart = line_chart({"a": [0.0, 1.0]}, width=10, height=5)
+        rows = [line for line in chart.splitlines() if line.startswith("|")]
+        assert "o" in rows[0]  # max value on top row
+        assert "o" in rows[-1]  # min value on bottom row
+
+    def test_nan_points_skipped(self):
+        chart = line_chart({"a": [math.nan, 1.0, 2.0]})
+        grid = "".join(
+            line for line in chart.splitlines() if line.startswith("|")
+        )
+        assert grid.count("o") == 2
+
+    def test_constant_series_ok(self):
+        chart = line_chart({"a": [1.0, 1.0, 1.0]})
+        assert "o" in chart
+
+    def test_y_label_shows_range(self):
+        chart = line_chart({"a": [0.0, 2.0]}, y_label="acc")
+        assert chart.splitlines()[0].startswith("acc")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"a": [math.nan]})
+
+
+class TestStackedBars:
+    def test_renders_segments(self):
+        text = stacked_bars({"32bit": (3.0, 1.0), "qsgd4": (0.5, 1.0)})
+        lines = text.splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+        assert "#" in lines[0] and "." in lines[0]
+
+    def test_totals_printed(self):
+        text = stacked_bars({"x": (1.0, 2.0)})
+        assert "3" in text
+
+    def test_legend(self):
+        text = stacked_bars({"x": (1.0, 2.0)}, labels=("io", "cpu"))
+        assert "# = io" in text
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            stacked_bars({})
+        with pytest.raises(ValueError):
+            stacked_bars({"x": (0.0, 0.0)})

@@ -1,0 +1,52 @@
+"""Compare simulated throughput against the paper's Figures 10/11.
+
+Run:  python tools/calibration_report.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulator import PAPER_MPI_TABLE, PAPER_NCCL_TABLE, simulate
+
+
+def machine_for(world_size: int) -> str:
+    if world_size == 1:
+        return "p2.xlarge"
+    if world_size <= 8:
+        return "p2.8xlarge"
+    return "p2.16xlarge"
+
+
+def report(table, exchange) -> None:
+    print(f"\n===== {exchange.upper()} =====")
+    all_errors = []
+    for network, schemes in table.items():
+        errors = []
+        for scheme, cells in schemes.items():
+            for world_size, paper in cells.items():
+                sim = simulate(
+                    network, machine_for(world_size), scheme, exchange,
+                    world_size,
+                ).samples_per_second
+                err = (sim - paper) / paper
+                errors.append(err)
+                all_errors.append(abs(err))
+                flag = "  <<<" if abs(err) > 0.35 else ""
+                print(
+                    f"{network:13s} {scheme:7s} K={world_size:2d} "
+                    f"sim={sim:8.1f} paper={paper:8.1f} "
+                    f"err={err:+6.1%}{flag}"
+                )
+        print(
+            f"-- {network}: mean|err|="
+            f"{np.mean([abs(e) for e in errors]):.1%}"
+        )
+    print(f"\nOVERALL mean|err| = {np.mean(all_errors):.1%}, "
+          f"median = {np.median(all_errors):.1%}, "
+          f"worst = {np.max(all_errors):.1%}")
+
+
+if __name__ == "__main__":
+    report(PAPER_MPI_TABLE, "mpi")
+    report(PAPER_NCCL_TABLE, "nccl")

@@ -1,0 +1,84 @@
+"""Generate the measured-results data behind EXPERIMENTS.md.
+
+Runs the Figure 5 accuracy studies (full scale) and the simulator
+comparisons, and writes everything to tools/results.json.
+
+    python tools/generate_results.py [--quick]
+"""
+
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.study import (
+    FIG5_EXPERIMENTS,
+    cost_accuracy_curve,
+    evaluate_insights,
+    extrapolation_curve,
+    run_accuracy_experiment,
+    throughput_table,
+)
+
+
+def main() -> None:
+    scale = "quick" if "--quick" in sys.argv else "full"
+    results = {"scale": scale, "accuracy": {}, "throughput": {},
+               "cost": {}, "extrapolation": [], "insights": []}
+
+    for exchange in ("mpi", "nccl"):
+        cells = [
+            c for c in throughput_table(exchange) if c.paper is not None
+        ]
+        errors = [abs(c.relative_error) for c in cells]
+        results["throughput"][exchange] = {
+            "cells": len(cells),
+            "mean_abs_error": float(np.mean(errors)),
+            "median_abs_error": float(np.median(errors)),
+        }
+
+    for network in ("AlexNet", "ResNet50", "ResNet152"):
+        point = cost_accuracy_curve(network, fractions=(1.0,))[0]
+        results["cost"][network] = {
+            "dollars": point.dollars,
+            "accuracy": point.accuracy,
+            "machine": point.machine,
+            "gpus": point.world_size,
+        }
+
+    results["extrapolation"] = [
+        {"mb_per_gflops": p.mb_per_gflops, "speedup": p.speedup}
+        for p in extrapolation_curve()
+    ]
+
+    results["insights"] = [
+        {"question": i.question, "holds": i.holds,
+         "reproduced": i.reproduced_answer}
+        for i in evaluate_insights()
+    ]
+
+    for figure in sorted(FIG5_EXPERIMENTS):
+        start = time.time()
+        histories = run_accuracy_experiment(figure, scale=scale)
+        results["accuracy"][figure] = {
+            label: {
+                "final_test_accuracy": h.final_test_accuracy,
+                "best_test_accuracy": h.best_test_accuracy,
+                "final_train_loss": h.epochs[-1].train_loss,
+                "comm_mb_per_epoch": h.epochs[-1].comm_bytes / 1e6,
+                "test_accuracy_curve": [
+                    round(v, 4) for v in h.series("test_accuracy")
+                ],
+            }
+            for label, h in histories.items()
+        }
+        print(f"{figure} done in {time.time() - start:.0f}s", flush=True)
+
+    with open("tools/results.json", "w") as handle:
+        json.dump(results, handle, indent=1)
+    print("wrote tools/results.json")
+
+
+if __name__ == "__main__":
+    main()
