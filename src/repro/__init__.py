@@ -9,6 +9,9 @@ Public API tour:
   reduce-and-broadcast, NCCL ring allreduce) with traffic accounting;
 * :mod:`repro.core` — synchronous data-parallel SGD
   (:class:`~repro.core.ParallelTrainer`);
+* :mod:`repro.runtime` — execution engines (sequential rank loop or
+  thread-per-rank with overlapped bucketed exchange), step barriers,
+  and straggler/crash fault injection;
 * :mod:`repro.nn`, :mod:`repro.models`, :mod:`repro.data`,
   :mod:`repro.optim` — the training substrate and model zoo;
 * :mod:`repro.simulator` — the calibrated EC2/DGX-1 performance model;
@@ -36,6 +39,13 @@ from .core import (
     SynchronousStep,
     TrainingConfig,
 )
+from .runtime import (
+    ENGINE_NAMES,
+    SequentialEngine,
+    ThreadedEngine,
+    WorkerFailure,
+    make_engine,
+)
 from .quantization import (
     SCHEME_NAMES,
     ErrorFeedback,
@@ -55,6 +65,11 @@ __all__ = [
     "ParallelTrainer",
     "SynchronousStep",
     "TrainingConfig",
+    "ENGINE_NAMES",
+    "SequentialEngine",
+    "ThreadedEngine",
+    "WorkerFailure",
+    "make_engine",
     "SCHEME_NAMES",
     "ErrorFeedback",
     "FullPrecision",

@@ -4,6 +4,9 @@ Commands:
 
 * ``list`` — show every registered experiment (one per paper figure);
 * ``run <exp-id>...`` — regenerate specific tables/figures;
+* ``train`` — train a zoo model end-to-end on synthetic data, with
+  ``--engine sequential|threaded`` selecting the execution engine and
+  optional straggler/crash fault injection;
 * ``insights`` — re-derive the paper's five summary answers;
 * ``calibration`` — compare simulated throughput to the published
   Figure 10/11 tables cell by cell;
@@ -15,7 +18,13 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .comm import EXCHANGE_NAMES
+from .core import ParallelTrainer, TrainingConfig
+from .data import make_image_dataset, make_sequence_dataset
+from .models import MODEL_BUILDERS, build_model
 from .models.specs import NETWORKS
+from .quantization import SCHEME_NAMES
+from .runtime import ENGINE_NAMES
 from .simulator import MACHINES
 from .study import EXPERIMENTS, print_table, run_experiment, throughput_table
 from .study.compression import print_compression_report
@@ -43,6 +52,69 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for exp_id in args.experiments:
         print(f"\n### {exp_id}: {EXPERIMENTS[exp_id].description}")
         run_experiment(exp_id)
+    return 0
+
+
+def _build_train_model(args: argparse.Namespace):
+    if args.model == "lstm":
+        return build_model(args.model, num_classes=args.classes,
+                           seed=args.model_seed)
+    if args.model in ("alexnet", "vgg"):
+        return build_model(args.model, num_classes=args.classes,
+                           image_size=args.image_size, seed=args.model_seed)
+    return build_model(args.model, num_classes=args.classes,
+                       seed=args.model_seed)
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    try:
+        config = TrainingConfig(
+            scheme=args.scheme,
+            exchange=args.exchange,
+            world_size=args.world_size,
+            batch_size=args.batch_size,
+            lr=args.lr,
+            seed=args.seed,
+            engine=args.engine,
+            link_gbps=args.link_gbps,
+            barrier_timeout=args.barrier_timeout,
+            straggler_ranks=tuple(args.straggler_ranks),
+            straggler_delay=args.straggler_delay,
+            crash_rank=args.crash_rank,
+            crash_step=args.crash_step,
+        )
+    except ValueError as exc:
+        print(f"repro train: error: {exc}", file=sys.stderr)
+        return 2
+    if args.model == "lstm":
+        ds = make_sequence_dataset(
+            num_classes=args.classes, train_samples=args.train_samples,
+            test_samples=args.test_samples, seed=args.seed,
+        )
+    else:
+        ds = make_image_dataset(
+            num_classes=args.classes, train_samples=args.train_samples,
+            test_samples=args.test_samples, image_size=args.image_size,
+            seed=args.seed,
+        )
+    with ParallelTrainer(_build_train_model(args), config) as trainer:
+        history = trainer.fit(
+            ds.train_x, ds.train_y, ds.test_x, ds.test_y,
+            epochs=args.epochs, verbose=True,
+        )
+    if history.failures:
+        for failure in history.failures:
+            print(
+                f"FAILED: rank {failure.rank} {failure.kind} at step "
+                f"{failure.step}: {failure.message}",
+                file=sys.stderr,
+            )
+        return 1
+    total_mb = history.total_comm_bytes / 1e6
+    print(
+        f"[{config.label}/{config.engine}] final test accuracy "
+        f"{history.final_test_accuracy:.3f}, {total_mb:.1f} MB on the wire"
+    )
     return 0
 
 
@@ -136,6 +208,48 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="regenerate tables/figures")
     run.add_argument("experiments", nargs="+", metavar="exp-id")
     run.set_defaults(handler=_cmd_run)
+    train = sub.add_parser(
+        "train", help="train a zoo model on synthetic data"
+    )
+    train.add_argument(
+        "--model", default="alexnet", choices=sorted(MODEL_BUILDERS)
+    )
+    train.add_argument("--scheme", default="32bit", choices=SCHEME_NAMES)
+    train.add_argument("--exchange", default="mpi", choices=EXCHANGE_NAMES)
+    train.add_argument(
+        "--engine",
+        default="sequential",
+        choices=ENGINE_NAMES,
+        help="execution engine; 'threaded' runs one worker thread per "
+        "rank with overlapped bucketed exchange (bit-identical to "
+        "'sequential')",
+    )
+    train.add_argument("--world-size", type=int, default=2)
+    train.add_argument("--batch-size", type=int, default=32)
+    train.add_argument("--epochs", type=int, default=5)
+    train.add_argument("--lr", type=float, default=0.01)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--model-seed", type=int, default=1)
+    train.add_argument("--classes", type=int, default=4)
+    train.add_argument("--image-size", type=int, default=8)
+    train.add_argument("--train-samples", type=int, default=256)
+    train.add_argument("--test-samples", type=int, default=128)
+    train.add_argument(
+        "--link-gbps", type=float, default=None,
+        help="pace collectives at this simulated link rate",
+    )
+    train.add_argument("--barrier-timeout", type=float, default=30.0)
+    train.add_argument(
+        "--straggler-ranks", type=int, nargs="*", default=[],
+        help="ranks delayed by --straggler-delay every step",
+    )
+    train.add_argument("--straggler-delay", type=float, default=0.0)
+    train.add_argument(
+        "--crash-rank", type=int, default=None,
+        help="rank to crash at --crash-step (fault-injection demo)",
+    )
+    train.add_argument("--crash-step", type=int, default=None)
+    train.set_defaults(handler=_cmd_train)
     sub.add_parser(
         "insights", help="re-derive the paper's summary answers"
     ).set_defaults(handler=_cmd_insights)

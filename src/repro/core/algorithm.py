@@ -107,6 +107,43 @@ class SynchronousStep:
 
         return result.aggregate / self.world_size
 
+    def aggregate_bucket(
+        self,
+        names: list[str],
+        rank_grads_by_name: dict[str, list[np.ndarray]],
+    ) -> dict[str, np.ndarray]:
+        """Aggregate one coalesced gradient bucket, name by name.
+
+        The runtime engines exchange buckets in a fixed order; within
+        a bucket this method pins the per-parameter order (and hence
+        the quantization RNG stream), so sequential and threaded
+        execution consume identical randomness.
+        """
+        return {
+            name: self.aggregate(name, rank_grads_by_name[name])
+            for name in names
+        }
+
+    def payload_nbytes(self, name: str, shape: tuple[int, ...]) -> int:
+        """Encoded size of one rank's wire contribution for ``name``.
+
+        Applies the same codec selection as :meth:`aggregate` (the
+        small-matrix passthrough policy and layer-kind selectivity),
+        so the runtime's link pacing charges exactly the bytes the
+        scheme would put on the wire.
+        """
+        size = 1
+        for dim in shape:
+            size *= int(dim)
+        codec = self.policy.codec_for(size)
+        if (
+            self._quantized_kinds is not None
+            and self._kind_by_name.get(name, "param")
+            not in self._quantized_kinds
+        ):
+            codec = self.policy.fullprec
+        return codec.encoded_nbytes(shape)
+
     @property
     def comm_bytes(self) -> int:
         """Total bytes moved since construction (or last reset)."""

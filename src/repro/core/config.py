@@ -6,8 +6,9 @@ from dataclasses import dataclass, field
 
 from ..comm import EXCHANGE_NAMES
 from ..quantization import SCHEME_NAMES
+from ..runtime.engine import ENGINE_NAMES
 
-__all__ = ["TrainingConfig"]
+__all__ = ["TrainingConfig", "ENGINE_NAMES"]
 
 
 @dataclass
@@ -31,6 +32,24 @@ class TrainingConfig:
         passthrough_coverage: fraction of parameters that must stay
             quantized when choosing the small-matrix threshold.
         norm / variant: QSGD scaling and level-layout options.
+        engine: execution engine ("sequential" rank loop or
+            "threaded" worker-per-rank; bit-identical trajectories).
+        comm_bucket_bytes: coalescing cap for the runtime's gradient
+            buckets (distinct from the quantizer's ``bucket_size``,
+            which is an element-count wire-format knob).
+        barrier_timeout: seconds before a missing rank at a step
+            barrier / bucket rendezvous is declared failed.
+        link_gbps: when set, each rank's encoded gradient upload
+            occupies a per-rank link of this rate in wall-clock time
+            (the bandwidth term of a ring allreduce); the threaded
+            engine's ranks transmit concurrently, hiding wire time
+            behind backward compute, while the sequential engine pays
+            every rank's wire time serially.  Pure ``time.sleep`` —
+            never affects the numerics.
+        straggler_ranks / straggler_delay: inject a fixed delay (s)
+            at the top of these ranks' compute phase every step.
+        crash_rank / crash_step: the given rank crashes at the given
+            global step (``crash_step=None`` crashes every step).
     """
 
     scheme: str = "32bit"
@@ -51,6 +70,15 @@ class TrainingConfig:
     #: or ("fc", "rnn")); ``None`` quantizes every kind — the paper's
     #: Section 5.1 "Impact of Layer Types" analysis toggles this
     quantize_kinds: tuple[str, ...] | None = None
+    # runtime execution (see repro.runtime)
+    engine: str = "sequential"
+    comm_bucket_bytes: int = 1 << 16
+    barrier_timeout: float = 30.0
+    link_gbps: float | None = None
+    straggler_ranks: tuple[int, ...] = ()
+    straggler_delay: float = 0.0
+    crash_rank: int | None = None
+    crash_step: int | None = None
 
     def __post_init__(self) -> None:
         if self.scheme not in SCHEME_NAMES:
@@ -71,6 +99,41 @@ class TrainingConfig:
             raise ValueError(
                 "global batch_size must be >= world_size "
                 f"({self.batch_size} < {self.world_size})"
+            )
+        if self.engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of "
+                f"{ENGINE_NAMES}"
+            )
+        if self.comm_bucket_bytes < 1:
+            raise ValueError(
+                f"comm_bucket_bytes must be >= 1, got "
+                f"{self.comm_bucket_bytes}"
+            )
+        if self.barrier_timeout <= 0:
+            raise ValueError(
+                f"barrier_timeout must be > 0, got {self.barrier_timeout}"
+            )
+        if self.link_gbps is not None and self.link_gbps <= 0:
+            raise ValueError(
+                f"link_gbps must be > 0, got {self.link_gbps}"
+            )
+        if self.straggler_delay < 0:
+            raise ValueError(
+                f"straggler_delay must be >= 0, got {self.straggler_delay}"
+            )
+        for rank in self.straggler_ranks:
+            if not 0 <= rank < self.world_size:
+                raise ValueError(
+                    f"straggler rank {rank} outside world of "
+                    f"{self.world_size}"
+                )
+        if self.crash_rank is not None and not (
+            0 <= self.crash_rank < self.world_size
+        ):
+            raise ValueError(
+                f"crash_rank {self.crash_rank} outside world of "
+                f"{self.world_size}"
             )
 
     @property

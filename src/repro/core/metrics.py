@@ -3,6 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from ..runtime.faults import WorkerFailure
 
 __all__ = ["EpochMetrics", "History"]
 
@@ -21,13 +25,24 @@ class EpochMetrics:
 
 @dataclass
 class History:
-    """Per-epoch measurements of one run, ready for figure series."""
+    """Per-epoch measurements of one run, ready for figure series.
+
+    Attributes:
+        failures: structured :class:`~repro.runtime.faults.WorkerFailure`
+            records for ranks that crashed or timed out; a non-empty
+            list means the run stopped early.
+    """
 
     label: str
     epochs: list[EpochMetrics] = field(default_factory=list)
+    failures: list["WorkerFailure"] = field(default_factory=list)
 
     def append(self, metrics: EpochMetrics) -> None:
         self.epochs.append(metrics)
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.failures)
 
     @property
     def final_test_accuracy(self) -> float:
@@ -64,15 +79,22 @@ class History:
 
     def to_dict(self) -> dict:
         """JSON-serializable run record (for EXPERIMENTS.md tooling)."""
-        return {
+        record = {
             "label": self.label,
             "epochs": [vars(m).copy() for m in self.epochs],
         }
+        if self.failures:
+            record["failures"] = [f.to_dict() for f in self.failures]
+        return record
 
     @classmethod
     def from_dict(cls, record: dict) -> "History":
         """Inverse of :meth:`to_dict`."""
+        from ..runtime.faults import WorkerFailure
+
         history = cls(label=record["label"])
         for row in record["epochs"]:
             history.append(EpochMetrics(**row))
+        for row in record.get("failures", ()):
+            history.failures.append(WorkerFailure.from_dict(row))
         return history

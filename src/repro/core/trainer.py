@@ -1,11 +1,14 @@
 """Data-parallel trainer driving the numpy substrate.
 
-One model instance is shared by all simulated ranks: synchronous SGD
-keeps replicas bit-identical (every rank applies the same aggregated
-update), so only the per-rank state that genuinely differs — data
-shards, gradients, and error-feedback residuals — is kept per rank.
-Tests verify the replica-consistency invariant directly on the
-exchange layer.
+The trainer owns the training loop (epochs, LR schedule, metrics) and
+delegates per-step execution to a :mod:`repro.runtime` engine: the
+sequential engine runs the rank workers one after another on the
+calling thread, the threaded engine runs one worker thread per rank
+with barrier-synchronized steps and overlapped bucketed exchange.
+Each rank holds its own model replica; synchronous SGD keeps replicas
+bit-identical (every rank applies the same aggregated update), and the
+two engines produce bit-identical trajectories — both invariants are
+asserted by tests.
 """
 
 from __future__ import annotations
@@ -15,11 +18,12 @@ from typing import Callable
 
 import numpy as np
 
-from ..data.loader import iterate_minibatches, split_among_ranks
-from ..nn.loss import accuracy, softmax_cross_entropy
+from ..data.loader import iterate_minibatches
+from ..nn.loss import softmax_cross_entropy
 from ..nn.module import Module
-from ..optim import Sgd, exponential_decay
-from .algorithm import SynchronousStep
+from ..optim import exponential_decay
+from ..runtime.engine import make_engine
+from ..runtime.faults import WorkerFailureError
 from .config import TrainingConfig
 from .metrics import EpochMetrics, History
 
@@ -40,56 +44,39 @@ class ParallelTrainer:
         self.model = model
         self.config = config
         self.loss_fn = loss_fn
-        self.parameters = model.parameters()
-        names = [p.name for p in self.parameters]
+        names = [p.name for p in model.parameters()]
         if len(set(names)) != len(names):
             raise ValueError("parameter names must be unique")
-        self.step_engine = SynchronousStep(config, self.parameters)
-        self.optimizer = Sgd(
-            lr=config.lr,
-            momentum=config.momentum,
-            weight_decay=config.weight_decay,
-        )
+        self.engine = make_engine(model, config, loss_fn)
+        # rank 0's replica *is* ``model``; its parameters reflect
+        # training progress, as they did with the single-model loop
+        self.parameters = self.engine.workers[0].parameters
         self._shuffle_rng = np.random.default_rng(config.seed + 1)
+
+    # the live collective/quantization pipeline; reassignable so
+    # custom codecs can be injected (see examples/custom_quantizer.py)
+    @property
+    def step_engine(self):
+        return self.engine.step_engine
+
+    @step_engine.setter
+    def step_engine(self, value) -> None:
+        self.engine.step_engine = value
+
+    @property
+    def optimizer(self):
+        """Rank 0's optimizer (all replicas hold identical state)."""
+        return self.engine.optimizer
 
     # -- single synchronous iteration ------------------------------------
     def train_step(self, x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
-        """One global minibatch: returns (mean loss, mean accuracy)."""
-        shards = split_among_ranks(x, y, self.config.world_size)
-        rank_grads: list[dict[str, np.ndarray]] = []
-        losses = []
-        accuracies = []
-        for shard_x, shard_y in shards:
-            if shard_x.shape[0] == 0:
-                rank_grads.append(
-                    {p.name: np.zeros_like(p.data) for p in self.parameters}
-                )
-                continue
-            self.model.zero_grad()
-            logits = self.model.forward(shard_x, training=True)
-            loss, dlogits = self.loss_fn(logits, shard_y)
-            if not np.isfinite(loss):
-                raise FloatingPointError(
-                    f"training diverged: non-finite loss under "
-                    f"{self.config.label} (lower the learning rate or "
-                    "use a less aggressive quantizer)"
-                )
-            self.model.backward(dlogits)
-            rank_grads.append(
-                {p.name: p.grad.copy() for p in self.parameters}
-            )
-            losses.append(loss)
-            accuracies.append(accuracy(logits, shard_y))
+        """One global minibatch: returns (mean loss, mean accuracy).
 
-        for param in self.parameters:
-            aggregated = self.step_engine.aggregate(
-                param.name, [g[param.name] for g in rank_grads]
-            )
-            self.optimizer.apply(param, aggregated)
-
-        if not losses:
-            return float("nan"), float("nan")
-        return float(np.mean(losses)), float(np.mean(accuracies))
+        Shards can be unequal (and empty shards contribute no loss),
+        so the returned metrics are weighted by shard size — they are
+        the exact global-minibatch mean.
+        """
+        return self.engine.train_step(x, y)
 
     # -- epochs -----------------------------------------------------------
     def train_epoch(
@@ -109,7 +96,12 @@ class ParallelTrainer:
         return float(np.mean(losses)), float(np.mean(accuracies))
 
     def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
-        """Test accuracy in [0, 1], batched to bound memory."""
+        """Test accuracy in [0, 1], batched to bound memory.
+
+        An empty test set has no defined accuracy: returns NaN.
+        """
+        if x.shape[0] == 0:
+            return float("nan")
         correct = 0
         for batch_x, batch_y in iterate_minibatches(x, y, 256):
             logits = self.model.forward(batch_x, training=False)
@@ -125,15 +117,26 @@ class ParallelTrainer:
         epochs: int,
         verbose: bool = False,
     ) -> History:
-        """Train for ``epochs`` passes, recording per-epoch metrics."""
+        """Train for ``epochs`` passes, recording per-epoch metrics.
+
+        A rank crash or barrier timeout stops training and is recorded
+        as a structured failure on the returned history rather than
+        raised, so partial results stay inspectable.
+        """
         history = History(label=self.config.label)
         for epoch in range(epochs):
-            self.optimizer.lr = exponential_decay(
-                self.config.lr, self.config.lr_decay, epoch
+            self.engine.set_lr(
+                exponential_decay(self.config.lr, self.config.lr_decay, epoch)
             )
             self.step_engine.reset_traffic()
             start = time.perf_counter()
-            loss, train_acc = self.train_epoch(train_x, train_y)
+            try:
+                loss, train_acc = self.train_epoch(train_x, train_y)
+            except WorkerFailureError as failure:
+                history.failures.append(failure.failure)
+                if verbose:
+                    print(f"[{self.config.label}] stopped: {failure}")
+                break
             elapsed = time.perf_counter() - start
             test_acc = self.evaluate(test_x, test_y)
             metrics = EpochMetrics(
@@ -152,3 +155,13 @@ class ParallelTrainer:
                     f"test={test_acc:.3f}"
                 )
         return history
+
+    def close(self) -> None:
+        """Shut down the execution engine (worker threads, if any)."""
+        self.engine.shutdown()
+
+    def __enter__(self) -> "ParallelTrainer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,47 @@
+"""Runtime: concurrent multi-worker execution of synchronous SGD.
+
+The runtime turns the paper's Algorithm 1 from a sequential rank loop
+into an actual concurrent system: one worker per rank (thread-based —
+numpy/BLAS releases the GIL), a reusable step barrier with timeout
+detection, DDP-style gradient bucketing that overlaps communication
+with backward, and deterministic straggler/crash injection.  The
+threaded engine is bit-identical to the sequential one by
+construction; see :mod:`repro.runtime.engine`.
+"""
+
+from .barrier import BarrierTimeout, StepBarrier
+from .buckets import BucketReadiness, GradientBucket, build_buckets
+from .engine import (
+    ENGINE_NAMES,
+    ExecutionEngine,
+    SequentialEngine,
+    ThreadedEngine,
+    make_engine,
+)
+from .faults import (
+    FaultPlan,
+    InjectedCrash,
+    WorkerFailure,
+    WorkerFailureError,
+)
+from .worker import RankWorker, clone_module, reseed_module_rngs
+
+__all__ = [
+    "BarrierTimeout",
+    "StepBarrier",
+    "BucketReadiness",
+    "GradientBucket",
+    "build_buckets",
+    "ENGINE_NAMES",
+    "ExecutionEngine",
+    "SequentialEngine",
+    "ThreadedEngine",
+    "make_engine",
+    "FaultPlan",
+    "InjectedCrash",
+    "WorkerFailure",
+    "WorkerFailureError",
+    "RankWorker",
+    "clone_module",
+    "reseed_module_rngs",
+]

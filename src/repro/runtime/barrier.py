@@ -1,0 +1,121 @@
+"""A reusable step barrier with timeout detection.
+
+Synchronous data-parallel SGD is only as fast as its slowest rank:
+every step ends with a rendezvous where all ranks (and the
+coordinator) must arrive before anyone proceeds.  :class:`StepBarrier`
+is that rendezvous — reusable across steps (generation counter), and
+unlike :class:`threading.Barrier` it reports *which* parties were
+missing when a timeout fires, which is what turns a silent hang into a
+structured straggler/crash diagnosis.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["BarrierTimeout", "StepBarrier"]
+
+
+class BarrierTimeout(RuntimeError):
+    """A barrier rendezvous did not complete before the deadline.
+
+    Attributes:
+        generation: the step generation that failed to complete.
+        missing: party ids that had not arrived when time ran out.
+    """
+
+    def __init__(self, generation: int, missing: tuple[int, ...]):
+        self.generation = generation
+        self.missing = missing
+        parties = ", ".join(str(p) for p in missing) or "<none>"
+        super().__init__(
+            f"barrier generation {generation} timed out waiting for "
+            f"parties [{parties}]"
+        )
+
+
+class StepBarrier:
+    """Reusable rendezvous for ``parties`` identified participants.
+
+    Every participant calls :meth:`wait` with its party id once per
+    step; the call returns (with the completed generation number) only
+    after all parties of the current generation have arrived.  If the
+    deadline passes first, the barrier breaks: the timed-out waiter
+    and every other waiter raise :class:`BarrierTimeout` naming the
+    missing parties.
+    """
+
+    def __init__(self, parties: int, timeout: float | None = None):
+        if parties < 1:
+            raise ValueError(f"parties must be >= 1, got {parties}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        self.parties = parties
+        self.timeout = timeout
+        self._cond = threading.Condition()
+        self._generation = 0
+        self._arrived: set[int] = set()
+        self._missing_at_break: tuple[int, ...] | None = None
+
+    @property
+    def broken(self) -> bool:
+        return self._missing_at_break is not None
+
+    def wait(self, party: int, timeout: float | None = None) -> int:
+        """Arrive at the current generation; block until it completes.
+
+        Args:
+            party: identifier of this participant (0-based; the
+                coordinator conventionally uses ``parties - 1``).
+            timeout: per-call deadline override in seconds; ``None``
+                uses the barrier's constructor timeout (``None`` there
+                means wait forever).
+
+        Returns:
+            The generation number that completed.
+
+        Raises:
+            BarrierTimeout: the deadline passed, or another waiter
+                broke the barrier while this one was blocked.
+        """
+        if not 0 <= party < self.parties:
+            raise ValueError(
+                f"party must be in [0, {self.parties}), got {party}"
+            )
+        timeout = self.timeout if timeout is None else timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            if self._missing_at_break is not None:
+                raise BarrierTimeout(self._generation, self._missing_at_break)
+            generation = self._generation
+            self._arrived.add(party)
+            if len(self._arrived) == self.parties:
+                self._generation += 1
+                self._arrived = set()
+                self._cond.notify_all()
+                return generation
+            while (
+                self._generation == generation
+                and self._missing_at_break is None
+            ):
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    self._missing_at_break = tuple(
+                        sorted(set(range(self.parties)) - self._arrived)
+                    )
+                    self._cond.notify_all()
+                    raise BarrierTimeout(generation, self._missing_at_break)
+                self._cond.wait(remaining)
+            if self._missing_at_break is not None:
+                raise BarrierTimeout(generation, self._missing_at_break)
+            return generation
+
+    def reset(self) -> None:
+        """Clear a broken barrier so it can be reused (testing aid)."""
+        with self._cond:
+            self._missing_at_break = None
+            self._arrived = set()
+            self._cond.notify_all()

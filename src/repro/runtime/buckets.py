@@ -1,0 +1,170 @@
+"""Gradient bucketing for overlapped communication (DDP-style).
+
+Backward passes produce gradients last-layer-first, so the exchange
+for the model's tail can start while the head is still computing.
+Buckets coalesce small parameters (ResNet110's 446 tiny matrices are
+the paper's worst case for per-matrix exchange overhead) into
+fixed-size groups ordered by backward completion, and
+:class:`BucketReadiness` is the thread-safe tracker the threaded
+engine blocks on: a bucket becomes ready when *every* rank has
+produced *every* gradient in it.
+
+Both engines walk buckets in the same fixed order, which pins the
+exchange-call sequence (and therefore the shared quantization RNG
+stream) — the keystone of the sequential/threaded bit-identity
+guarantee.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..nn.module import Parameter
+from .barrier import BarrierTimeout
+
+__all__ = ["GradientBucket", "build_buckets", "BucketReadiness"]
+
+#: default coalescing cap: 64 KiB of float32 gradients per bucket
+DEFAULT_BUCKET_BYTES = 1 << 16
+
+
+@dataclass(frozen=True)
+class GradientBucket:
+    """One coalesced group of parameters exchanged together.
+
+    Attributes:
+        index: position in exchange order (0 = first bucket launched,
+            i.e. the *last* layers of the model).
+        names: parameter names in deterministic exchange order.
+        nbytes: total float32 payload of the bucket.
+    """
+
+    index: int
+    names: tuple[str, ...]
+    nbytes: int
+
+
+def build_buckets(
+    parameters: Sequence[Parameter],
+    cap_bytes: int = DEFAULT_BUCKET_BYTES,
+) -> list[GradientBucket]:
+    """Greedily coalesce parameters into buckets of ``cap_bytes``.
+
+    Parameters are taken in *reverse* model order — the order backward
+    finishes them — so bucket 0 is ready first.  A parameter larger
+    than the cap gets a bucket of its own.
+    """
+    if cap_bytes < 1:
+        raise ValueError(f"cap_bytes must be >= 1, got {cap_bytes}")
+    buckets: list[GradientBucket] = []
+    pending: list[str] = []
+    pending_bytes = 0
+
+    def flush() -> None:
+        nonlocal pending, pending_bytes
+        if pending:
+            buckets.append(
+                GradientBucket(len(buckets), tuple(pending), pending_bytes)
+            )
+            pending = []
+            pending_bytes = 0
+
+    for param in reversed(list(parameters)):
+        nbytes = param.size * 4
+        if pending and pending_bytes + nbytes > cap_bytes:
+            flush()
+        pending.append(param.name)
+        pending_bytes += nbytes
+        if pending_bytes >= cap_bytes:
+            flush()
+    flush()
+    return buckets
+
+
+class BucketReadiness:
+    """Thread-safe per-bucket readiness tracker for one step.
+
+    Rank workers call :meth:`mark_ready` as each layer's backward
+    completes; the communication thread calls :meth:`wait` on buckets
+    in order.  A rank that dies calls :meth:`mark_dead`, which wakes
+    all waiters immediately instead of letting them run out the clock.
+    """
+
+    def __init__(self, buckets: Sequence[GradientBucket], world_size: int):
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        self.world_size = world_size
+        self._bucket_of: dict[str, int] = {}
+        for bucket in buckets:
+            for name in bucket.names:
+                if name in self._bucket_of:
+                    raise ValueError(f"parameter {name!r} in two buckets")
+                self._bucket_of[name] = bucket.index
+        # per bucket, per rank: gradients still owed
+        self._owed: list[list[int]] = [
+            [len(bucket.names)] * world_size for bucket in buckets
+        ]
+        self._seen: set[tuple[int, str]] = set()
+        self._dead: set[int] = set()
+        self._cond = threading.Condition()
+
+    def mark_ready(self, rank: int, names: Iterable[str]) -> None:
+        """Record that ``rank`` finished the gradients in ``names``."""
+        with self._cond:
+            completed = False
+            for name in names:
+                key = (rank, name)
+                if key in self._seen or name not in self._bucket_of:
+                    continue
+                self._seen.add(key)
+                owed = self._owed[self._bucket_of[name]]
+                owed[rank] -= 1
+                if owed[rank] == 0:
+                    completed = True
+            if completed:
+                self._cond.notify_all()
+
+    def mark_dead(self, rank: int) -> None:
+        """Record that ``rank`` will never deliver; wake all waiters."""
+        with self._cond:
+            self._dead.add(rank)
+            self._cond.notify_all()
+
+    def _pending_ranks(self, bucket_index: int) -> tuple[int, ...]:
+        return tuple(
+            rank
+            for rank, owed in enumerate(self._owed[bucket_index])
+            if owed > 0
+        )
+
+    def wait(
+        self, bucket_index: int, timeout: float | None = None
+    ) -> frozenset[int]:
+        """Block until the bucket is ready or a contributor died.
+
+        Returns:
+            The (possibly empty) frozen set of dead ranks.  An empty
+            set means the bucket is fully ready.
+
+        Raises:
+            BarrierTimeout: the deadline passed with ranks still
+                owing gradients; ``missing`` names those ranks.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                if self._dead:
+                    return frozenset(self._dead)
+                if not self._pending_ranks(bucket_index):
+                    return frozenset()
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise BarrierTimeout(
+                        bucket_index, self._pending_ranks(bucket_index)
+                    )
+                self._cond.wait(remaining)

@@ -1,0 +1,420 @@
+"""Execution engines: how the K simulated ranks actually run.
+
+Two engines share one interface and — by construction — one numeric
+trajectory:
+
+* :class:`SequentialEngine` runs rank workers one after another on the
+  calling thread (the seed repository's behaviour, extracted).
+* :class:`ThreadedEngine` runs one thread per rank.  numpy/BLAS
+  releases the GIL, so on multi-core hosts the per-rank
+  forward/backward passes genuinely parallelize; on any host the
+  bucketed exchange overlaps with the tail of backward.
+
+A paced interconnect (``TrainingConfig.link_gbps``) models each rank
+shipping its encoded gradient contribution over its own link, bucket
+by bucket, as soon as the bucket's last gradient lands — the
+bandwidth term of a ring allreduce.  The sequential engine pays every
+rank's wire time serially after that rank's compute; the threaded
+engine's ranks transmit concurrently, hiding wire time behind the
+other ranks' backward work exactly as the paper's DAG model predicts.
+Wire time is wall-clock only (``time.sleep``) and never touches the
+numerics, so pacing cannot break engine parity.
+
+Bit-identity between the engines holds for every scheme × exchange
+combination because (1) each rank's compute is the same code on the
+same replica with the same per-rank RNG stream, (2) the exchange is
+invoked bucket-by-bucket in one fixed order with one shared
+quantization RNG, and (3) every rank applies the same aggregated
+gradient.  The runtime test-suite asserts this across the full matrix.
+"""
+
+from __future__ import annotations
+
+import abc
+import queue
+import threading
+import time
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from ..data.loader import split_among_ranks
+from ..nn.module import Module
+from .barrier import BarrierTimeout, StepBarrier
+from .buckets import BucketReadiness, GradientBucket, build_buckets
+from .faults import (
+    FaultPlan,
+    InjectedCrash,
+    WorkerFailure,
+    WorkerFailureError,
+)
+from .worker import LossFn, RankWorker, clone_module, reseed_module_rngs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from ..core.config import TrainingConfig
+
+__all__ = [
+    "ENGINE_NAMES",
+    "ExecutionEngine",
+    "SequentialEngine",
+    "ThreadedEngine",
+    "make_engine",
+]
+
+ENGINE_NAMES = ("sequential", "threaded")
+
+
+class ExecutionEngine(abc.ABC):
+    """Owns the rank workers and drives one synchronous step at a time."""
+
+    name: str = "engine"
+
+    def __init__(self, model: Module, config: TrainingConfig, loss_fn: LossFn):
+        # deferred: core.algorithm imports the comm/quantization stack,
+        # which must not load as a side effect of importing the runtime
+        from ..core.algorithm import SynchronousStep
+
+        self.config = config
+        self.world_size = config.world_size
+        self.workers: list[RankWorker] = []
+        for rank in range(config.world_size):
+            replica = model if rank == 0 else clone_module(model)
+            reseed_module_rngs(replica, config.seed, rank)
+            self.workers.append(
+                RankWorker(
+                    rank,
+                    replica,
+                    loss_fn,
+                    lr=config.lr,
+                    momentum=config.momentum,
+                    weight_decay=config.weight_decay,
+                    label=config.label,
+                )
+            )
+        self.step_engine = SynchronousStep(
+            config, self.workers[0].parameters
+        )
+        self.buckets: list[GradientBucket] = build_buckets(
+            self.workers[0].parameters, config.comm_bucket_bytes
+        )
+        self.fault_plan = FaultPlan.from_config(config)
+        self._step_index = 0
+        # bytes/second of each rank's simulated link (None = free wire;
+        # a single rank exchanges nothing, so pacing is moot)
+        self._link_bytes_per_s = (
+            None
+            if config.link_gbps is None or config.world_size < 2
+            else config.link_gbps * 1e9 / 8.0
+        )
+        # one rank's encoded upload per bucket, from the scheme's own
+        # wire format (passthrough and layer selectivity included)
+        params = self.workers[0].param_by_name
+        self.bucket_tx_nbytes: dict[int, int] = {
+            bucket.index: sum(
+                self.step_engine.payload_nbytes(
+                    name, params[name].data.shape
+                )
+                for name in bucket.names
+            )
+            for bucket in self.buckets
+        }
+        #: bytes one rank puts on the wire per step
+        self.per_rank_payload_nbytes = sum(self.bucket_tx_nbytes.values())
+        self._bucket_of_name = {
+            name: bucket.index
+            for bucket in self.buckets
+            for name in bucket.names
+        }
+
+    # -- shared helpers ---------------------------------------------------
+    def set_lr(self, lr: float) -> None:
+        """Set the learning rate on every rank's optimizer."""
+        for worker in self.workers:
+            worker.optimizer.lr = lr
+
+    @property
+    def optimizer(self):
+        """Rank 0's optimizer (replicas hold identical state)."""
+        return self.workers[0].optimizer
+
+    def _exchange_bucket(self, bucket: GradientBucket) -> dict[str, np.ndarray]:
+        """Run the collective for one bucket; returns aggregated grads."""
+        return self.step_engine.aggregate_bucket(
+            list(bucket.names),
+            {
+                name: [w.gradient(name) for w in self.workers]
+                for name in bucket.names
+            },
+        )
+
+    def _pace_transmit(self, nbytes: int) -> None:
+        """Occupy one rank's link for ``nbytes`` of encoded gradient."""
+        if self._link_bytes_per_s is not None and nbytes > 0:
+            time.sleep(nbytes / self._link_bytes_per_s)
+
+    def _collect_metrics(self) -> tuple[float, float]:
+        """Shard-size-weighted global loss and accuracy of the last step."""
+        total = sum(w.samples for w in self.workers if w.loss is not None)
+        if total == 0:
+            return float("nan"), float("nan")
+        loss = (
+            sum(w.loss * w.samples for w in self.workers if w.loss is not None)
+            / total
+        )
+        acc = (
+            sum(
+                w.accuracy * w.samples
+                for w in self.workers
+                if w.accuracy is not None
+            )
+            / total
+        )
+        return float(loss), float(acc)
+
+    @abc.abstractmethod
+    def train_step(self, x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
+        """One global minibatch; returns (weighted loss, weighted acc)."""
+
+    def shutdown(self) -> None:
+        """Release engine resources (worker threads, if any)."""
+
+
+class SequentialEngine(ExecutionEngine):
+    """Rank loop on the calling thread — the reference trajectory."""
+
+    name = "sequential"
+
+    def train_step(self, x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
+        step = self._step_index
+        self._step_index += 1
+        shards = split_among_ranks(x, y, self.world_size)
+        for worker, (shard_x, shard_y) in zip(self.workers, shards):
+            try:
+                self.fault_plan.inject(worker.rank, step)
+            except InjectedCrash as exc:
+                raise WorkerFailureError(
+                    WorkerFailure(worker.rank, step, "crash", str(exc))
+                ) from exc
+            worker.compute(shard_x, shard_y)
+            # one thread, one timeline: this rank's upload cannot
+            # overlap anything
+            self._pace_transmit(self.per_rank_payload_nbytes)
+        aggregated: dict[str, np.ndarray] = {}
+        for bucket in self.buckets:
+            aggregated.update(self._exchange_bucket(bucket))
+        for worker in self.workers:
+            worker.apply_updates(aggregated)
+        return self._collect_metrics()
+
+
+class _StepContext:
+    """Everything the worker threads need for one synchronous step."""
+
+    def __init__(
+        self,
+        step: int,
+        shards: list[tuple[np.ndarray, np.ndarray]],
+        tracker: BucketReadiness,
+    ):
+        self.step = step
+        self.shards = shards
+        self.tracker = tracker
+        self.aggregated: dict[str, np.ndarray] = {}
+        self.apply_ready = threading.Event()
+        self.abort = False
+
+
+class ThreadedEngine(ExecutionEngine):
+    """Thread-per-rank engine with overlapped bucketed exchange.
+
+    Per step: worker threads run forward/backward on their shard,
+    announcing gradient readiness layer by layer; the coordinator
+    (the caller's thread) walks buckets in fixed order, running each
+    collective as soon as its last gradient lands — overlapping
+    communication with the remaining backward work.  All parties then
+    meet at a reusable :class:`StepBarrier`; a rank that crashes or
+    exceeds ``config.barrier_timeout`` is surfaced as a structured
+    :class:`WorkerFailure` instead of a hang.
+    """
+
+    name = "threaded"
+
+    def __init__(self, model: Module, config: TrainingConfig, loss_fn: LossFn):
+        super().__init__(model, config, loss_fn)
+        self._inbox: list[queue.Queue] = [
+            queue.Queue() for _ in range(self.world_size)
+        ]
+        self._end_barrier = StepBarrier(
+            self.world_size + 1, timeout=config.barrier_timeout
+        )
+        self._failure: WorkerFailure | None = None
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(rank,),
+                name=f"repro-rank-{rank}",
+                daemon=True,
+            )
+            for rank in range(self.world_size)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- worker side ------------------------------------------------------
+    def _worker_loop(self, rank: int) -> None:
+        worker = self.workers[rank]
+        while True:
+            ctx = self._inbox[rank].get()
+            if ctx is None:
+                return
+            try:
+                self.fault_plan.inject(rank, ctx.step)
+                shard_x, shard_y = ctx.shards[rank]
+                worker.compute(
+                    shard_x, shard_y, on_ready=self._paced_hook(rank, ctx)
+                )
+            except BaseException as exc:  # noqa: BLE001 - surfaced to main
+                worker.error = exc
+                ctx.tracker.mark_dead(rank)
+                continue
+            ctx.apply_ready.wait()
+            if ctx.abort:
+                continue
+            worker.apply_updates(ctx.aggregated)
+            try:
+                self._end_barrier.wait(rank)
+            except BarrierTimeout:
+                continue
+
+    def _paced_hook(self, rank: int, ctx: _StepContext):
+        """Per-step readiness hook: transmit a bucket, then announce it.
+
+        Each completed bucket occupies this rank's link before its
+        arrival is announced to the coordinator — ``time.sleep``
+        releases the GIL, so the other ranks' backward runs underneath
+        the transfer.
+        """
+        tracker = ctx.tracker
+        if self._link_bytes_per_s is None:
+            return lambda names: tracker.mark_ready(rank, names)
+        owed = {
+            bucket.index: len(bucket.names) for bucket in self.buckets
+        }
+
+        def on_ready(names):
+            for name in names:
+                index = self._bucket_of_name[name]
+                owed[index] -= 1
+                if owed[index] == 0:
+                    self._pace_transmit(self.bucket_tx_nbytes[index])
+            tracker.mark_ready(rank, names)
+
+        return on_ready
+
+    # -- coordinator side -------------------------------------------------
+    def train_step(self, x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
+        if self._failure is not None:
+            raise WorkerFailureError(self._failure)
+        step = self._step_index
+        self._step_index += 1
+        ctx = _StepContext(
+            step,
+            split_among_ranks(x, y, self.world_size),
+            BucketReadiness(self.buckets, self.world_size),
+        )
+        for rank in range(self.world_size):
+            self._inbox[rank].put(ctx)
+        try:
+            for bucket in self.buckets:
+                dead = ctx.tracker.wait(
+                    bucket.index, timeout=self.config.barrier_timeout
+                )
+                if dead:
+                    self._raise_worker_errors(ctx, sorted(dead))
+                ctx.aggregated.update(self._exchange_bucket(bucket))
+        except BarrierTimeout as timeout:
+            failure = WorkerFailure(
+                rank=min(timeout.missing, default=-1),
+                step=step,
+                kind="timeout",
+                message=str(timeout),
+            )
+            self._abort(ctx, failure)
+            raise WorkerFailureError(failure) from timeout
+        ctx.apply_ready.set()
+        try:
+            self._end_barrier.wait(self.world_size)
+        except BarrierTimeout as timeout:
+            failure = WorkerFailure(
+                rank=min(timeout.missing, default=-1),
+                step=step,
+                kind="timeout",
+                message=str(timeout),
+            )
+            self._failure = failure
+            raise WorkerFailureError(failure) from timeout
+        return self._collect_metrics()
+
+    def _raise_worker_errors(self, ctx: _StepContext, dead: list[int]) -> None:
+        """Convert dead-rank state into the right exception."""
+        for rank in dead:
+            error = self.workers[rank].error
+            if error is not None and not isinstance(error, InjectedCrash):
+                # a real compute error (e.g. divergence) propagates
+                # with its original type, exactly as the sequential
+                # engine raises it from the rank loop
+                self._abort(ctx, failure=None)
+                self.workers[rank].error = None
+                raise error
+        rank = dead[0]
+        error = self.workers[rank].error
+        failure = WorkerFailure(
+            rank=rank,
+            step=ctx.step,
+            kind="crash",
+            message=str(error) if error is not None else "rank died",
+        )
+        self._abort(ctx, failure)
+        raise WorkerFailureError(failure)
+
+    def _abort(
+        self, ctx: _StepContext, failure: WorkerFailure | None
+    ) -> None:
+        """Release every worker from the step without applying updates."""
+        ctx.abort = True
+        ctx.apply_ready.set()
+        if failure is not None:
+            self._failure = failure
+
+    def shutdown(self) -> None:
+        for rank in range(self.world_size):
+            self._inbox[rank].put(None)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+    def __del__(self) -> None:  # pragma: no cover - GC best effort
+        try:
+            if any(t.is_alive() for t in self._threads):
+                self.shutdown()
+        except Exception:
+            pass
+
+
+_ENGINES: dict[str, Callable[..., ExecutionEngine]] = {
+    "sequential": SequentialEngine,
+    "threaded": ThreadedEngine,
+}
+
+
+def make_engine(
+    model: Module, config: TrainingConfig, loss_fn: LossFn
+) -> ExecutionEngine:
+    """Construct the execution engine selected by ``config.engine``."""
+    try:
+        engine_cls = _ENGINES[config.engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {config.engine!r}; expected one of "
+            f"{ENGINE_NAMES}"
+        ) from None
+    return engine_cls(model, config, loss_fn)

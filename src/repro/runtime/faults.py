@@ -1,0 +1,127 @@
+"""Deterministic straggler and crash injection for the runtime engines.
+
+Synchronous training's Achilles heel is that one slow or dead rank
+stalls the whole step.  The fault plan lets experiments inject exactly
+that, deterministically: a fixed per-step delay on chosen ranks
+(straggler), or a hard crash of one rank at one global step.  The
+engines detect both through barrier/bucket timeouts and surface a
+structured :class:`WorkerFailure` instead of hanging.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "FaultPlan",
+    "InjectedCrash",
+    "WorkerFailure",
+    "WorkerFailureError",
+]
+
+
+class InjectedCrash(RuntimeError):
+    """Raised inside a rank worker when the fault plan kills it."""
+
+
+@dataclass(frozen=True)
+class WorkerFailure:
+    """Structured record of one rank failing a synchronous step.
+
+    Attributes:
+        rank: the rank the engine blames (for a pure timeout with
+            several missing ranks, the lowest missing one).
+        step: global step index at which the failure was detected.
+        kind: "crash" (the rank died), "timeout" (the rank missed the
+            barrier deadline), or "error" (the rank raised).
+        message: human-readable diagnosis.
+    """
+
+    rank: int
+    step: int
+    kind: str
+    message: str
+
+    def to_dict(self) -> dict:
+        return {
+            "rank": self.rank,
+            "step": self.step,
+            "kind": self.kind,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "WorkerFailure":
+        return cls(**record)
+
+
+class WorkerFailureError(RuntimeError):
+    """A synchronous step could not complete; carries the diagnosis."""
+
+    def __init__(self, failure: WorkerFailure):
+        self.failure = failure
+        super().__init__(
+            f"rank {failure.rank} {failure.kind} at step {failure.step}: "
+            f"{failure.message}"
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic fault schedule shared by both execution engines.
+
+    Attributes:
+        straggler_ranks: ranks delayed by ``straggler_delay`` seconds
+            at the start of every step's compute phase.
+        straggler_delay: injected delay in seconds (0 disables).
+        crash_rank / crash_step: the given rank raises
+            :class:`InjectedCrash` at the given global step; ``None``
+            disables crash injection.
+    """
+
+    straggler_ranks: tuple[int, ...] = ()
+    straggler_delay: float = 0.0
+    crash_rank: int | None = None
+    crash_step: int | None = None
+
+    @classmethod
+    def from_config(cls, config) -> "FaultPlan":
+        """Extract the fault schedule from a ``TrainingConfig``."""
+        return cls(
+            straggler_ranks=tuple(config.straggler_ranks),
+            straggler_delay=config.straggler_delay,
+            crash_rank=config.crash_rank,
+            crash_step=config.crash_step,
+        )
+
+    @property
+    def active(self) -> bool:
+        return bool(
+            (self.straggler_ranks and self.straggler_delay > 0.0)
+            or self.crash_rank is not None
+        )
+
+    def delay_for(self, rank: int, step: int) -> float:
+        """Seconds of injected straggler delay for this rank and step."""
+        del step  # stragglers are persistent, not step-targeted
+        if rank in self.straggler_ranks:
+            return self.straggler_delay
+        return 0.0
+
+    def should_crash(self, rank: int, step: int) -> bool:
+        return (
+            self.crash_rank is not None
+            and rank == self.crash_rank
+            and (self.crash_step is None or step == self.crash_step)
+        )
+
+    def inject(self, rank: int, step: int) -> None:
+        """Apply the plan at the top of one rank's compute phase."""
+        delay = self.delay_for(rank, step)
+        if delay > 0.0:
+            time.sleep(delay)
+        if self.should_crash(rank, step):
+            raise InjectedCrash(
+                f"injected crash of rank {rank} at step {step}"
+            )

@@ -1,0 +1,177 @@
+"""Per-rank worker: model replica, RNG stream, compute, and update.
+
+Each rank owns a full model replica (as every GPU does in real
+data-parallel training), a deterministic per-rank RNG stream for any
+stochastic layers (dropout), and its own optimizer instance.  Because
+every rank applies the *same* aggregated gradient to the *same*
+starting parameters, replicas remain bit-identical after every step —
+the synchronous-SGD invariant, asserted by the runtime tests.
+
+The worker is engine-agnostic: the sequential engine calls
+:meth:`RankWorker.compute` inline in rank order, the threaded engine
+calls it from a dedicated thread.  Bit-identity between the two falls
+out of both engines running this exact code per rank.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..nn.loss import accuracy as _accuracy
+from ..nn.module import Module, Parameter, Sequential
+from ..optim import Sgd
+
+__all__ = ["RankWorker", "clone_module", "reseed_module_rngs"]
+
+LossFn = Callable[[np.ndarray, np.ndarray], tuple[float, np.ndarray]]
+ReadyHook = Callable[[Iterable[str]], None]
+
+
+def clone_module(module: Module) -> Module:
+    """Deep-copy a model into an independent replica."""
+    return copy.deepcopy(module)
+
+
+def reseed_module_rngs(module: Module, seed: int, rank: int) -> int:
+    """Give every RNG inside ``module`` a deterministic per-rank stream.
+
+    Walks the module tree (attributes, nested modules, lists/tuples)
+    and replaces each ``np.random.Generator`` attribute with a fresh
+    generator seeded from ``(seed, rank, position)``.  Ranks therefore
+    draw *different* dropout masks (as real replicas do) while any two
+    engines running the same rank draw *identical* ones.
+
+    Returns the number of generators replaced.
+    """
+    counter = 0
+
+    def visit(node: object) -> None:
+        nonlocal counter
+        if isinstance(node, Module):
+            for attr, value in vars(node).items():
+                if isinstance(value, np.random.Generator):
+                    setattr(
+                        node,
+                        attr,
+                        np.random.default_rng(
+                            np.random.SeedSequence([seed, rank, counter])
+                        ),
+                    )
+                    counter += 1
+                else:
+                    visit(value)
+        elif isinstance(node, (list, tuple)):
+            for item in node:
+                visit(item)
+
+    visit(module)
+    return counter
+
+
+class RankWorker:
+    """State and per-step compute of one simulated rank.
+
+    Attributes:
+        rank: 0-based rank id.
+        model: this rank's model replica.
+        parameters: the replica's parameters, in stable model order.
+        optimizer: this rank's SGD instance (momentum state lives per
+            replica; identical inputs keep replicas bit-identical).
+        loss / accuracy / samples: results of the last compute phase
+            (``None`` / 0 when the rank received an empty shard).
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        model: Module,
+        loss_fn: LossFn,
+        lr: float,
+        momentum: float,
+        weight_decay: float,
+        label: str,
+    ):
+        self.rank = rank
+        self.model = model
+        self.loss_fn = loss_fn
+        self.label = label
+        self.parameters: list[Parameter] = model.parameters()
+        self.param_by_name = {p.name: p for p in self.parameters}
+        self.optimizer = Sgd(
+            lr=lr, momentum=momentum, weight_decay=weight_decay
+        )
+        self.loss: float | None = None
+        self.accuracy: float | None = None
+        self.samples: int = 0
+        self.error: BaseException | None = None
+
+    # -- compute phase ----------------------------------------------------
+    def compute(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        on_ready: ReadyHook | None = None,
+    ) -> None:
+        """Forward/backward on this rank's shard of the global batch.
+
+        ``on_ready`` is invoked with parameter names as their
+        gradients become final (per top-level layer, in backward
+        order), enabling bucketed exchange to overlap with the rest of
+        the backward pass.  Gradients are left in each parameter's
+        ``grad`` buffer; an empty shard yields zero gradients.
+        """
+        self.loss = None
+        self.accuracy = None
+        self.samples = int(x.shape[0])
+        self.model.zero_grad()
+        if self.samples == 0:
+            if on_ready is not None:
+                on_ready([p.name for p in self.parameters])
+            return
+        logits = self.model.forward(x, training=True)
+        loss, dlogits = self.loss_fn(logits, y)
+        if not np.isfinite(loss):
+            raise FloatingPointError(
+                f"training diverged: non-finite loss under "
+                f"{self.label} (lower the learning rate or "
+                "use a less aggressive quantizer)"
+            )
+        self.loss = float(loss)
+        self.accuracy = float(_accuracy(logits, y))
+        self._backward(dlogits, on_ready)
+
+    def _backward(
+        self, dlogits: np.ndarray, on_ready: ReadyHook | None
+    ) -> None:
+        """Backward pass, announcing gradient readiness layer by layer.
+
+        For :class:`Sequential` models each top-level layer (including
+        composite blocks) is announced as soon as its backward
+        completes; other model classes are announced wholesale.
+        """
+        if on_ready is None:
+            self.model.backward(dlogits)
+            return
+        if isinstance(self.model, Sequential):
+            dout = dlogits
+            for layer in reversed(self.model.layers):
+                dout = layer.backward(dout)
+                names = [p.name for p in layer.parameters()]
+                if names:
+                    on_ready(names)
+        else:
+            self.model.backward(dlogits)
+            on_ready([p.name for p in self.parameters])
+
+    # -- update phase -----------------------------------------------------
+    def apply_updates(self, aggregated: dict[str, np.ndarray]) -> None:
+        """Apply the aggregated gradients to this rank's replica."""
+        for param in self.parameters:
+            self.optimizer.apply(param, aggregated[param.name])
+
+    def gradient(self, name: str) -> np.ndarray:
+        """This rank's gradient buffer for one parameter."""
+        return self.param_by_name[name].grad

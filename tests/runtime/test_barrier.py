@@ -1,0 +1,96 @@
+"""Tests for the reusable step barrier."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime import BarrierTimeout, StepBarrier
+
+
+class TestRendezvous:
+    def test_single_party_never_blocks(self):
+        barrier = StepBarrier(1)
+        assert barrier.wait(0) == 0
+        assert barrier.wait(0) == 1
+
+    def test_two_parties_meet(self):
+        barrier = StepBarrier(2)
+        generations = []
+
+        def other():
+            generations.append(barrier.wait(1))
+
+        thread = threading.Thread(target=other)
+        thread.start()
+        generations.append(barrier.wait(0))
+        thread.join(timeout=5)
+        assert generations == [0, 0]
+
+    def test_reusable_across_generations(self):
+        barrier = StepBarrier(2)
+        seen = []
+
+        def worker():
+            for _ in range(5):
+                seen.append(barrier.wait(1))
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        for _ in range(5):
+            barrier.wait(0)
+        thread.join(timeout=5)
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_rejects_bad_party(self):
+        barrier = StepBarrier(2)
+        with pytest.raises(ValueError, match="party"):
+            barrier.wait(2)
+
+    def test_rejects_bad_parties(self):
+        with pytest.raises(ValueError, match="parties"):
+            StepBarrier(0)
+
+
+class TestTimeoutDetection:
+    def test_timeout_names_missing_parties(self):
+        barrier = StepBarrier(3, timeout=0.05)
+        with pytest.raises(BarrierTimeout) as excinfo:
+            barrier.wait(1)
+        assert excinfo.value.missing == (0, 2)
+        assert "0, 2" in str(excinfo.value)
+
+    def test_break_wakes_other_waiters(self):
+        barrier = StepBarrier(3)
+        errors = []
+
+        def patient():
+            try:
+                barrier.wait(0, timeout=30.0)
+            except BarrierTimeout as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=patient)
+        thread.start()
+        time.sleep(0.05)
+        with pytest.raises(BarrierTimeout):
+            barrier.wait(1, timeout=0.05)
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert len(errors) == 1
+        assert errors[0].missing == (2,)
+
+    def test_broken_barrier_raises_immediately(self):
+        barrier = StepBarrier(2, timeout=0.01)
+        with pytest.raises(BarrierTimeout):
+            barrier.wait(0)
+        start = time.monotonic()
+        with pytest.raises(BarrierTimeout):
+            barrier.wait(1, timeout=30.0)
+        assert time.monotonic() - start < 1.0
+
+    def test_reset_restores_service(self):
+        barrier = StepBarrier(1, timeout=0.01)
+        barrier._missing_at_break = (0,)  # simulate a break
+        barrier.reset()
+        assert barrier.wait(0) >= 0

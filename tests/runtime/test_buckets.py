@@ -1,0 +1,104 @@
+"""Tests for gradient bucketing and the readiness tracker."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.runtime import BarrierTimeout, BucketReadiness, build_buckets
+
+
+def params(*sizes):
+    return [
+        Parameter(f"p{i}", np.zeros(size, dtype=np.float32))
+        for i, size in enumerate(sizes)
+    ]
+
+
+class TestBuildBuckets:
+    def test_reverse_order_coalescing(self):
+        # cap of 40 bytes = 10 floats; reverse order is p3, p2, p1, p0
+        buckets = build_buckets(params(100, 4, 4, 4), cap_bytes=40)
+        assert [b.names for b in buckets] == [
+            ("p3", "p2"),
+            ("p1",),
+            ("p0",),
+        ]
+        assert buckets[0].index == 0
+
+    def test_every_parameter_in_exactly_one_bucket(self):
+        inventory = params(7, 3, 900, 1, 1, 50)
+        buckets = build_buckets(inventory, cap_bytes=64)
+        names = [name for b in buckets for name in b.names]
+        assert sorted(names) == sorted(p.name for p in inventory)
+        assert len(names) == len(set(names))
+
+    def test_oversized_parameter_gets_own_bucket(self):
+        buckets = build_buckets(params(1000, 2), cap_bytes=64)
+        assert buckets[0].names == ("p1",)
+        assert buckets[1].names == ("p0",)
+        assert buckets[1].nbytes == 4000
+
+    def test_single_bucket_when_under_cap(self):
+        buckets = build_buckets(params(2, 2, 2), cap_bytes=1 << 20)
+        assert len(buckets) == 1
+        assert buckets[0].names == ("p2", "p1", "p0")
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ValueError, match="cap_bytes"):
+            build_buckets(params(4), cap_bytes=0)
+
+
+class TestBucketReadiness:
+    def test_ready_only_when_all_ranks_delivered(self):
+        buckets = build_buckets(params(4, 4), cap_bytes=4)
+        tracker = BucketReadiness(buckets, world_size=2)
+        tracker.mark_ready(0, ["p1"])
+        with pytest.raises(BarrierTimeout) as excinfo:
+            tracker.wait(0, timeout=0.05)
+        assert excinfo.value.missing == (1,)
+        tracker.mark_ready(1, ["p1"])
+        assert tracker.wait(0, timeout=1.0) == frozenset()
+
+    def test_duplicate_notifications_are_idempotent(self):
+        buckets = build_buckets(params(4, 4), cap_bytes=1 << 20)
+        tracker = BucketReadiness(buckets, world_size=2)
+        for _ in range(5):
+            tracker.mark_ready(0, ["p0", "p1"])
+        with pytest.raises(BarrierTimeout):
+            tracker.wait(0, timeout=0.05)
+
+    def test_dead_rank_wakes_waiter_immediately(self):
+        buckets = build_buckets(params(4), cap_bytes=1 << 20)
+        tracker = BucketReadiness(buckets, world_size=2)
+
+        def die_soon():
+            time.sleep(0.05)
+            tracker.mark_dead(1)
+
+        threading.Thread(target=die_soon).start()
+        start = time.monotonic()
+        dead = tracker.wait(0, timeout=30.0)
+        assert dead == frozenset({1})
+        assert time.monotonic() - start < 5.0
+
+    def test_cross_thread_readiness(self):
+        buckets = build_buckets(params(4, 4, 4), cap_bytes=4)
+        tracker = BucketReadiness(buckets, world_size=2)
+
+        def worker(rank):
+            for name in ("p2", "p1", "p0"):  # backward order
+                time.sleep(0.01)
+                tracker.mark_ready(rank, [name])
+
+        threads = [
+            threading.Thread(target=worker, args=(rank,)) for rank in (0, 1)
+        ]
+        for thread in threads:
+            thread.start()
+        for index in range(3):
+            assert tracker.wait(index, timeout=5.0) == frozenset()
+        for thread in threads:
+            thread.join(timeout=5)

@@ -1,0 +1,187 @@
+"""Bit-identity of the threaded and sequential execution engines.
+
+The keystone guarantee of the runtime: for every scheme × exchange ×
+world-size combination, running the rank workers concurrently must
+produce *exactly* the parameter trajectory of the sequential rank
+loop — same losses, same test accuracies, same bytes on the wire,
+bit-identical weights.  Any nondeterminism in the barrier, bucketing,
+RNG streams, or reduction order breaks this.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ParallelTrainer, TrainingConfig
+from repro.data import make_image_dataset
+from repro.models import tiny_alexnet, tiny_resnet
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_image_dataset(
+        num_classes=4,
+        train_samples=64,
+        test_samples=32,
+        image_size=8,
+        noise=0.8,
+        seed=0,
+    )
+
+
+def run(engine, dataset, *, scheme, exchange, world_size, model=tiny_alexnet,
+        epochs=2, comm_bucket_bytes=1 << 12):
+    config = TrainingConfig(
+        scheme=scheme,
+        exchange=exchange,
+        world_size=world_size,
+        batch_size=16,
+        lr=0.01,
+        seed=0,
+        engine=engine,
+        comm_bucket_bytes=comm_bucket_bytes,
+    )
+    with ParallelTrainer(
+        model(num_classes=4, image_size=8, seed=1)
+        if model is tiny_alexnet
+        else model(num_classes=4, seed=1),
+        config,
+    ) as trainer:
+        history = trainer.fit(
+            dataset.train_x,
+            dataset.train_y,
+            dataset.test_x,
+            dataset.test_y,
+            epochs=epochs,
+        )
+        weights = {p.name: p.data.copy() for p in trainer.parameters}
+    return history, weights
+
+
+def assert_identical(run_a, run_b):
+    history_a, weights_a = run_a
+    history_b, weights_b = run_b
+    for attribute in ("train_loss", "test_accuracy", "comm_bytes"):
+        assert history_a.series(attribute) == history_b.series(attribute), (
+            f"{attribute} series diverged"
+        )
+    for name, data in weights_a.items():
+        assert np.array_equal(data, weights_b[name]), (
+            f"parameter {name} not bit-identical"
+        )
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("world_size", [1, 2, 4])
+    @pytest.mark.parametrize("exchange", ["mpi", "nccl"])
+    @pytest.mark.parametrize("scheme", ["32bit", "1bit", "qsgd4"])
+    def test_threaded_matches_sequential(
+        self, dataset, scheme, exchange, world_size
+    ):
+        assert_identical(
+            run(
+                "sequential",
+                dataset,
+                scheme=scheme,
+                exchange=exchange,
+                world_size=world_size,
+            ),
+            run(
+                "threaded",
+                dataset,
+                scheme=scheme,
+                exchange=exchange,
+                world_size=world_size,
+            ),
+        )
+
+    def test_parity_with_batchnorm_model(self, dataset):
+        # BN keeps running statistics per replica; parity must survive
+        # stateful layers as well as dropout (the alexnet cases)
+        assert_identical(
+            run(
+                "sequential",
+                dataset,
+                scheme="qsgd4",
+                exchange="mpi",
+                world_size=2,
+                model=tiny_resnet,
+            ),
+            run(
+                "threaded",
+                dataset,
+                scheme="qsgd4",
+                exchange="mpi",
+                world_size=2,
+                model=tiny_resnet,
+            ),
+        )
+
+    def test_parity_with_tiny_buckets(self, dataset):
+        # one parameter per bucket maximizes overlap scheduling churn;
+        # the exchange order (and RNG stream) must not care
+        assert_identical(
+            run(
+                "sequential",
+                dataset,
+                scheme="qsgd4",
+                exchange="mpi",
+                world_size=2,
+                comm_bucket_bytes=1,
+            ),
+            run(
+                "threaded",
+                dataset,
+                scheme="qsgd4",
+                exchange="mpi",
+                world_size=2,
+                comm_bucket_bytes=1,
+            ),
+        )
+
+    def test_parity_with_unequal_shards(self, dataset):
+        # 64 training samples, batch 16, world 3: every step leaves
+        # one rank a short shard; weighting must match exactly
+        assert_identical(
+            run(
+                "sequential",
+                dataset,
+                scheme="32bit",
+                exchange="mpi",
+                world_size=3,
+            ),
+            run(
+                "threaded",
+                dataset,
+                scheme="32bit",
+                exchange="mpi",
+                world_size=3,
+            ),
+        )
+
+    def test_replicas_stay_bit_identical(self, dataset):
+        config = TrainingConfig(
+            scheme="qsgd4",
+            world_size=4,
+            batch_size=16,
+            lr=0.01,
+            seed=0,
+            engine="threaded",
+        )
+        with ParallelTrainer(
+            tiny_alexnet(num_classes=4, image_size=8, seed=1), config
+        ) as trainer:
+            trainer.fit(
+                dataset.train_x,
+                dataset.train_y,
+                dataset.test_x,
+                dataset.test_y,
+                epochs=1,
+            )
+            reference = trainer.engine.workers[0]
+            for worker in trainer.engine.workers[1:]:
+                for ref_param, param in zip(
+                    reference.parameters, worker.parameters
+                ):
+                    assert np.array_equal(ref_param.data, param.data), (
+                        f"rank {worker.rank} diverged on {param.name}"
+                    )

@@ -1,0 +1,174 @@
+"""Straggler and crash injection: failures surface, nothing hangs."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import ParallelTrainer, TrainingConfig
+from repro.nn import Dense, Sequential
+from repro.runtime import FaultPlan, InjectedCrash, WorkerFailureError
+
+
+def dataset(n=64, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 8)).astype(np.float32)
+    y = rng.integers(0, 4, size=n).astype(np.int64)
+    return x, y
+
+
+def linear_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(Dense(8, 4, "fc", rng))
+
+
+def make_trainer(**config_kwargs):
+    config = TrainingConfig(
+        scheme="32bit", batch_size=16, lr=0.01, **config_kwargs
+    )
+    return ParallelTrainer(linear_model(), config)
+
+
+class TestFaultPlan:
+    def test_inactive_by_default(self):
+        assert not FaultPlan().active
+
+    def test_straggler_delay_targets_ranks(self):
+        plan = FaultPlan(straggler_ranks=(1,), straggler_delay=0.25)
+        assert plan.active
+        assert plan.delay_for(1, step=3) == 0.25
+        assert plan.delay_for(0, step=3) == 0.0
+
+    def test_crash_targets_one_step(self):
+        plan = FaultPlan(crash_rank=2, crash_step=5)
+        assert plan.should_crash(2, 5)
+        assert not plan.should_crash(2, 4)
+        assert not plan.should_crash(1, 5)
+        with pytest.raises(InjectedCrash, match="rank 2 at step 5"):
+            plan.inject(2, 5)
+
+    def test_config_round_trip(self):
+        config = TrainingConfig(
+            batch_size=8,
+            world_size=2,
+            straggler_ranks=(0,),
+            straggler_delay=0.1,
+            crash_rank=1,
+            crash_step=7,
+        )
+        plan = FaultPlan.from_config(config)
+        assert plan.straggler_ranks == (0,)
+        assert plan.crash_rank == 1
+        assert plan.crash_step == 7
+
+    def test_config_validates_fault_ranks(self):
+        with pytest.raises(ValueError, match="crash_rank"):
+            TrainingConfig(batch_size=8, world_size=2, crash_rank=2)
+        with pytest.raises(ValueError, match="straggler rank"):
+            TrainingConfig(
+                batch_size=8, world_size=2, straggler_ranks=(5,)
+            )
+
+
+class TestCrashInjection:
+    @pytest.mark.parametrize("engine", ["sequential", "threaded"])
+    def test_crash_surfaces_as_structured_failure(self, engine):
+        x, y = dataset()
+        trainer = make_trainer(
+            world_size=2,
+            engine=engine,
+            crash_rank=1,
+            crash_step=2,
+            barrier_timeout=5.0,
+        )
+        with trainer:
+            start = time.monotonic()
+            history = trainer.fit(x, y, x, y, epochs=3)
+            elapsed = time.monotonic() - start
+        # the barrier/readiness rendezvous detects the dead rank well
+        # before the timeout would run out — no hang
+        assert elapsed < 5.0
+        assert history.failed
+        (failure,) = history.failures
+        assert failure.kind == "crash"
+        assert failure.rank == 1
+        assert failure.step == 2
+        # the epoch containing the crash is not recorded
+        assert len(history.epochs) == 0
+
+    def test_failed_engine_refuses_further_steps(self):
+        x, y = dataset()
+        trainer = make_trainer(
+            world_size=2, engine="threaded", crash_rank=0, crash_step=0
+        )
+        with trainer:
+            history = trainer.fit(x, y, x, y, epochs=1)
+            assert history.failed
+            with pytest.raises(WorkerFailureError):
+                trainer.train_step(x[:16], y[:16])
+
+    def test_failure_serializes_with_history(self):
+        from repro.core import History
+
+        x, y = dataset()
+        trainer = make_trainer(
+            world_size=2, engine="threaded", crash_rank=1, crash_step=0
+        )
+        with trainer:
+            history = trainer.fit(x, y, x, y, epochs=1)
+        record = history.to_dict()
+        assert record["failures"][0]["kind"] == "crash"
+        restored = History.from_dict(record)
+        assert restored.failures == history.failures
+
+
+class TestStragglerInjection:
+    def test_slow_rank_beyond_timeout_is_reported(self):
+        x, y = dataset(n=16)
+        trainer = make_trainer(
+            world_size=2,
+            engine="threaded",
+            straggler_ranks=(1,),
+            straggler_delay=1.0,
+            barrier_timeout=0.1,
+        )
+        with trainer:
+            history = trainer.fit(x, y, x, y, epochs=1)
+        assert history.failed
+        (failure,) = history.failures
+        assert failure.kind == "timeout"
+        assert failure.rank == 1
+
+    def test_tolerated_straggler_slows_but_completes(self):
+        x, y = dataset(n=32)
+        delay = 0.05
+        trainer = make_trainer(
+            world_size=2,
+            engine="threaded",
+            straggler_ranks=(0,),
+            straggler_delay=delay,
+            barrier_timeout=10.0,
+        )
+        with trainer:
+            start = time.monotonic()
+            history = trainer.fit(x, y, x, y, epochs=1)
+            elapsed = time.monotonic() - start
+        assert not history.failed
+        assert len(history.epochs) == 1
+        # two steps of 32/16, each gated on the injected delay
+        assert elapsed >= 2 * delay
+
+    def test_sequential_engine_also_pays_the_delay(self):
+        x, y = dataset(n=16)
+        trainer = make_trainer(
+            world_size=2,
+            engine="sequential",
+            straggler_ranks=(1,),
+            straggler_delay=0.05,
+        )
+        with trainer:
+            start = time.monotonic()
+            history = trainer.fit(x, y, x, y, epochs=1)
+            elapsed = time.monotonic() - start
+        assert not history.failed
+        assert elapsed >= 0.05

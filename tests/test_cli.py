@@ -56,3 +56,39 @@ class TestCli:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestTrainCommand:
+    ARGS = [
+        "train",
+        "--epochs", "1",
+        "--train-samples", "32",
+        "--test-samples", "16",
+        "--batch-size", "16",
+    ]
+
+    @pytest.mark.parametrize("engine", ["sequential", "threaded"])
+    def test_train_runs_with_both_engines(self, capsys, engine):
+        assert main(self.ARGS + ["--engine", engine]) == 0
+        out = capsys.readouterr().out
+        assert "final test accuracy" in out
+        assert engine in out
+
+    def test_train_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--engine", "warp-drive"])
+
+    def test_injected_crash_reported_and_nonzero_exit(self, capsys):
+        code = main(
+            self.ARGS
+            + [
+                "--engine", "threaded",
+                "--world-size", "2",
+                "--crash-rank", "1",
+                "--crash-step", "0",
+                "--barrier-timeout", "5",
+            ]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "rank 1 crash at step 0" in err
