@@ -1,0 +1,226 @@
+"""Hot-path throughput and allocation benchmark with a regression gate.
+
+Measures the quantized aggregation step (encode -> exchange -> fused
+decode-accumulate -> mean) on the paper's primary low-precision cell —
+QSGD 4-bit over the NCCL ring with K=4 ranks — in both execution modes:
+
+``workspace``
+    the zero-allocation path: encode/decode scratch, packed words, and
+    the running aggregate all live in a reused :class:`EncodeWorkspace`
+    arena, and the exchanges fold each rank's decode straight into the
+    accumulator (``decode_into(..., accumulate=True)`` /
+    ``Quantizer.sum_decoder``).
+
+``allocating``
+    the reference path (``TrainingConfig(workspace=False)``): every
+    encode/decode materializes fresh arrays.  Both modes produce
+    bit-identical trajectories (tests/comm/test_fused_exchange.py), so
+    the delta is pure allocator and memory-bandwidth cost.
+
+Two metrics per mode, measured in separate passes so instrumentation
+never pollutes the timing:
+
+* ``steps_per_sec`` — wall-clock rate of full aggregation steps over a
+  five-layer AlexNet-like parameter inventory.
+* ``alloc_bytes_per_step`` — tracemalloc peak-delta per step (the
+  bytes of fresh Python-heap allocation one step performs).
+
+The JSON report is written to ``BENCH_hotpath.json``.  With ``--gate
+BASELINE.json`` the script exits non-zero when the workspace mode's
+steps/sec regresses more than ``--gate-tolerance`` (default 20%) below
+the checked-in baseline — CI runs this as a smoke gate on every push.
+
+Run with: PYTHONPATH=src python benchmarks/bench_hotpath.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.core.algorithm import SynchronousStep
+from repro.core.config import TrainingConfig
+
+#: AlexNet-like layer inventory (rows, cols) — conv kernels flattened
+#: the way the exchanges see them.  fc1 dominates, as in the paper's
+#: AlexNet where the fully connected layers hold most of the traffic.
+PARAM_SHAPES = {
+    "conv1": (32, 75),
+    "conv2": (64, 800),
+    "conv3": (128, 1152),
+    "fc1": (256, 2048),
+    "fc2": (10, 256),
+}
+
+WORLD_SIZE = 4
+
+
+class _Param:
+    """Minimal stand-in for nn.Parameter: name/shape/size/kind."""
+
+    def __init__(self, name: str, shape: tuple[int, int]):
+        self.name = name
+        self.shape = shape
+        self.size = int(np.prod(shape))
+        self.kind = "param"
+
+
+def build_step(workspace: bool) -> SynchronousStep:
+    config = TrainingConfig(
+        scheme="qsgd4",
+        exchange="nccl",
+        world_size=WORLD_SIZE,
+        batch_size=16,
+        seed=0,
+        workspace=workspace,
+    )
+    params = [_Param(n, s) for n, s in PARAM_SHAPES.items()]
+    return SynchronousStep(config, params)
+
+
+def make_grads() -> dict[str, list[np.ndarray]]:
+    rngs = [np.random.default_rng(100 + r) for r in range(WORLD_SIZE)]
+    return {
+        name: [
+            rngs[r].normal(size=shape).astype(np.float32)
+            for r in range(WORLD_SIZE)
+        ]
+        for name, shape in PARAM_SHAPES.items()
+    }
+
+
+def run_steps(step: SynchronousStep, grads, n: int) -> None:
+    for _ in range(n):
+        for name in PARAM_SHAPES:
+            step.aggregate(name, grads[name])
+
+
+def measure_mode(workspace: bool, steps: int, warmup: int) -> dict:
+    grads = make_grads()
+
+    # timing pass (no instrumentation)
+    step = build_step(workspace)
+    run_steps(step, grads, warmup)
+    t0 = time.perf_counter()
+    run_steps(step, grads, steps)
+    elapsed = time.perf_counter() - t0
+
+    # allocation pass: tracemalloc slows execution, so it runs
+    # separately and only the byte counts are kept
+    step = build_step(workspace)
+    run_steps(step, grads, warmup)  # arenas reach steady state first
+    tracemalloc.start()
+    alloc_steps = max(1, min(steps, 10))
+    tracemalloc.reset_peak()
+    before, _ = tracemalloc.get_traced_memory()
+    run_steps(step, grads, alloc_steps)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    return {
+        "steps_per_sec": steps / elapsed,
+        "step_ms": 1e3 * elapsed / steps,
+        "alloc_bytes_per_step": int(
+            max(0, peak - before) / alloc_steps
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--steps", type=int, default=50, help="timed steps per mode"
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=5, help="untimed warmup steps"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: fewer steps (15 timed, 3 warmup)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_hotpath.json",
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--gate",
+        default=None,
+        metavar="BASELINE",
+        help="baseline JSON; exit 1 if workspace steps/sec regresses",
+    )
+    parser.add_argument(
+        "--gate-tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional slowdown vs the baseline (default 0.2)",
+    )
+    args = parser.parse_args(argv)
+    steps = 15 if args.quick else args.steps
+    warmup = 3 if args.quick else args.warmup
+
+    results = {}
+    for label, use_ws in (("workspace", True), ("allocating", False)):
+        results[label] = measure_mode(use_ws, steps, warmup)
+        print(
+            f"{label:11s} {results[label]['steps_per_sec']:8.2f} steps/s  "
+            f"{results[label]['alloc_bytes_per_step']:>12,d} B/step"
+        )
+
+    ws, alloc = results["workspace"], results["allocating"]
+    speedup = ws["steps_per_sec"] / alloc["steps_per_sec"]
+    alloc_drop = alloc["alloc_bytes_per_step"] / max(
+        1, ws["alloc_bytes_per_step"]
+    )
+    print(f"speedup     {speedup:8.2f}x   alloc drop {alloc_drop:,.1f}x")
+
+    report = {
+        "bench": "hotpath",
+        "cell": {
+            "scheme": "qsgd4",
+            "exchange": "nccl",
+            "world_size": WORLD_SIZE,
+            "params": {k: list(v) for k, v in PARAM_SHAPES.items()},
+        },
+        "steps": steps,
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "results": results,
+        "speedup_vs_allocating": speedup,
+        "alloc_drop_vs_allocating": alloc_drop,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    if args.gate is not None:
+        with open(args.gate) as fh:
+            baseline = json.load(fh)
+        base = baseline["results"]["workspace"]["steps_per_sec"]
+        floor = base * (1.0 - args.gate_tolerance)
+        got = ws["steps_per_sec"]
+        if got < floor:
+            print(
+                f"GATE FAIL: workspace {got:.2f} steps/s is below "
+                f"{floor:.2f} ({base:.2f} baseline - "
+                f"{args.gate_tolerance:.0%} tolerance)"
+            )
+            return 1
+        print(
+            f"gate ok: {got:.2f} steps/s >= {floor:.2f} "
+            f"(baseline {base:.2f})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

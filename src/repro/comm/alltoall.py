@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..quantization.base import Quantizer
+from ..quantization.workspace import EncodeWorkspace
 from .base import ExchangeResult, GradientExchange
 
 __all__ = ["AllToAllBroadcast"]
@@ -28,15 +29,38 @@ class AllToAllBroadcast(GradientExchange):
         tensors: list[np.ndarray],
         codec: Quantizer,
         rng: np.random.Generator,
+        workspace: EncodeWorkspace | None = None,
     ) -> ExchangeResult:
         shape = self._check_inputs(tensors)
-        decoded_local = []
-        aggregate = np.zeros(shape, dtype=np.float32)
+        ws = workspace
+        need_local = ws is None or codec.requires_error_feedback
+        if need_local:
+            if ws is None:
+                aggregate = np.zeros(shape, dtype=np.float32)
+            else:
+                aggregate = ws.zeros("a2a.agg", shape)
+            decoder = None
+        else:
+            # fused decode-accumulate: same rank-order summation as the
+            # materializing path, hence bit-identical
+            decoder = codec.sum_decoder(shape, ws)
+        decoded_local: list[np.ndarray] | None = [] if need_local else None
         for rank, tensor in enumerate(tensors):
-            message = codec.encode(np.asarray(tensor, dtype=np.float32), rng)
+            message = codec.encode_into(
+                np.asarray(tensor, dtype=np.float32), rng, ws
+            )
             for peer in range(self.world_size):
                 self.traffic.record(rank, peer, message.nbytes, tag=key)
-            decoded = codec.decode(message)
-            decoded_local.append(decoded)
-            aggregate += decoded
+            if need_local:
+                if ws is None:
+                    decoded = codec.decode(message)
+                else:
+                    decoded = ws.array(("a2a.dl", rank), shape)
+                    codec.decode_into(message, decoded, workspace=ws)
+                decoded_local.append(decoded)
+                aggregate += decoded
+            else:
+                decoder.add(message)
+        if decoder is not None:
+            aggregate = decoder.result()
         return ExchangeResult(aggregate=aggregate, decoded_local=decoded_local)

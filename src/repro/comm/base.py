@@ -15,6 +15,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..quantization.base import Quantizer
+from ..quantization.workspace import EncodeWorkspace
+
 from .message import LinkTraffic
 
 __all__ = ["ExchangeResult", "GradientExchange"]
@@ -26,14 +28,21 @@ class ExchangeResult:
 
     Attributes:
         aggregate: the summed gradient, identical at every rank (the
-            synchronous-SGD invariant; tests assert it).
+            synchronous-SGD invariant; tests assert it).  When the
+            exchange ran with a workspace, this array aliases an arena
+            buffer and is valid until the next exchange on the same
+            workspace — consume (or copy) it before then.
         decoded_local: per rank, what that rank's own contribution
             looked like after its quantization round-trip.  The trainer
-            uses this to update error-feedback residuals.
+            uses this to update error-feedback residuals.  ``None``
+            when the exchange ran with a workspace and the codec does
+            not require error feedback: the round-trip images are then
+            folded straight into the aggregate (fused decode-
+            accumulate) and never materialized.
     """
 
     aggregate: np.ndarray
-    decoded_local: list[np.ndarray]
+    decoded_local: list[np.ndarray] | None
 
 
 class GradientExchange(abc.ABC):
@@ -59,6 +68,7 @@ class GradientExchange(abc.ABC):
         tensors: list[np.ndarray],
         codec: Quantizer,
         rng: np.random.Generator,
+        workspace: EncodeWorkspace | None = None,
     ) -> ExchangeResult:
         """Aggregate one gradient tensor across all ranks.
 
@@ -68,6 +78,15 @@ class GradientExchange(abc.ABC):
             tensors: one gradient per rank, all of identical shape.
             codec: the quantizer applied on the wire.
             rng: randomness source for stochastic quantizers.
+            workspace: scratch arena for the zero-allocation hot path.
+                With a workspace, encode/decode run through the codec's
+                ``*_into`` kernels and per-rank decodes are fused into
+                a single running accumulator (``decode_into(...,
+                accumulate=True)``), preserving the exact summation
+                order of the allocating path — results are
+                bit-identical either way, and the recorded wire bytes
+                never change.  Not thread-safe: one workspace per
+                exchanging thread.
         """
 
     def _check_inputs(self, tensors: list[np.ndarray]) -> tuple[int, ...]:

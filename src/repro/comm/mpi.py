@@ -18,6 +18,7 @@ import numpy as np
 
 from ..quantization.base import ErrorFeedback, Quantizer
 from ..quantization.fullprec import FullPrecision
+from ..quantization.workspace import EncodeWorkspace
 from .base import ExchangeResult, GradientExchange
 from .topology import partition_ranges
 
@@ -56,6 +57,7 @@ class MpiReduceBroadcast(GradientExchange):
         tensors: list[np.ndarray],
         codec: Quantizer,
         rng: np.random.Generator,
+        workspace: EncodeWorkspace | None = None,
     ) -> ExchangeResult:
         shape = self._check_inputs(tensors)
         rows = shape[0] if shape else 1
@@ -64,44 +66,78 @@ class MpiReduceBroadcast(GradientExchange):
         ]
         n_cols = matrices[0].shape[1]
         ranges = partition_ranges(n_cols, self.world_size)
-
-        decoded_local = [np.empty_like(m) for m in matrices]
-        aggregate = np.empty_like(matrices[0])
+        ws = workspace
+        # round-trip images are only materialized when the trainer
+        # needs them for error feedback (or on the allocating path)
+        need_local = ws is None or codec.requires_error_feedback
+        if ws is None:
+            decoded_local = [np.empty_like(m) for m in matrices]
+            aggregate = np.empty_like(matrices[0])
+        else:
+            if need_local:
+                decoded_local = [
+                    ws.array(("mpi.dl", rank), matrices[0].shape)
+                    for rank in range(self.world_size)
+                ]
+            else:
+                decoded_local = None
+            aggregate = ws.array("mpi.agg", matrices[0].shape)
 
         for owner, (lo, hi) in enumerate(ranges):
             if lo == hi:
                 continue
-            # reduce phase: every rank ships its quantized range to the owner
-            owner_sum = np.zeros((rows, hi - lo), dtype=np.float32)
+            # reduce phase: every rank ships its quantized range to the
+            # owner, which folds each decode straight into the running
+            # sum — same per-rank summation order as materialize-then-
+            # add, so the aggregate is bit-identical
+            if need_local:
+                if ws is None:
+                    owner_sum = np.zeros((rows, hi - lo), dtype=np.float32)
+                else:
+                    owner_sum = ws.zeros("mpi.osum", (rows, hi - lo))
+                decoder = None
+            else:
+                decoder = codec.sum_decoder((rows, hi - lo), ws)
             for rank, matrix in enumerate(matrices):
-                message = codec.encode(matrix[:, lo:hi], rng)
+                message = codec.encode_into(matrix[:, lo:hi], rng, ws)
                 self.traffic.record(rank, owner, message.nbytes, tag=key)
-                decoded = codec.decode(message)
-                decoded_local[rank][:, lo:hi] = decoded
-                owner_sum += decoded
+                if need_local:
+                    part = decoded_local[rank][:, lo:hi]
+                    codec.decode_into(message, part, workspace=ws)
+                    owner_sum += part
+                else:
+                    decoder.add(message)
+            if decoder is not None:
+                owner_sum = decoder.result()
 
             # broadcast phase: owner ships the aggregated range back
             broadcast_codec = self._broadcast_codec(codec, owner)
+            target = aggregate[:, lo:hi]
             if broadcast_codec is None:
-                outgoing = owner_sum
-                nbytes = self._fullprec.encode(owner_sum).nbytes
+                target[...] = owner_sum
+                nbytes = self._fullprec.encoded_nbytes(owner_sum.shape)
             elif isinstance(broadcast_codec, ErrorFeedback):
                 message = broadcast_codec.encode(
-                    f"{key}/range{owner}", owner_sum, rng
+                    f"{key}/range{owner}", owner_sum, rng, workspace=ws
                 )
-                outgoing = broadcast_codec.decode(message)
+                broadcast_codec.quantizer.decode_into(
+                    message, target, workspace=ws
+                )
                 nbytes = message.nbytes
             else:
-                message = broadcast_codec.encode(owner_sum, rng)
-                outgoing = broadcast_codec.decode(message)
+                message = broadcast_codec.encode_into(owner_sum, rng, ws)
+                broadcast_codec.decode_into(message, target, workspace=ws)
                 nbytes = message.nbytes
             for rank in range(self.world_size):
                 self.traffic.record(owner, rank, nbytes, tag=key)
-            aggregate[:, lo:hi] = outgoing
 
         return ExchangeResult(
             aggregate=aggregate.reshape(shape),
-            decoded_local=[d.reshape(shape) for d in decoded_local],
+            decoded_local=(
+                [d.reshape(shape) for d in decoded_local]
+                if decoded_local is not None
+                else None
+            ),
         )
 
     def reset(self) -> None:

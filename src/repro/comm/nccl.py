@@ -19,6 +19,7 @@ import numpy as np
 
 from ..quantization.base import Quantizer
 from ..quantization.fullprec import FullPrecision
+from ..quantization.workspace import EncodeWorkspace
 from .base import ExchangeResult, GradientExchange
 from .topology import ring_successor
 
@@ -60,27 +61,64 @@ class NcclRingAllreduce(GradientExchange):
         tensors: list[np.ndarray],
         codec: Quantizer,
         rng: np.random.Generator,
+        workspace: EncodeWorkspace | None = None,
     ) -> ExchangeResult:
         shape = self._check_inputs(tensors)
         inputs = [np.asarray(t, dtype=np.float32) for t in tensors]
+        ws = workspace
 
+        if ws is None:
+            if isinstance(codec, FullPrecision):
+                decoded_local = inputs
+                payload_bytes = codec.encode(inputs[0]).nbytes
+            else:
+                # simulated low-precision NCCL: local round-trip, exact sum
+                decoded_local = []
+                payload_bytes = 0
+                for tensor in inputs:
+                    message = codec.encode(tensor, rng)
+                    payload_bytes = message.nbytes
+                    decoded_local.append(codec.decode(message))
+            aggregate = np.zeros(shape, dtype=np.float32)
+            for decoded in decoded_local:
+                aggregate += decoded
+            self._record_ring_traffic(key, payload_bytes)
+            return ExchangeResult(
+                aggregate=aggregate, decoded_local=list(decoded_local)
+            )
+
+        # workspace path: fuse each rank's round-trip decode into the
+        # running accumulator in rank order — the exact summation order
+        # of the allocating path above, so the sum is bit-identical
         if isinstance(codec, FullPrecision):
-            decoded_local = inputs
-            payload_bytes = codec.encode(inputs[0]).nbytes
-        else:
-            # simulated low-precision NCCL: local round-trip, exact sum
-            decoded_local = []
-            payload_bytes = 0
+            aggregate = ws.zeros("nccl.agg", shape)
             for tensor in inputs:
-                message = codec.encode(tensor, rng)
+                aggregate += tensor
+            payload_bytes = codec.encoded_nbytes(shape)
+            decoded_local: list[np.ndarray] | None = inputs
+        elif codec.requires_error_feedback:
+            # round-trip images are needed for the residual update
+            aggregate = ws.zeros("nccl.agg", shape)
+            decoded_local = [
+                ws.array(("nccl.dl", rank), shape)
+                for rank in range(self.world_size)
+            ]
+            payload_bytes = 0
+            for rank, tensor in enumerate(inputs):
+                message = codec.encode_into(tensor, rng, ws)
                 payload_bytes = message.nbytes
-                decoded_local.append(codec.decode(message))
-
-        aggregate = np.zeros(shape, dtype=np.float32)
-        for decoded in decoded_local:
-            aggregate += decoded
+                codec.decode_into(message, decoded_local[rank], workspace=ws)
+                aggregate += decoded_local[rank]
+        else:
+            decoded_local = None
+            payload_bytes = 0
+            decoder = codec.sum_decoder(shape, ws)
+            for tensor in inputs:
+                message = codec.encode_into(tensor, rng, ws)
+                payload_bytes = message.nbytes
+                decoder.add(message)
+            aggregate = decoder.result()
         self._record_ring_traffic(key, payload_bytes)
-
         return ExchangeResult(
-            aggregate=aggregate, decoded_local=list(decoded_local)
+            aggregate=aggregate, decoded_local=decoded_local
         )

@@ -13,7 +13,11 @@ import numpy as np
 
 from ..comm import make_exchange
 from ..nn.module import Parameter
-from ..quantization import QuantizationPolicy, make_quantizer
+from ..quantization import (
+    EncodeWorkspace,
+    QuantizationPolicy,
+    make_quantizer,
+)
 from .config import TrainingConfig
 
 __all__ = ["SynchronousStep"]
@@ -49,6 +53,12 @@ class SynchronousStep:
             config.exchange, config.world_size, **exchange_kwargs
         )
         self.rng = np.random.default_rng(config.seed)
+        # scratch arena for the zero-allocation hot path; exchanges run
+        # on one coordinator thread in both engines, so one arena is
+        # enough (EncodeWorkspace is not thread-safe)
+        self.workspace: EncodeWorkspace | None = (
+            EncodeWorkspace() if getattr(config, "workspace", True) else None
+        )
         # per-rank error-feedback residuals, keyed by parameter name
         self._residuals: list[dict[str, np.ndarray]] = [
             {} for _ in range(config.world_size)
@@ -86,26 +96,49 @@ class SynchronousStep:
         ):
             codec = self.policy.fullprec
         use_feedback = codec.requires_error_feedback
+        ws = self.workspace
 
         if use_feedback:
             corrected = []
             for rank, grad in enumerate(rank_grads):
                 residual = self._residuals[rank].get(name)
                 if residual is None:
+                    # residuals persist across steps: a one-time
+                    # allocation, updated in place from then on
                     residual = np.zeros_like(grad)
-                corrected.append(grad + residual)
+                    self._residuals[rank][name] = residual
+                if ws is None:
+                    corrected.append(grad + residual)
+                else:
+                    buf = ws.array(("corr", rank), grad.shape, grad.dtype)
+                    np.add(grad, residual, out=buf)
+                    corrected.append(buf)
         else:
             corrected = list(rank_grads)
 
-        result = self.exchange.exchange(name, corrected, codec, self.rng)
+        result = self.exchange.exchange(
+            name, corrected, codec, self.rng, workspace=ws
+        )
 
         if use_feedback:
             for rank in range(self.world_size):
-                self._residuals[rank][name] = (
-                    corrected[rank] - result.decoded_local[rank]
+                # in-place: same subtraction, same operand order as
+                # `corrected - decoded_local`, written into the
+                # persistent residual buffer
+                np.subtract(
+                    corrected[rank],
+                    result.decoded_local[rank],
+                    out=self._residuals[rank][name],
                 )
 
-        return result.aggregate / self.world_size
+        if ws is None:
+            return result.aggregate / self.world_size
+        # per-name mean buffers: the engines collect means for every
+        # parameter of a step before applying them, so buffers must not
+        # alias across parameters
+        mean = ws.array(("mean", name), result.aggregate.shape)
+        np.divide(result.aggregate, self.world_size, out=mean)
+        return mean
 
     def aggregate_bucket(
         self,

@@ -14,13 +14,22 @@ from .base import (
     ErrorFeedback,
     Quantizer,
 )
-from .bucketing import bucket_count, from_buckets, to_buckets
+from .bucketing import (
+    BucketPlan,
+    bucket_count,
+    bucket_plan,
+    from_buckets,
+    from_buckets_into,
+    to_buckets,
+    to_buckets_into,
+)
 from .fullprec import FullPrecision
 from .onebit import OneBitSgd
 from .onebit_reshaped import OneBitSgdReshaped
 from .policy import QuantizationPolicy, passthrough_threshold
 from .qsgd import DEFAULT_BUCKET_SIZES, Qsgd
 from .topk import TopK
+from .workspace import EncodeWorkspace
 
 __all__ = [
     "MESSAGE_HEADER_BYTES",
@@ -37,8 +46,13 @@ __all__ = [
     "QuantizationPolicy",
     "passthrough_threshold",
     "bucket_count",
+    "bucket_plan",
+    "BucketPlan",
     "to_buckets",
+    "to_buckets_into",
     "from_buckets",
+    "from_buckets_into",
+    "EncodeWorkspace",
     "DEFAULT_BUCKET_SIZES",
     "SCHEME_NAMES",
     "make_quantizer",

@@ -20,10 +20,14 @@ from typing import Mapping
 
 import numpy as np
 
+from .workspace import EncodeWorkspace
+
 __all__ = [
     "EncodedTensor",
     "Quantizer",
     "ErrorFeedback",
+    "SumDecoder",
+    "BucketSumDecoder",
     "MESSAGE_HEADER_BYTES",
 ]
 
@@ -97,6 +101,63 @@ class Quantizer(abc.ABC):
     def decode(self, message: EncodedTensor) -> np.ndarray:
         """Reconstruct the (approximate) gradient from a message."""
 
+    def encode_into(
+        self,
+        grad: np.ndarray,
+        rng: np.random.Generator | None = None,
+        workspace: EncodeWorkspace | None = None,
+    ) -> EncodedTensor:
+        """Encode using ``workspace`` scratch buffers when provided.
+
+        The returned message's payload may alias arena buffers: it is
+        valid until the next ``encode_into`` on the same workspace (see
+        the lifetime contract in :mod:`repro.quantization.workspace`).
+        Schemes with a zero-allocation kernel override this; the
+        default falls back to the allocating :meth:`encode`, so every
+        scheme supports the out-parameter calling convention.
+        """
+        return self.encode(grad, rng)
+
+    def decode_into(
+        self,
+        message: EncodedTensor,
+        out: np.ndarray,
+        accumulate: bool = False,
+        workspace: EncodeWorkspace | None = None,
+    ) -> np.ndarray:
+        """Decode ``message`` into ``out``; optionally add instead of set.
+
+        ``decode_into(msg, out, accumulate=True)`` is elementwise
+        bit-identical to ``out += decode(msg)`` — the decoded values
+        are computed exactly as :meth:`decode` computes them and the
+        accumulation preserves the operand order — but performs no
+        full-tensor temporaries when the scheme provides a workspace
+        kernel.  The default delegates to :meth:`decode`.
+        """
+        decoded = self.decode(message)
+        if accumulate:
+            out += decoded
+        else:
+            out[...] = decoded
+        return out
+
+    def sum_decoder(
+        self,
+        shape: tuple[int, ...],
+        workspace: EncodeWorkspace | None = None,
+    ) -> "SumDecoder":
+        """Accumulator that decode-sums a stream of messages for ``shape``.
+
+        The exchanges use this to fold every rank's decoded
+        contribution into one running aggregate without materializing
+        per-rank tensors.  Codecs whose wire layout is a permutation of
+        the gradient (bucketed schemes) override this to accumulate in
+        the contiguous coded layout and permute once at the end — the
+        per-element addition order is unchanged, so the result is
+        bit-identical to summing dense decodes in rank order.
+        """
+        return SumDecoder(self, shape, workspace)
+
     def roundtrip(
         self, grad: np.ndarray, rng: np.random.Generator | None = None
     ) -> np.ndarray:
@@ -115,6 +176,91 @@ class Quantizer(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"
+
+
+class SumDecoder:
+    """Fused decode-accumulate over one exchange's message stream.
+
+    ``add`` folds each message's decoded image into a running sum with
+    the exact semantics of ``acc = zeros(shape); acc += decode(msg_r)``
+    in call order (including the initial ``0 + x`` on the first add, so
+    signed zeros match the materializing path bit-for-bit); ``result``
+    returns the accumulated tensor.  The returned array lives in the
+    workspace arena when one is provided and is valid until the next
+    decoder on the same workspace.
+    """
+
+    def __init__(
+        self,
+        codec: Quantizer,
+        shape: tuple[int, ...],
+        workspace: EncodeWorkspace | None = None,
+    ):
+        self.codec = codec
+        self.shape = tuple(shape)
+        self.workspace = workspace
+        if workspace is None:
+            self._acc = np.zeros(self.shape, dtype=np.float32)
+        else:
+            self._acc = workspace.zeros("sumdec.acc", self.shape)
+
+    def add(self, message: EncodedTensor) -> None:
+        """Fold one message's decoded image into the running sum."""
+        self.codec.decode_into(
+            message, self._acc, accumulate=True, workspace=self.workspace
+        )
+
+    def result(self) -> np.ndarray:
+        """The accumulated sum (arena-backed when a workspace is set)."""
+        return self._acc
+
+
+class BucketSumDecoder(SumDecoder):
+    """Sum decoder for codecs whose wire layout is a bucket permutation.
+
+    Decoded bucket matrices are accumulated contiguously (a fast dense
+    add) and the bucket-to-gradient permutation runs once in
+    :meth:`result` instead of once per rank.  A permutation is an
+    elementwise bijection, so it commutes with the per-element sum:
+    ``unbucket(sum_r values_r) == sum_r unbucket(values_r)`` exactly,
+    bit for bit, because each element still accumulates the same
+    float32 operands in the same order.  The codec must provide
+    ``_decode_values(message, workspace) -> (n_buckets, bucket_size)``.
+    """
+
+    def __init__(
+        self,
+        codec: Quantizer,
+        shape: tuple[int, ...],
+        workspace: EncodeWorkspace | None = None,
+    ):
+        self.codec = codec
+        self.shape = tuple(shape)
+        self.workspace = workspace
+        self._acc = None  # allocated lazily: geometry comes from msg 0
+
+    def add(self, message: EncodedTensor) -> None:
+        values = self.codec._decode_values(message, self.workspace)
+        if self._acc is None:
+            if self.workspace is None:
+                self._acc = np.zeros(values.shape, dtype=np.float32)
+            else:
+                self._acc = self.workspace.zeros(
+                    "sumdec.bucket_acc", values.shape
+                )
+        self._acc += values
+
+    def result(self) -> np.ndarray:
+        from .bucketing import from_buckets_into
+
+        if self.workspace is None:
+            out = np.empty(self.shape, dtype=np.float32)
+        else:
+            out = self.workspace.array("sumdec.out", self.shape)
+        if self._acc is None:  # no messages were added
+            out.fill(0.0)
+            return out
+        return from_buckets_into(self._acc, self.shape, out)
 
 
 class ErrorFeedback:
@@ -143,14 +289,27 @@ class ErrorFeedback:
         key: str,
         grad: np.ndarray,
         rng: np.random.Generator | None = None,
+        workspace: EncodeWorkspace | None = None,
     ) -> EncodedTensor:
-        """Encode ``grad`` for stream ``key`` with error correction."""
-        corrected = grad.astype(np.float32, copy=False) + self.residual(
-            key, grad.shape
-        )
-        message = self.quantizer.encode(corrected, rng)
-        decoded = self.quantizer.decode(message)
-        self._residuals[key] = corrected - decoded
+        """Encode ``grad`` for stream ``key`` with error correction.
+
+        With a ``workspace``, the corrected gradient and the round-trip
+        decode live in arena scratch and the residual is updated in
+        place, so repeated calls allocate nothing.
+        """
+        residual = self.residual(key, grad.shape)
+        if workspace is None:
+            corrected = grad.astype(np.float32, copy=False) + residual
+            message = self.quantizer.encode(corrected, rng)
+            decoded = self.quantizer.decode(message)
+            self._residuals[key] = corrected - decoded
+            return message
+        corrected = workspace.array("ef.corrected", grad.shape)
+        np.add(grad, residual, out=corrected)
+        message = self.quantizer.encode_into(corrected, rng, workspace)
+        decoded = workspace.array("ef.decoded", grad.shape)
+        self.quantizer.decode_into(message, decoded, workspace=workspace)
+        np.subtract(corrected, decoded, out=residual)
         return message
 
     def decode(self, message: EncodedTensor) -> np.ndarray:

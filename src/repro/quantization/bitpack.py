@@ -12,21 +12,52 @@ Widths that do not divide 32 are rounded up to the next divisor of 32
 (e.g. 3-bit codes are stored in 4-bit slots).  This matches the
 alignment behaviour of the CNTK kernels, which only ever emit
 power-of-two slot widths, and keeps unpacking branch-free.
+
+Hot-path forms: :func:`pack_into` and :func:`unpack_into` write into
+caller-provided buffers and draw their lane scratch from an
+:class:`~repro.quantization.workspace.EncodeWorkspace`, so steady-state
+packing performs no allocations.  Slot widths, lane shift tables, and
+lane masks are precomputed once at import instead of being re-derived
+per call.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .workspace import EncodeWorkspace
+
 __all__ = [
     "slot_width",
     "packed_words",
     "pack",
     "unpack",
+    "pack_into",
+    "unpack_into",
 ]
 
 _WORD_BITS = 32
 _DIVISORS_OF_32 = (1, 2, 4, 8, 16, 32)
+
+#: width (1..32) -> storage slot width; index 0 is a sentinel.  The
+#: divisor scan runs once here instead of on every pack/unpack call.
+_SLOT_FOR_WIDTH = (0,) + tuple(
+    next(d for d in _DIVISORS_OF_32 if d >= w) for w in range(1, 33)
+)
+#: slot width -> codes per 32-bit word
+_LANES_FOR_SLOT = {slot: _WORD_BITS // slot for slot in _DIVISORS_OF_32}
+#: slot width -> uint32 shift table for the lanes of one word
+_SHIFTS_FOR_SLOT = {
+    slot: (np.arange(_WORD_BITS // slot, dtype=np.uint32) * slot).astype(
+        np.uint32
+    )
+    for slot in _DIVISORS_OF_32
+}
+#: slot width -> lane mask
+_MASK_FOR_SLOT = {
+    slot: np.uint32((1 << slot) - 1) if slot < 32 else np.uint32(0xFFFFFFFF)
+    for slot in _DIVISORS_OF_32
+}
 
 
 def slot_width(width: int) -> int:
@@ -37,23 +68,122 @@ def slot_width(width: int) -> int:
     """
     if not 1 <= width <= _WORD_BITS:
         raise ValueError(f"code width must be in [1, 32], got {width}")
-    for divisor in _DIVISORS_OF_32:
-        if divisor >= width:
-            return divisor
-    raise AssertionError("unreachable: 32 is a divisor of 32")
+    return _SLOT_FOR_WIDTH[width]
 
 
 def packed_words(count: int, width: int) -> int:
     """Number of uint32 words needed to store ``count`` codes."""
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
-    slot = slot_width(width)
-    per_word = _WORD_BITS // slot
+    per_word = _LANES_FOR_SLOT[slot_width(width)]
     return -(-count // per_word)  # ceil division
+
+
+def _lane_scratch(
+    n_words: int, per_word: int, workspace: EncodeWorkspace | None, tag: str
+) -> np.ndarray:
+    if workspace is None:
+        return np.empty((n_words, per_word), dtype=np.uint32)
+    return workspace.array(tag, (n_words, per_word), np.uint32)
+
+
+def pack_into(
+    codes: np.ndarray,
+    width: int,
+    out: np.ndarray,
+    workspace: EncodeWorkspace | None = None,
+    check: bool = True,
+) -> np.ndarray:
+    """Pack integer codes into the caller-provided uint32 buffer ``out``.
+
+    Args:
+        codes: 1-D array of integers, each in ``[0, 2**width)``.
+        width: nominal code width in bits.
+        out: uint32 buffer of length ``packed_words(len(codes), width)``.
+        workspace: arena for the lane scratch (allocates when ``None``).
+        check: validate the code range.  Encoders whose codes are
+            in-range by construction pass ``False`` to skip the scan.
+    """
+    codes = np.ascontiguousarray(codes)
+    if codes.ndim != 1:
+        raise ValueError(f"codes must be 1-D, got shape {codes.shape}")
+    slot = slot_width(width)
+    if check and codes.size:
+        limit = 1 << width
+        if codes.min() < 0 or codes.max() >= limit:
+            raise ValueError(f"codes out of range for width {width}")
+
+    per_word = _LANES_FOR_SLOT[slot]
+    n_words = packed_words(codes.size, width)
+    if out.shape != (n_words,) or out.dtype != np.uint32:
+        raise ValueError(
+            f"out must be uint32 of shape ({n_words},), got "
+            f"{out.dtype} {out.shape}"
+        )
+    if codes.size == n_words * per_word and codes.dtype == np.uint32:
+        # transposed lane layout: each lane's shift writes a contiguous
+        # row, and the OR-reduce runs down axis 0 over long contiguous
+        # rows, which NumPy vectorizes (~3x faster than the axis-1
+        # reduce over per-word groups).  OR is commutative, so the
+        # packed words are bit-identical either way.
+        lanes = _lane_scratch(
+            per_word, n_words, workspace, "bitpack.packT"
+        )
+        np.left_shift(
+            codes.reshape(n_words, per_word).T,
+            _SHIFTS_FOR_SLOT[slot][:, None],
+            out=lanes,
+        )
+        np.bitwise_or.reduce(lanes, axis=0, out=out)
+        return out
+    lanes = _lane_scratch(n_words, per_word, workspace, "bitpack.pack")
+    flat = lanes.reshape(-1)
+    flat[: codes.size] = codes
+    flat[codes.size:] = 0
+    np.left_shift(lanes, _SHIFTS_FOR_SLOT[slot], out=lanes)
+    np.bitwise_or.reduce(lanes, axis=1, out=out)
+    return out
+
+
+def unpack_into(
+    words: np.ndarray,
+    count: int,
+    width: int,
+    out: np.ndarray | None = None,
+    workspace: EncodeWorkspace | None = None,
+) -> np.ndarray:
+    """Unpack ``count`` codes from ``words`` without fresh allocations.
+
+    With ``out`` given, the codes are copied into it.  Without ``out``,
+    returns a contiguous uint32 *view* into the lane scratch (drawn
+    from ``workspace`` when provided) that stays valid until the next
+    ``unpack_into`` call on the same workspace.
+    """
+    words = np.ascontiguousarray(words, dtype=np.uint32)
+    if words.ndim != 1:
+        raise ValueError(f"words must be 1-D, got shape {words.shape}")
+    slot = slot_width(width)
+    per_word = _LANES_FOR_SLOT[slot]
+    expected = packed_words(count, width)
+    if words.size != expected:
+        raise ValueError(
+            f"expected {expected} words for {count} codes of width {width}, "
+            f"got {words.size}"
+        )
+    lanes = _lane_scratch(words.size, per_word, workspace, "bitpack.unpack")
+    np.right_shift(words[:, None], _SHIFTS_FOR_SLOT[slot], out=lanes)
+    np.bitwise_and(lanes, _MASK_FOR_SLOT[slot], out=lanes)
+    view = lanes.reshape(-1)[:count]
+    if out is None:
+        return view
+    out[...] = view
+    return out
 
 
 def pack(codes: np.ndarray, width: int) -> np.ndarray:
     """Pack an array of non-negative integer codes into uint32 words.
+
+    Allocating form of :func:`pack_into`.
 
     Args:
         codes: 1-D array of integers, each in ``[0, 2**width)``.
@@ -65,22 +195,14 @@ def pack(codes: np.ndarray, width: int) -> np.ndarray:
     codes = np.ascontiguousarray(codes)
     if codes.ndim != 1:
         raise ValueError(f"codes must be 1-D, got shape {codes.shape}")
-    slot = slot_width(width)
-    limit = 1 << width
-    if codes.size and (codes.min() < 0 or codes.max() >= limit):
-        raise ValueError(f"codes out of range for width {width}")
-
-    per_word = _WORD_BITS // slot
-    n_words = packed_words(codes.size, width)
-    padded = np.zeros(n_words * per_word, dtype=np.uint32)
-    padded[: codes.size] = codes.astype(np.uint32, copy=False)
-    lanes = padded.reshape(n_words, per_word)
-    shifts = (np.arange(per_word, dtype=np.uint32) * slot).astype(np.uint32)
-    return np.bitwise_or.reduce(lanes << shifts, axis=1)
+    out = np.empty(packed_words(codes.size, width), dtype=np.uint32)
+    return pack_into(codes, width, out)
 
 
 def unpack(words: np.ndarray, count: int, width: int) -> np.ndarray:
     """Inverse of :func:`pack`.
+
+    Allocating form of :func:`unpack_into`.
 
     Args:
         words: packed ``uint32`` array.
@@ -90,18 +212,5 @@ def unpack(words: np.ndarray, count: int, width: int) -> np.ndarray:
     Returns:
         1-D ``uint32`` array of ``count`` codes.
     """
-    words = np.ascontiguousarray(words, dtype=np.uint32)
-    if words.ndim != 1:
-        raise ValueError(f"words must be 1-D, got shape {words.shape}")
-    slot = slot_width(width)
-    per_word = _WORD_BITS // slot
-    expected = packed_words(count, width)
-    if words.size != expected:
-        raise ValueError(
-            f"expected {expected} words for {count} codes of width {width}, "
-            f"got {words.size}"
-        )
-    shifts = (np.arange(per_word, dtype=np.uint32) * slot).astype(np.uint32)
-    mask = np.uint32((1 << slot) - 1) if slot < 32 else np.uint32(0xFFFFFFFF)
-    lanes = (words[:, None] >> shifts) & mask
-    return lanes.reshape(-1)[:count]
+    out = np.empty(count, dtype=np.uint32)
+    return unpack_into(words, count, width, out)

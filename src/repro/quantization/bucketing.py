@@ -13,9 +13,20 @@ paper specifies for its reshaping technique.
 
 from __future__ import annotations
 
+from functools import lru_cache
+from typing import NamedTuple
+
 import numpy as np
 
-__all__ = ["bucket_count", "to_buckets", "from_buckets"]
+__all__ = [
+    "bucket_count",
+    "bucket_plan",
+    "BucketPlan",
+    "to_buckets",
+    "to_buckets_into",
+    "from_buckets",
+    "from_buckets_into",
+]
 
 
 def bucket_count(n: int, bucket_size: int) -> int:
@@ -25,6 +36,23 @@ def bucket_count(n: int, bucket_size: int) -> int:
     if n < 0:
         raise ValueError(f"element count must be >= 0, got {n}")
     return -(-n // bucket_size)
+
+
+class BucketPlan(NamedTuple):
+    """Precomputed bucketing geometry for one (count, bucket_size) pair."""
+
+    count: int  #: real (unpadded) scalar count
+    bucket_size: int
+    n_buckets: int
+    padded: int  #: n_buckets * bucket_size
+
+
+@lru_cache(maxsize=4096)
+def bucket_plan(count: int, bucket_size: int) -> BucketPlan:
+    """Cached bucketing plan; hot paths call this instead of re-deriving
+    the geometry (and re-validating the arguments) every step."""
+    n_buckets = bucket_count(count, bucket_size)
+    return BucketPlan(count, bucket_size, n_buckets, n_buckets * bucket_size)
 
 
 def to_buckets(grad: np.ndarray, bucket_size: int) -> np.ndarray:
@@ -42,6 +70,26 @@ def to_buckets(grad: np.ndarray, bucket_size: int) -> np.ndarray:
     return padded.reshape(buckets, bucket_size)
 
 
+def to_buckets_into(
+    grad: np.ndarray, bucket_size: int, out: np.ndarray
+) -> np.ndarray:
+    """Write the padded bucket matrix of ``grad`` into ``out``.
+
+    ``out`` must be a C-contiguous float32 ``(n_buckets, bucket_size)``
+    buffer.  The column-major flatten is performed as a strided copy
+    directly into ``out`` (the F-order ravel of ``grad`` equals the
+    C-order ravel of its reversed-axes transpose), so no intermediate
+    arrays are materialized.
+    """
+    grad = np.asarray(grad)
+    n = grad.size
+    flat = out.reshape(-1)
+    if n:
+        flat[:n].reshape(grad.shape[::-1])[...] = grad.T
+    flat[n:] = 0.0
+    return out
+
+
 def from_buckets(
     buckets: np.ndarray, shape: tuple[int, ...]
 ) -> np.ndarray:
@@ -49,3 +97,31 @@ def from_buckets(
     n = int(np.prod(shape)) if shape else 1
     flat = np.asarray(buckets, dtype=np.float32).reshape(-1)[:n]
     return flat.reshape(shape, order="F")
+
+
+def from_buckets_into(
+    buckets: np.ndarray,
+    shape: tuple[int, ...],
+    out: np.ndarray,
+    accumulate: bool = False,
+) -> np.ndarray:
+    """Un-bucket into ``out`` of ``shape``; optionally add instead of set.
+
+    With ``accumulate=True`` this fuses decode with the running
+    aggregation: ``out += decoded`` is performed as one strided pass,
+    elementwise-identical to materializing the decoded tensor first and
+    summing (same operand order, same float32 arithmetic).
+
+    ``buckets`` must be C-contiguous; ``out`` may be any (possibly
+    strided) float32 view of the destination.
+    """
+    n = int(np.prod(shape)) if shape else 1
+    # same elements as writing `buckets` into `out.T`, but oriented so
+    # the contiguous operand is the destination (strided reads are
+    # roughly 2x cheaper than strided read-modify-writes)
+    src = buckets.reshape(-1)[:n].reshape(shape[::-1]).T
+    if accumulate:
+        np.add(out, src, out=out)
+    else:
+        out[...] = src
+    return out

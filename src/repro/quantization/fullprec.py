@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from .base import EncodedTensor, Quantizer
+from .workspace import EncodeWorkspace
 
 __all__ = ["FullPrecision"]
 
@@ -31,9 +32,38 @@ class FullPrecision(Quantizer):
             payload={"values": values.reshape(-1)},
         )
 
+    def encode_into(
+        self,
+        grad: np.ndarray,
+        rng: np.random.Generator | None = None,
+        workspace: EncodeWorkspace | None = None,
+    ) -> EncodedTensor:
+        if workspace is None:
+            return self.encode(grad, rng)
+        grad = np.asarray(grad)
+        values = workspace.array("fp.values", grad.size)
+        values.reshape(grad.shape)[...] = grad
+        return EncodedTensor(
+            scheme=self.name, shape=grad.shape, payload={"values": values}
+        )
+
     def decode(self, message: EncodedTensor) -> np.ndarray:
         values = message.payload["values"]
         return np.asarray(values, dtype=np.float32).reshape(message.shape)
+
+    def decode_into(
+        self,
+        message: EncodedTensor,
+        out: np.ndarray,
+        accumulate: bool = False,
+        workspace: EncodeWorkspace | None = None,
+    ) -> np.ndarray:
+        values = message.payload["values"].reshape(message.shape)
+        if accumulate:
+            out += values
+        else:
+            out[...] = values
+        return out
 
     def encoded_nbytes(self, shape: tuple[int, ...]) -> int:
         from .base import MESSAGE_HEADER_BYTES

@@ -14,8 +14,9 @@ from __future__ import annotations
 import numpy as np
 
 from .base import EncodedTensor, Quantizer
-from .bucketing import from_buckets, to_buckets
-from .onebit import decode_groups, encode_groups
+from .bucketing import bucket_plan, from_buckets_into, to_buckets_into
+from .onebit import decode_groups_into, encode_groups_into
+from .workspace import EncodeWorkspace
 
 __all__ = ["OneBitSgdReshaped"]
 
@@ -41,11 +42,22 @@ class OneBitSgdReshaped(Quantizer):
     def encode(
         self, grad: np.ndarray, rng: np.random.Generator | None = None
     ) -> EncodedTensor:
+        return self.encode_into(grad, rng)
+
+    def encode_into(
+        self,
+        grad: np.ndarray,
+        rng: np.random.Generator | None = None,
+        workspace: EncodeWorkspace | None = None,
+    ) -> EncodedTensor:
+        ws = workspace if workspace is not None else EncodeWorkspace()
         grad = np.asarray(grad, dtype=np.float32)
         bucket_size = self.effective_bucket(grad.size)
-        buckets = to_buckets(grad, bucket_size)
-        avg_pos, avg_neg, words = encode_groups(
-            buckets, valid_count=grad.size
+        plan = bucket_plan(grad.size, bucket_size)
+        buckets = ws.array("1bit*.buckets", (plan.n_buckets, bucket_size))
+        to_buckets_into(grad, bucket_size, buckets)
+        avg_pos, avg_neg, words = encode_groups_into(
+            buckets, valid_count=grad.size, workspace=ws
         )
         return EncodedTensor(
             scheme=self.name,
@@ -59,14 +71,25 @@ class OneBitSgdReshaped(Quantizer):
         )
 
     def decode(self, message: EncodedTensor) -> np.ndarray:
+        out = np.empty(message.shape, dtype=np.float32)
+        return self.decode_into(message, out)
+
+    def decode_into(
+        self,
+        message: EncodedTensor,
+        out: np.ndarray,
+        accumulate: bool = False,
+        workspace: EncodeWorkspace | None = None,
+    ) -> np.ndarray:
         bucket_size = int(message.meta["bucket_size"])
-        buckets = decode_groups(
+        buckets = decode_groups_into(
             message.payload["avg_pos"],
             message.payload["avg_neg"],
             message.payload["words"],
             group_len=bucket_size,
+            workspace=workspace,
         )
-        return from_buckets(buckets, message.shape)
+        return from_buckets_into(buckets, message.shape, out, accumulate)
 
     def encoded_nbytes(self, shape: tuple[int, ...]) -> int:
         from . import bitpack

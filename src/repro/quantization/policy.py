@@ -19,6 +19,7 @@ import numpy as np
 
 from .base import EncodedTensor, Quantizer
 from .fullprec import FullPrecision
+from .workspace import EncodeWorkspace
 
 __all__ = ["passthrough_threshold", "QuantizationPolicy"]
 
@@ -103,7 +104,28 @@ class QuantizationPolicy:
     ) -> EncodedTensor:
         return self.codec_for(grad.size).encode(grad, rng)
 
+    def encode_into(
+        self,
+        grad: np.ndarray,
+        rng: np.random.Generator | None = None,
+        workspace: EncodeWorkspace | None = None,
+    ) -> EncodedTensor:
+        return self.codec_for(grad.size).encode_into(grad, rng, workspace)
+
     def decode(self, message: EncodedTensor) -> np.ndarray:
         if message.scheme == self._fullprec.name:
             return self._fullprec.decode(message)
         return self.quantizer.decode(message)
+
+    def decode_into(
+        self,
+        message: EncodedTensor,
+        out: np.ndarray,
+        accumulate: bool = False,
+        workspace: EncodeWorkspace | None = None,
+    ) -> np.ndarray:
+        if message.scheme == self._fullprec.name:
+            codec: Quantizer = self._fullprec
+        else:
+            codec = self.quantizer
+        return codec.decode_into(message, out, accumulate, workspace)

@@ -27,8 +27,9 @@ from __future__ import annotations
 import numpy as np
 
 from . import bitpack
-from .base import EncodedTensor, Quantizer
-from .bucketing import from_buckets, to_buckets
+from .base import BucketSumDecoder, EncodedTensor, Quantizer, SumDecoder
+from .bucketing import bucket_plan, from_buckets_into, to_buckets_into
+from .workspace import EncodeWorkspace
 
 __all__ = ["Qsgd", "DEFAULT_BUCKET_SIZES"]
 
@@ -85,28 +86,51 @@ class Qsgd(Quantizer):
         """
         return max(1, min(self.bucket_size, count))
 
-    # -- scale ----------------------------------------------------------
-    def _scales(self, buckets: np.ndarray) -> np.ndarray:
-        if self.norm == "inf":
-            return np.abs(buckets).max(axis=1)
-        return np.sqrt(np.square(buckets).sum(axis=1))
-
     # -- encode ---------------------------------------------------------
     def encode(
         self, grad: np.ndarray, rng: np.random.Generator | None = None
     ) -> EncodedTensor:
+        return self.encode_into(grad, rng)
+
+    def encode_into(
+        self,
+        grad: np.ndarray,
+        rng: np.random.Generator | None = None,
+        workspace: EncodeWorkspace | None = None,
+    ) -> EncodedTensor:
         rng = rng if rng is not None else np.random.default_rng()
-        grad = np.asarray(grad, dtype=np.float32)
+        ws = workspace if workspace is not None else EncodeWorkspace()
+        grad = np.asarray(grad)
         bucket_size = self.effective_bucket(grad.size)
-        buckets = to_buckets(grad, bucket_size)
-        scales = self._scales(buckets).astype(np.float32)
+        plan = bucket_plan(grad.size, bucket_size)
+        lanes = (plan.n_buckets, bucket_size)
+
+        buckets = ws.array("qsgd.buckets", lanes)
+        to_buckets_into(grad, bucket_size, buckets)
+        work = ws.array("qsgd.work", lanes)
+        scales = ws.array("qsgd.scales", plan.n_buckets)
+        if self.norm == "inf":
+            np.abs(buckets, out=work)
+            work.max(axis=1, out=scales)
+            abs_buckets = work  # |buckets|, reusable by the sign path
+        else:
+            np.square(buckets, out=work)
+            work.sum(axis=1, out=scales)
+            np.sqrt(scales, out=scales)
+            abs_buckets = None
 
         if self.variant == "sign":
-            codes = self._encode_sign(buckets, scales, rng)
+            codes = self._encode_sign(buckets, scales, rng, ws, abs_buckets)
         else:
-            codes = self._encode_grid(buckets, scales, rng)
+            codes = self._encode_grid(buckets, scales, rng, ws)
 
-        words = bitpack.pack(codes.reshape(-1), width=self.bits)
+        words = ws.array(
+            "qsgd.words", bitpack.packed_words(plan.padded, self.bits),
+            np.uint32,
+        )
+        bitpack.pack_into(
+            codes.reshape(-1), self.bits, words, workspace=ws, check=False
+        )
         return EncodedTensor(
             scheme=self.name,
             shape=grad.shape,
@@ -118,22 +142,57 @@ class Qsgd(Quantizer):
             },
         )
 
+    def _safe_scales(
+        self, scales: np.ndarray, ws: EncodeWorkspace
+    ) -> np.ndarray:
+        """``where(scales > 0, scales, 1.0)`` without temporaries."""
+        positive = ws.array("qsgd.posmask", scales.shape, bool)
+        np.greater(scales, 0.0, out=positive)
+        safe = ws.array("qsgd.safe", scales.shape)
+        safe.fill(1.0)
+        np.copyto(safe, scales, where=positive)
+        return safe
+
     def _encode_sign(
         self,
         buckets: np.ndarray,
         scales: np.ndarray,
         rng: np.random.Generator,
+        ws: EncodeWorkspace,
+        abs_buckets: np.ndarray | None = None,
     ) -> np.ndarray:
         s = (1 << (self.bits - 1)) - 1
-        safe = np.where(scales > 0.0, scales, 1.0)[:, None]
-        ratio = np.clip(np.abs(buckets) / safe, 0.0, 1.0) * s
-        low = np.floor(ratio)
-        prob = ratio - low
-        level = low + (rng.random(buckets.shape) < prob)
-        level = np.minimum(level, s).astype(np.uint32)
-        negative = (buckets < 0.0).astype(np.uint32)
-        codes = (level << 1) | negative
-        codes[scales == 0.0, :] = 0
+        lanes = buckets.shape
+        safe = self._safe_scales(scales, ws)
+        # ratio = clip(|buckets| / safe, 0, 1) * s, computed in place
+        if abs_buckets is not None:
+            ratio = abs_buckets  # caller already materialized |buckets|
+        else:
+            ratio = ws.array("qsgd.ratio", lanes)
+            np.abs(buckets, out=ratio)
+        np.divide(ratio, safe[:, None], out=ratio)
+        np.clip(ratio, 0.0, 1.0, out=ratio)
+        np.multiply(ratio, s, out=ratio)
+        low = ws.array("qsgd.low", lanes)
+        np.floor(ratio, out=low)
+        prob = ratio  # ratio is dead after this: reuse as prob buffer
+        np.subtract(ratio, low, out=prob)
+        rand = ws.array("qsgd.rand", lanes, np.float64)
+        rng.random(out=rand)
+        rounded = ws.array("qsgd.round", lanes, bool)
+        np.less(rand, prob, out=rounded)
+        level = low
+        np.add(low, rounded, out=level)
+        np.minimum(level, s, out=level)
+        codes = ws.array("qsgd.codes", lanes, np.uint32)
+        codes[...] = level
+        negative = rounded  # bool scratch, reused
+        np.less(buckets, 0.0, out=negative)
+        np.left_shift(codes, 1, out=codes)
+        np.bitwise_or(codes, negative, out=codes)
+        zero = ws.array("qsgd.zeromask", scales.shape, bool)
+        np.equal(scales, 0.0, out=zero)
+        codes[zero, :] = 0
         return codes
 
     def _encode_grid(
@@ -141,40 +200,109 @@ class Qsgd(Quantizer):
         buckets: np.ndarray,
         scales: np.ndarray,
         rng: np.random.Generator,
+        ws: EncodeWorkspace,
     ) -> np.ndarray:
         n_levels = 1 << self.bits
-        step = 2.0 * scales / (n_levels - 1)
-        safe_step = np.where(step > 0.0, step, 1.0)[:, None]
-        position = (buckets + scales[:, None]) / safe_step
-        low = np.floor(position)
-        prob = position - low
-        index = low + (rng.random(buckets.shape) < prob)
-        index = np.clip(index, 0, n_levels - 1).astype(np.uint32)
-        index[scales == 0.0, :] = 0
-        return index
+        lanes = buckets.shape
+        step = ws.array("qsgd.step", scales.shape)
+        np.multiply(2.0, scales, out=step)
+        np.divide(step, n_levels - 1, out=step)
+        positive = ws.array("qsgd.posmask", scales.shape, bool)
+        np.greater(step, 0.0, out=positive)
+        safe_step = ws.array("qsgd.safe", scales.shape)
+        safe_step.fill(1.0)
+        np.copyto(safe_step, step, where=positive)
+        position = ws.array("qsgd.ratio", lanes)
+        np.add(buckets, scales[:, None], out=position)
+        np.divide(position, safe_step[:, None], out=position)
+        low = ws.array("qsgd.low", lanes)
+        np.floor(position, out=low)
+        prob = position
+        np.subtract(position, low, out=prob)
+        rand = ws.array("qsgd.rand", lanes, np.float64)
+        rng.random(out=rand)
+        rounded = ws.array("qsgd.round", lanes, bool)
+        np.less(rand, prob, out=rounded)
+        index = low
+        np.add(low, rounded, out=index)
+        np.clip(index, 0, n_levels - 1, out=index)
+        codes = ws.array("qsgd.codes", lanes, np.uint32)
+        codes[...] = index
+        zero = ws.array("qsgd.zeromask", scales.shape, bool)
+        np.equal(scales, 0.0, out=zero)
+        codes[zero, :] = 0
+        return codes
 
     # -- decode ---------------------------------------------------------
     def decode(self, message: EncodedTensor) -> np.ndarray:
+        out = np.empty(message.shape, dtype=np.float32)
+        return self.decode_into(message, out)
+
+    def decode_into(
+        self,
+        message: EncodedTensor,
+        out: np.ndarray,
+        accumulate: bool = False,
+        workspace: EncodeWorkspace | None = None,
+    ) -> np.ndarray:
+        values = self._decode_values(message, workspace)
+        return from_buckets_into(values, message.shape, out, accumulate)
+
+    def sum_decoder(
+        self,
+        shape: tuple[int, ...],
+        workspace: EncodeWorkspace | None = None,
+    ) -> SumDecoder:
+        # accumulate in the contiguous bucket layout, un-bucket once
+        return BucketSumDecoder(self, shape, workspace)
+
+    def _decode_values(
+        self,
+        message: EncodedTensor,
+        workspace: EncodeWorkspace | None = None,
+    ) -> np.ndarray:
+        """Decoded bucket matrix, before the bucket-order permutation."""
+        ws = workspace if workspace is not None else EncodeWorkspace()
         bits = int(message.meta["bits"])
         bucket_size = int(message.meta["bucket_size"])
         variant = str(message.meta["variant"])
         scales = np.asarray(message.payload["scales"], dtype=np.float32)
         n_buckets = scales.shape[0]
-        codes = bitpack.unpack(
-            message.payload["words"], n_buckets * bucket_size, width=bits
-        ).reshape(n_buckets, bucket_size)
+        lanes = (n_buckets, bucket_size)
+        codes = bitpack.unpack_into(
+            message.payload["words"],
+            n_buckets * bucket_size,
+            width=bits,
+            workspace=ws,
+        ).reshape(lanes)
 
+        values = ws.array("qsgd.dec.values", lanes)
         if variant == "sign":
             s = (1 << (bits - 1)) - 1
-            level = (codes >> 1).astype(np.float32)
-            sign = 1.0 - 2.0 * (codes & 1).astype(np.float32)
-            buckets = sign * level / s * scales[:, None]
+            ints = ws.array("qsgd.dec.ints", lanes, np.uint32)
+            level = ws.array("qsgd.dec.level", lanes)
+            np.right_shift(codes, 1, out=ints)
+            level[...] = ints
+            np.bitwise_and(codes, 1, out=ints)
+            values[...] = ints
+            # sign = 1 - 2 * signbit; buckets = sign * level / s * scale
+            np.multiply(2.0, values, out=values)
+            np.subtract(1.0, values, out=values)
+            np.multiply(values, level, out=values)
+            np.divide(values, s, out=values)
+            np.multiply(values, scales[:, None], out=values)
         else:
             n_levels = 1 << bits
-            step = 2.0 * scales / (n_levels - 1)
-            buckets = codes.astype(np.float32) * step[:, None] - scales[:, None]
-            buckets[scales == 0.0, :] = 0.0
-        return from_buckets(buckets.astype(np.float32), message.shape)
+            step = ws.array("qsgd.dec.step", scales.shape)
+            np.multiply(2.0, scales, out=step)
+            np.divide(step, n_levels - 1, out=step)
+            values[...] = codes
+            np.multiply(values, step[:, None], out=values)
+            np.subtract(values, scales[:, None], out=values)
+            zero = ws.array("qsgd.dec.zeromask", scales.shape, bool)
+            np.equal(scales, 0.0, out=zero)
+            values[zero, :] = 0.0
+        return values
 
     def encoded_nbytes(self, shape: tuple[int, ...]) -> int:
         from .base import MESSAGE_HEADER_BYTES

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from .base import EncodedTensor, Quantizer
+from .workspace import EncodeWorkspace
 
 __all__ = ["TopK"]
 
@@ -43,24 +44,72 @@ class TopK(Quantizer):
     def encode(
         self, grad: np.ndarray, rng: np.random.Generator | None = None
     ) -> EncodedTensor:
-        flat = np.asarray(grad, dtype=np.float32).reshape(-1)
+        return self.encode_into(grad, rng)
+
+    def encode_into(
+        self,
+        grad: np.ndarray,
+        rng: np.random.Generator | None = None,
+        workspace: EncodeWorkspace | None = None,
+    ) -> EncodedTensor:
+        # Selection (argpartition/sort) allocates regardless; the
+        # workspace only removes the flatten/abs/gather temporaries.
+        ws = workspace if workspace is not None else EncodeWorkspace()
+        grad = np.asarray(grad, dtype=np.float32)
+        flat = grad.reshape(-1)
+        if not flat.flags.c_contiguous:
+            staged = ws.array("topk.flat", flat.size)
+            staged[...] = flat
+            flat = staged
         keep = self.survivors(flat.size)
         if keep >= flat.size:
             indices = np.arange(flat.size, dtype=np.int32)
         else:
-            indices = np.argpartition(np.abs(flat), -keep)[-keep:]
+            magnitude = ws.array("topk.abs", flat.size)
+            np.abs(flat, out=magnitude)
+            indices = np.argpartition(magnitude, -keep)[-keep:]
             indices = np.sort(indices).astype(np.int32)
+        values = ws.array("topk.values", keep)
+        np.take(flat, indices, out=values)
         return EncodedTensor(
             scheme=self.name,
             shape=grad.shape,
-            payload={"indices": indices, "values": flat[indices]},
+            payload={"indices": indices, "values": values},
             meta={"density": self.density},
         )
 
     def decode(self, message: EncodedTensor) -> np.ndarray:
-        flat = np.zeros(message.element_count, dtype=np.float32)
-        flat[message.payload["indices"]] = message.payload["values"]
-        return flat.reshape(message.shape)
+        out = np.empty(message.shape, dtype=np.float32)
+        return self.decode_into(message, out)
+
+    def decode_into(
+        self,
+        message: EncodedTensor,
+        out: np.ndarray,
+        accumulate: bool = False,
+        workspace: EncodeWorkspace | None = None,
+    ) -> np.ndarray:
+        indices = message.payload["indices"]
+        values = message.payload["values"]
+        if out.flags.c_contiguous:
+            flat = out.reshape(-1)
+            if accumulate:
+                # indices are unique: += is an exact scatter-add here
+                flat[indices] += values
+            else:
+                flat.fill(0.0)
+                flat[indices] = values
+            return out
+        # strided destination: reshape(-1) would silently copy, so
+        # scatter into dense scratch and apply shaped
+        ws = workspace if workspace is not None else EncodeWorkspace()
+        dense = ws.zeros("topk.dec", out.shape)
+        dense.reshape(-1)[indices] = values
+        if accumulate:
+            out += dense
+        else:
+            out[...] = dense
+        return out
 
     def encoded_nbytes(self, shape: tuple[int, ...]) -> int:
         from .base import MESSAGE_HEADER_BYTES

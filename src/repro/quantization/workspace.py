@@ -1,0 +1,95 @@
+"""Reusable scratch-buffer arena for the quantized hot path.
+
+Every synchronous step runs encode → exchange → decode for every
+gradient tensor; done naively, each of those stages allocates fresh
+numpy arrays (bucket matrices, code planes, packed words, decode
+scratch), and the allocator churn — not the arithmetic — dominates the
+per-step constant factor for the small matrices that make up most of a
+convolutional model.  :class:`EncodeWorkspace` is a shape-keyed arena:
+the first request for a ``(tag, shape, dtype)`` triple allocates, every
+later request returns the same buffer, so a steady-state training step
+performs zero hot-path allocations.
+
+Lifetime contract
+-----------------
+Buffers are *reused aggressively*: a buffer obtained for ``tag`` is
+valid only until the next request for the same ``(tag, shape, dtype)``
+triple.  In particular an :class:`~repro.quantization.base.
+EncodedTensor` produced by ``encode_into(..., workspace=ws)`` aliases
+arena buffers and must be consumed (decoded / byte-counted) before the
+next ``encode_into`` call on the same workspace.  The communication
+layer honours this by decoding each peer message immediately after
+encoding it.
+
+Workspaces are **not** thread-safe; the runtime engines funnel all
+exchanges through a single coordinator thread, so one arena per
+:class:`~repro.core.algorithm.SynchronousStep` suffices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["EncodeWorkspace"]
+
+
+class EncodeWorkspace:
+    """Shape-keyed cache of scratch arrays for encode/decode kernels.
+
+    Attributes:
+        hits: number of requests served from the cache.
+        misses: number of requests that had to allocate.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[tuple, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by the arena."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def array(
+        self,
+        tag: str | tuple,
+        shape: tuple[int, ...] | int,
+        dtype=np.float32,
+    ) -> np.ndarray:
+        """Uninitialized buffer for ``tag``; cached by (tag, shape, dtype).
+
+        Distinct concurrent uses must use distinct tags — the same tag
+        with the same shape and dtype always returns the same storage.
+        """
+        if isinstance(shape, int):
+            shape = (shape,)
+        key = (tag, shape, np.dtype(dtype).char)
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[key] = buf
+            self.misses += 1
+        else:
+            self.hits += 1
+        return buf
+
+    def zeros(
+        self,
+        tag: str | tuple,
+        shape: tuple[int, ...] | int,
+        dtype=np.float32,
+    ) -> np.ndarray:
+        """Like :meth:`array` but zero-filled on every request."""
+        buf = self.array(tag, shape, dtype)
+        buf.fill(0)
+        return buf
+
+    def clear(self) -> None:
+        """Drop every cached buffer (and the hit/miss counters)."""
+        self._buffers.clear()
+        self.hits = 0
+        self.misses = 0

@@ -137,6 +137,17 @@ class ExecutionEngine(abc.ABC):
         """Rank 0's optimizer (replicas hold identical state)."""
         return self.workers[0].optimizer
 
+    @property
+    def workspace(self):
+        """The step engine's scratch arena (``None`` when disabled).
+
+        Both engines drive every bucket exchange from the coordinator
+        thread, so a single arena serves the whole run; its buffers are
+        reused across steps, which is what makes the steady-state hot
+        path allocation-free.
+        """
+        return self.step_engine.workspace
+
     def _exchange_bucket(self, bucket: GradientBucket) -> dict[str, np.ndarray]:
         """Run the collective for one bucket; returns aggregated grads."""
         return self.step_engine.aggregate_bucket(

@@ -1,0 +1,91 @@
+"""Workspace (fused decode-accumulate) exchanges vs the allocating path.
+
+Every exchange must produce bit-identical aggregates, identical wire
+byte counts, and — when the scheme needs error feedback — bit-identical
+per-rank round-trip images, whether or not a workspace arena is
+supplied.  The fused path's only legal difference is that unbiased
+schemes skip materializing ``decoded_local`` (it returns ``None``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import EXCHANGE_NAMES, make_exchange
+from repro.quantization import EncodeWorkspace, make_quantizer
+
+SCHEMES = ["32bit", "qsgd4", "qsgd2", "1bit", "1bit*", "aqsgd4"]
+WORLD = 4
+
+
+def _tensors(shape=(32, 20)):
+    return [
+        np.random.default_rng(100 + r).normal(size=shape).astype(np.float32)
+        for r in range(WORLD)
+    ]
+
+
+def _run(exchange_name, scheme, workspace):
+    exchange = make_exchange(exchange_name, WORLD)
+    codec = make_quantizer(scheme)
+    result = exchange.exchange(
+        "w",
+        _tensors(),
+        codec,
+        np.random.default_rng(5),
+        workspace=workspace,
+    )
+    return codec, exchange, result
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("exchange_name", sorted(EXCHANGE_NAMES))
+class TestFusedMatchesAllocating:
+    def test_aggregate_bit_identical(self, exchange_name, scheme):
+        _, _, ref = _run(exchange_name, scheme, None)
+        _, _, got = _run(exchange_name, scheme, EncodeWorkspace())
+        np.testing.assert_array_equal(
+            np.asarray(got.aggregate), np.asarray(ref.aggregate)
+        )
+
+    def test_wire_bytes_unchanged(self, exchange_name, scheme):
+        _, ref_ex, _ = _run(exchange_name, scheme, None)
+        _, got_ex, _ = _run(exchange_name, scheme, EncodeWorkspace())
+        assert (
+            got_ex.traffic.total_bytes == ref_ex.traffic.total_bytes
+        )
+
+    def test_decoded_local_contract(self, exchange_name, scheme):
+        codec, _, ref = _run(exchange_name, scheme, None)
+        _, _, got = _run(exchange_name, scheme, EncodeWorkspace())
+        # the allocating path always materializes round-trip images
+        assert ref.decoded_local is not None
+        if codec.requires_error_feedback:
+            # the trainer's residual update needs them: bit-identical
+            assert got.decoded_local is not None
+            for mine, theirs in zip(got.decoded_local, ref.decoded_local):
+                np.testing.assert_array_equal(
+                    np.asarray(mine), np.asarray(theirs)
+                )
+        elif exchange_name == "nccl" and scheme == "32bit":
+            # full-precision NCCL sums exactly: the round-trip images
+            # are the inputs themselves, so they come back for free
+            assert got.decoded_local is not None
+        else:
+            # unbiased schemes fuse: no per-rank tensors materialized
+            assert got.decoded_local is None
+
+
+@pytest.mark.parametrize("exchange_name", sorted(EXCHANGE_NAMES))
+def test_workspace_reuse_across_repeated_exchanges(exchange_name):
+    """Steady state: repeated exchanges stop allocating arena buffers."""
+    exchange = make_exchange(exchange_name, WORLD)
+    codec = make_quantizer("qsgd4")
+    ws = EncodeWorkspace()
+    tensors = _tensors()
+    exchange.exchange("w", tensors, codec, np.random.default_rng(0), workspace=ws)
+    misses = ws.misses
+    for step in range(1, 4):
+        exchange.exchange(
+            "w", tensors, codec, np.random.default_rng(step), workspace=ws
+        )
+    assert ws.misses == misses, "exchange allocated after warmup"

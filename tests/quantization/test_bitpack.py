@@ -104,3 +104,50 @@ class TestPackUnpackRoundtrip:
         np.testing.assert_array_equal(
             bitpack.unpack(words, count, width), codes
         )
+
+
+class TestIntoForms:
+    """Out-parameter forms must match the allocating forms bit-for-bit."""
+
+    @pytest.mark.parametrize("width", list(range(1, 33)))
+    def test_roundtrip_every_width(self, width):
+        # all widths 1..32, including non-divisors that round up to the
+        # next power-of-two slot, and counts that leave a partial word
+        from repro.quantization.workspace import EncodeWorkspace
+
+        rng = np.random.default_rng(width)
+        for count in (0, 1, 37, 1000):
+            codes = rng.integers(
+                0, 1 << width, size=count, dtype=np.uint64
+            ).astype(np.uint32)
+            ws = EncodeWorkspace()
+            out = np.empty(bitpack.packed_words(count, width), np.uint32)
+            words = bitpack.pack_into(codes, width, out, workspace=ws)
+            np.testing.assert_array_equal(words, bitpack.pack(codes, width))
+            back = bitpack.unpack_into(words, count, width, workspace=ws)
+            np.testing.assert_array_equal(back, codes)
+
+    def test_unpack_into_explicit_out(self):
+        codes = np.arange(100, dtype=np.uint32) % 16
+        words = bitpack.pack(codes, 4)
+        out = np.empty(100, dtype=np.uint32)
+        result = bitpack.unpack_into(words, 100, 4, out=out)
+        assert result is out
+        np.testing.assert_array_equal(out, codes)
+
+    def test_pack_into_rejects_wrong_out(self):
+        codes = np.zeros(10, dtype=np.uint32)
+        with pytest.raises(ValueError):
+            bitpack.pack_into(
+                codes, 2, np.empty(99, dtype=np.uint32)
+            )
+        with pytest.raises(ValueError):
+            bitpack.pack_into(
+                codes, 2,
+                np.empty(bitpack.packed_words(10, 2), dtype=np.int64),
+            )
+
+    def test_pack_into_check_flag_validates_range(self):
+        out = np.empty(1, dtype=np.uint32)
+        with pytest.raises(ValueError):
+            bitpack.pack_into(np.array([4], dtype=np.uint32), 2, out)

@@ -1,0 +1,63 @@
+"""``encoded_nbytes`` must equal actual serialized size, everywhere.
+
+The performance simulator and the exchanges' traffic accounting both
+price messages through ``Quantizer.encoded_nbytes(shape)`` without
+encoding anything.  If that prediction ever drifted from the bytes a
+real ``encode`` puts on the wire, every reproduced cost figure would
+silently drift with it — so this suite sweeps the full scheme x
+width x bucket-size x shape grid and checks exact equality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.quantization import make_quantizer
+from repro.quantization.adaptive import AdaptiveQsgd
+from repro.quantization.qsgd import Qsgd
+
+SHAPES = [(1,), (5,), (31,), (16, 16), (7, 13), (128, 65), (3, 4, 5)]
+
+
+def _check(codec, shape):
+    grad = (
+        np.random.default_rng(hash(shape) % 1000)
+        .normal(size=shape)
+        .astype(np.float32)
+    )
+    message = codec.encode(grad, np.random.default_rng(1))
+    assert codec.encoded_nbytes(shape) == message.nbytes
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+@pytest.mark.parametrize("bits", [2, 4, 8, 16])
+@pytest.mark.parametrize("bucket_size", [None, 1, 16, 512, 8192])
+def test_qsgd_grid(shape, bits, bucket_size):
+    _check(Qsgd(bits, bucket_size=bucket_size), shape)
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+@pytest.mark.parametrize("variant", ["sign", "grid"])
+@pytest.mark.parametrize("norm", ["inf", "l2"])
+def test_qsgd_variants(shape, variant, norm):
+    _check(Qsgd(4, variant=variant, norm=norm), shape)
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+@pytest.mark.parametrize("bits", [2, 4, 8])
+@pytest.mark.parametrize("bucket_size", [16, 512])
+def test_adaptive_qsgd_grid(shape, bits, bucket_size):
+    _check(AdaptiveQsgd(bits, bucket_size=bucket_size), shape)
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+@pytest.mark.parametrize(
+    "scheme", ["32bit", "1bit", "1bit*", "topk0.05", "topk0.25"]
+)
+def test_other_schemes(shape, scheme):
+    _check(make_quantizer(scheme), shape)
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+@pytest.mark.parametrize("bucket_size", [1, 32, 2048])
+def test_reshaped_onebit_bucket_sizes(shape, bucket_size):
+    _check(make_quantizer("1bit*", bucket_size=bucket_size), shape)
