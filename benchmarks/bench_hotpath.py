@@ -25,6 +25,11 @@ never pollutes the timing:
 * ``alloc_bytes_per_step`` — tracemalloc peak-delta per step (the
   bytes of fresh Python-heap allocation one step performs).
 
+A third pass guards the telemetry instrumentation: the per-call cost
+of the disabled (``NULL_TRACER``) span sites the hot path now crosses
+is measured directly and projected onto one workspace step; the run
+fails if that projection exceeds 2% of the measured step time.
+
 The JSON report is written to ``BENCH_hotpath.json``.  With ``--gate
 BASELINE.json`` the script exits non-zero when the workspace mode's
 steps/sec regresses more than ``--gate-tolerance`` (default 20%) below
@@ -46,6 +51,7 @@ import numpy as np
 
 from repro.core.algorithm import SynchronousStep
 from repro.core.config import TrainingConfig
+from repro.telemetry import NULL_TRACER
 
 #: AlexNet-like layer inventory (rows, cols) — conv kernels flattened
 #: the way the exchanges see them.  fc1 dominates, as in the paper's
@@ -132,6 +138,30 @@ def measure_mode(workspace: bool, steps: int, warmup: int) -> dict:
     }
 
 
+def measure_null_tracer_overhead(step_seconds: float) -> dict:
+    """Projected share of one step spent in disabled tracing sites.
+
+    Measures the real per-call cost of the shared null span, then
+    multiplies by the instrumentation points one step crosses (the
+    NCCL path opens an encode and a decode span per rank per
+    parameter; doubled to also bound the counter None-checks).
+    """
+    span = NULL_TRACER.span
+    iterations = 200_000
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        with span("encode", 0):
+            pass
+    per_span = (time.perf_counter() - t0) / iterations
+    spans_per_step = 2 * 2 * WORLD_SIZE * len(PARAM_SHAPES)
+    overhead_seconds = per_span * spans_per_step
+    return {
+        "null_span_ns": per_span * 1e9,
+        "spans_per_step": spans_per_step,
+        "overhead_fraction_of_step": overhead_seconds / step_seconds,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -181,6 +211,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     print(f"speedup     {speedup:8.2f}x   alloc drop {alloc_drop:,.1f}x")
 
+    tracer_overhead = measure_null_tracer_overhead(
+        ws["step_ms"] / 1e3
+    )
+    fraction = tracer_overhead["overhead_fraction_of_step"]
+    print(
+        f"null tracer {tracer_overhead['null_span_ns']:8.0f} ns/span  "
+        f"{fraction:.3%} of a workspace step"
+    )
+
     report = {
         "bench": "hotpath",
         "cell": {
@@ -196,11 +235,19 @@ def main(argv: list[str] | None = None) -> int:
         "results": results,
         "speedup_vs_allocating": speedup,
         "alloc_drop_vs_allocating": alloc_drop,
+        "null_tracer": tracer_overhead,
     }
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.output}")
+
+    if fraction > 0.02:
+        print(
+            f"TRACER FAIL: disabled tracing costs {fraction:.2%} of a "
+            f"step (limit 2%)"
+        )
+        return 1
 
     if args.gate is not None:
         with open(args.gate) as fh:

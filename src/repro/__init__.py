@@ -15,6 +15,9 @@ Public API tour:
 * :mod:`repro.nn`, :mod:`repro.models`, :mod:`repro.data`,
   :mod:`repro.optim` — the training substrate and model zoo;
 * :mod:`repro.simulator` — the calibrated EC2/DGX-1 performance model;
+* :mod:`repro.telemetry` — live-path tracing (per-rank phase spans,
+  typed counters, Chrome-trace export, measured-vs-simulated
+  cross-validation);
 * :mod:`repro.study` — one experiment per paper table/figure.
 
 Quickstart::
@@ -56,6 +59,13 @@ from .quantization import (
     Quantizer,
     make_quantizer,
 )
+from .telemetry import (
+    NullTracer,
+    PhaseBreakdown,
+    Tracer,
+    cross_validate,
+    write_chrome_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -78,5 +88,10 @@ __all__ = [
     "Qsgd",
     "Quantizer",
     "make_quantizer",
+    "NullTracer",
+    "PhaseBreakdown",
+    "Tracer",
+    "cross_validate",
+    "write_chrome_trace",
     "__version__",
 ]

@@ -7,6 +7,10 @@ Commands:
 * ``train`` — train a zoo model end-to-end on synthetic data, with
   ``--engine sequential|threaded`` selecting the execution engine and
   optional straggler/crash fault injection;
+* ``trace`` — train a small traced cell, write a Chrome-trace JSON
+  timeline (``chrome://tracing`` / Perfetto), and print the measured
+  per-phase breakdown, optionally cross-validated against the
+  simulator's prediction;
 * ``insights`` — re-derive the paper's five summary answers;
 * ``calibration`` — compare simulated throughput to the published
   Figure 10/11 tables cell by cell;
@@ -29,6 +33,12 @@ from .simulator import MACHINES
 from .study import EXPERIMENTS, print_table, run_experiment, throughput_table
 from .study.compression import print_compression_report
 from .study.insights import print_insights
+from .telemetry import (
+    PhaseBreakdown,
+    Tracer,
+    cross_validate,
+    write_chrome_trace,
+)
 
 __all__ = ["main"]
 
@@ -115,6 +125,87 @@ def _cmd_train(args: argparse.Namespace) -> int:
         f"[{config.label}/{config.engine}] final test accuracy "
         f"{history.final_test_accuracy:.3f}, {total_mb:.1f} MB on the wire"
     )
+    return 0
+
+
+#: CLI scheme families accepted by ``repro trace``; "qsgd" composes
+#: with ``--bits`` into the internal scheme name (e.g. qsgd4)
+_TRACE_SCHEMES = ("32bit", "qsgd", "1bit", "1bit*")
+
+
+def _resolve_trace_scheme(scheme: str, bits: int | None) -> str:
+    """Map the trace CLI's (--scheme, --bits) pair to a scheme name."""
+    if scheme == "qsgd":
+        if bits is None:
+            raise ValueError("--scheme qsgd requires --bits (2, 4, 8 or 16)")
+        name = f"qsgd{bits}"
+        if name not in SCHEME_NAMES:
+            raise ValueError(
+                f"unsupported --bits {bits} for qsgd; expected one of "
+                "2, 4, 8, 16"
+            )
+        return name
+    if bits is not None:
+        raise ValueError("--bits only applies to --scheme qsgd")
+    return scheme
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    tracer = Tracer()
+    try:
+        scheme = _resolve_trace_scheme(args.scheme, args.bits)
+        config = TrainingConfig(
+            scheme=scheme,
+            exchange=args.exchange,
+            world_size=args.gpus,
+            batch_size=args.batch_size,
+            lr=args.lr,
+            seed=args.seed,
+            engine=args.engine,
+            link_gbps=args.link_gbps,
+            tracer=tracer,
+        )
+    except ValueError as exc:
+        print(f"repro trace: error: {exc}", file=sys.stderr)
+        return 2
+    ds = make_image_dataset(
+        num_classes=args.classes, train_samples=args.train_samples,
+        test_samples=args.test_samples, image_size=args.image_size,
+        seed=args.seed,
+    )
+    with ParallelTrainer(_build_train_model(args), config) as trainer:
+        history = trainer.fit(
+            ds.train_x, ds.train_y, ds.test_x, ds.test_y,
+            epochs=args.epochs, verbose=False,
+        )
+    if history.failures:
+        for failure in history.failures:
+            print(f"FAILED: {failure.message}", file=sys.stderr)
+        return 1
+
+    write_chrome_trace(tracer, args.output)
+    wall = sum(m.wall_seconds for m in history.epochs)
+    breakdown = PhaseBreakdown.from_tracer(
+        tracer, wall_seconds=wall, label=f"{config.label}/{config.engine}"
+    )
+    print(breakdown.report())
+    counters = tracer.counters
+    print(
+        f"wire bytes: {counters.wire_bytes_total}  "
+        f"encodes: {counters.encode_calls}  "
+        f"decodes: {counters.decode_calls}"
+    )
+    print(f"trace written to {args.output} (load in chrome://tracing)")
+    if args.crossval:
+        validation = cross_validate(
+            breakdown,
+            scheme=scheme,
+            exchange=args.exchange,
+            world_size=args.gpus,
+            network=args.network,
+        )
+        print()
+        print(validation.report())
     return 0
 
 
@@ -250,6 +341,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     train.add_argument("--crash-step", type=int, default=None)
     train.set_defaults(handler=_cmd_train)
+    trace = sub.add_parser(
+        "trace",
+        help="trace a small training cell (Chrome trace + breakdown)",
+    )
+    trace.add_argument(
+        "--scheme", default="qsgd", choices=_TRACE_SCHEMES,
+        help="scheme family; 'qsgd' composes with --bits",
+    )
+    trace.add_argument(
+        "--bits", type=int, default=None,
+        help="QSGD word length (2, 4, 8 or 16); only with --scheme qsgd",
+    )
+    trace.add_argument("--exchange", default="mpi", choices=EXCHANGE_NAMES)
+    trace.add_argument(
+        "--gpus", type=int, default=4, help="number of simulated GPUs"
+    )
+    trace.add_argument(
+        "--engine", default="sequential", choices=ENGINE_NAMES,
+        help="'sequential' keeps phases serial, so the breakdown rows "
+        "partition wall time; 'threaded' overlaps phases",
+    )
+    trace.add_argument(
+        "--model", default="alexnet", choices=sorted(MODEL_BUILDERS)
+    )
+    trace.add_argument("--epochs", type=int, default=1)
+    trace.add_argument("--batch-size", type=int, default=32)
+    trace.add_argument("--lr", type=float, default=0.01)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--model-seed", type=int, default=1)
+    trace.add_argument("--classes", type=int, default=4)
+    trace.add_argument("--image-size", type=int, default=8)
+    trace.add_argument("--train-samples", type=int, default=128)
+    trace.add_argument("--test-samples", type=int, default=64)
+    trace.add_argument("--link-gbps", type=float, default=None)
+    trace.add_argument(
+        "--output", default="trace.json",
+        help="Chrome-trace JSON path (chrome://tracing / Perfetto)",
+    )
+    trace.add_argument(
+        "--crossval", action="store_true",
+        help="compare measured phase ratios to the simulator's "
+        "prediction for --network at the same scheme/exchange/scale",
+    )
+    trace.add_argument(
+        "--network", default="AlexNet", choices=sorted(NETWORKS),
+        help="paper network the cross-validation simulates",
+    )
+    trace.set_defaults(handler=_cmd_trace)
     sub.add_parser(
         "insights", help="re-derive the paper's summary answers"
     ).set_defaults(handler=_cmd_insights)

@@ -45,22 +45,28 @@ class AllToAllBroadcast(GradientExchange):
             # materializing path, hence bit-identical
             decoder = codec.sum_decoder(shape, ws)
         decoded_local: list[np.ndarray] | None = [] if need_local else None
+        tracer = self.tracer
         for rank, tensor in enumerate(tensors):
-            message = codec.encode_into(
-                np.asarray(tensor, dtype=np.float32), rng, ws
-            )
+            with tracer.span("encode", rank):
+                message = codec.encode_into(
+                    np.asarray(tensor, dtype=np.float32), rng, ws
+                )
+            self._count_encode(message.nbytes)
             for peer in range(self.world_size):
                 self.traffic.record(rank, peer, message.nbytes, tag=key)
             if need_local:
-                if ws is None:
-                    decoded = codec.decode(message)
-                else:
-                    decoded = ws.array(("a2a.dl", rank), shape)
-                    codec.decode_into(message, decoded, workspace=ws)
-                decoded_local.append(decoded)
-                aggregate += decoded
+                with tracer.span("decode", rank):
+                    if ws is None:
+                        decoded = codec.decode(message)
+                    else:
+                        decoded = ws.array(("a2a.dl", rank), shape)
+                        codec.decode_into(message, decoded, workspace=ws)
+                    decoded_local.append(decoded)
+                    aggregate += decoded
             else:
-                decoder.add(message)
+                with tracer.span("decode", rank):
+                    decoder.add(message)
+            self._count_decode(message.nbytes)
         if decoder is not None:
             aggregate = decoder.result()
         return ExchangeResult(aggregate=aggregate, decoded_local=decoded_local)

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..quantization.base import Quantizer
 from ..quantization.workspace import EncodeWorkspace
+from ..telemetry.tracer import NULL_TRACER
 
 from .message import LinkTraffic
 
@@ -60,6 +61,22 @@ class GradientExchange(abc.ABC):
             raise ValueError(f"world_size must be >= 1, got {world_size}")
         self.world_size = world_size
         self.traffic = LinkTraffic()
+        # telemetry handle, installed by SynchronousStep when tracing
+        # is on; the default null tracer makes every span a shared
+        # no-op, so untraced exchanges pay only the call sites
+        self.tracer = NULL_TRACER
+
+    def _count_encode(self, nbytes: int) -> None:
+        """Mirror one codec encode into the tracer's typed counters."""
+        sink = self.tracer.counter_sink
+        if sink is not None:
+            sink.count_encode(nbytes)
+
+    def _count_decode(self, nbytes: int) -> None:
+        """Mirror one codec decode into the tracer's typed counters."""
+        sink = self.tracer.counter_sink
+        if sink is not None:
+            sink.count_decode(nbytes)
 
     @abc.abstractmethod
     def exchange(

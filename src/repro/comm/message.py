@@ -31,9 +31,16 @@ class LinkTraffic:
     Attributes:
         records: every transfer in order, useful for fine-grained
             assertions in tests.
+        counters: optional telemetry sink (a
+            :class:`repro.telemetry.Counters`); when set, every
+            recorded transfer is mirrored into the tracer's wire-byte
+            counters at the same point, so traced totals equal traffic
+            totals by construction.  ``None`` (the default) keeps the
+            untraced hot path to a single attribute check.
     """
 
     records: list[TransferRecord] = field(default_factory=list)
+    counters: object | None = field(default=None, repr=False, compare=False)
     _per_link: dict[tuple[int, int], int] = field(
         default_factory=lambda: defaultdict(int)
     )
@@ -52,6 +59,8 @@ class LinkTraffic:
         self._per_link[(src, dst)] += nbytes
         self._sent_by[src] += nbytes
         self._received_by[dst] += nbytes
+        if self.counters is not None:
+            self.counters.count_wire(src, dst, nbytes)
 
     @property
     def total_bytes(self) -> int:

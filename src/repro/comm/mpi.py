@@ -83,6 +83,7 @@ class MpiReduceBroadcast(GradientExchange):
                 decoded_local = None
             aggregate = ws.array("mpi.agg", matrices[0].shape)
 
+        tracer = self.tracer
         for owner, (lo, hi) in enumerate(ranges):
             if lo == hi:
                 continue
@@ -99,14 +100,19 @@ class MpiReduceBroadcast(GradientExchange):
             else:
                 decoder = codec.sum_decoder((rows, hi - lo), ws)
             for rank, matrix in enumerate(matrices):
-                message = codec.encode_into(matrix[:, lo:hi], rng, ws)
+                with tracer.span("encode", rank):
+                    message = codec.encode_into(matrix[:, lo:hi], rng, ws)
+                self._count_encode(message.nbytes)
                 self.traffic.record(rank, owner, message.nbytes, tag=key)
                 if need_local:
                     part = decoded_local[rank][:, lo:hi]
-                    codec.decode_into(message, part, workspace=ws)
-                    owner_sum += part
+                    with tracer.span("decode", rank):
+                        codec.decode_into(message, part, workspace=ws)
+                        owner_sum += part
                 else:
-                    decoder.add(message)
+                    with tracer.span("decode", rank):
+                        decoder.add(message)
+                self._count_decode(message.nbytes)
             if decoder is not None:
                 owner_sum = decoder.result()
 
@@ -117,16 +123,24 @@ class MpiReduceBroadcast(GradientExchange):
                 target[...] = owner_sum
                 nbytes = self._fullprec.encoded_nbytes(owner_sum.shape)
             elif isinstance(broadcast_codec, ErrorFeedback):
-                message = broadcast_codec.encode(
-                    f"{key}/range{owner}", owner_sum, rng, workspace=ws
-                )
-                broadcast_codec.quantizer.decode_into(
-                    message, target, workspace=ws
-                )
+                with tracer.span("encode", owner):
+                    message = broadcast_codec.encode(
+                        f"{key}/range{owner}", owner_sum, rng, workspace=ws
+                    )
+                self._count_encode(message.nbytes)
+                with tracer.span("decode", owner):
+                    broadcast_codec.quantizer.decode_into(
+                        message, target, workspace=ws
+                    )
+                self._count_decode(message.nbytes)
                 nbytes = message.nbytes
             else:
-                message = broadcast_codec.encode_into(owner_sum, rng, ws)
-                broadcast_codec.decode_into(message, target, workspace=ws)
+                with tracer.span("encode", owner):
+                    message = broadcast_codec.encode_into(owner_sum, rng, ws)
+                self._count_encode(message.nbytes)
+                with tracer.span("decode", owner):
+                    broadcast_codec.decode_into(message, target, workspace=ws)
+                self._count_decode(message.nbytes)
                 nbytes = message.nbytes
             for rank in range(self.world_size):
                 self.traffic.record(owner, rank, nbytes, tag=key)

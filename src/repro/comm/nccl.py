@@ -66,19 +66,24 @@ class NcclRingAllreduce(GradientExchange):
         shape = self._check_inputs(tensors)
         inputs = [np.asarray(t, dtype=np.float32) for t in tensors]
         ws = workspace
+        tracer = self.tracer
 
         if ws is None:
             if isinstance(codec, FullPrecision):
                 decoded_local = inputs
-                payload_bytes = codec.encode(inputs[0]).nbytes
+                payload_bytes = codec.encoded_nbytes(inputs[0].shape)
             else:
                 # simulated low-precision NCCL: local round-trip, exact sum
                 decoded_local = []
                 payload_bytes = 0
-                for tensor in inputs:
-                    message = codec.encode(tensor, rng)
+                for rank, tensor in enumerate(inputs):
+                    with tracer.span("encode", rank):
+                        message = codec.encode(tensor, rng)
+                    self._count_encode(message.nbytes)
                     payload_bytes = message.nbytes
-                    decoded_local.append(codec.decode(message))
+                    with tracer.span("decode", rank):
+                        decoded_local.append(codec.decode(message))
+                    self._count_decode(message.nbytes)
             aggregate = np.zeros(shape, dtype=np.float32)
             for decoded in decoded_local:
                 aggregate += decoded
@@ -105,18 +110,28 @@ class NcclRingAllreduce(GradientExchange):
             ]
             payload_bytes = 0
             for rank, tensor in enumerate(inputs):
-                message = codec.encode_into(tensor, rng, ws)
+                with tracer.span("encode", rank):
+                    message = codec.encode_into(tensor, rng, ws)
+                self._count_encode(message.nbytes)
                 payload_bytes = message.nbytes
-                codec.decode_into(message, decoded_local[rank], workspace=ws)
-                aggregate += decoded_local[rank]
+                with tracer.span("decode", rank):
+                    codec.decode_into(
+                        message, decoded_local[rank], workspace=ws
+                    )
+                    aggregate += decoded_local[rank]
+                self._count_decode(message.nbytes)
         else:
             decoded_local = None
             payload_bytes = 0
             decoder = codec.sum_decoder(shape, ws)
-            for tensor in inputs:
-                message = codec.encode_into(tensor, rng, ws)
+            for rank, tensor in enumerate(inputs):
+                with tracer.span("encode", rank):
+                    message = codec.encode_into(tensor, rng, ws)
+                self._count_encode(message.nbytes)
                 payload_bytes = message.nbytes
-                decoder.add(message)
+                with tracer.span("decode", rank):
+                    decoder.add(message)
+                self._count_decode(message.nbytes)
             aggregate = decoder.result()
         self._record_ring_traffic(key, payload_bytes)
         return ExchangeResult(

@@ -18,6 +18,7 @@ from ..quantization import (
     QuantizationPolicy,
     make_quantizer,
 )
+from ..telemetry.tracer import NULL_TRACER
 from .config import TrainingConfig
 
 __all__ = ["SynchronousStep"]
@@ -52,6 +53,12 @@ class SynchronousStep:
         self.exchange = make_exchange(
             config.exchange, config.world_size, **exchange_kwargs
         )
+        # observation-only telemetry: the exchange records encode/
+        # decode spans on per-rank tracks, and link traffic mirrors
+        # wire bytes into the tracer's counters at the recording site
+        self.tracer = config.tracer if config.tracer is not None else NULL_TRACER
+        self.exchange.tracer = self.tracer
+        self.exchange.traffic.counters = self.tracer.counter_sink
         self.rng = np.random.default_rng(config.seed)
         # scratch arena for the zero-allocation hot path; exchanges run
         # on one coordinator thread in both engines, so one arena is

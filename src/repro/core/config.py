@@ -55,6 +55,12 @@ class TrainingConfig:
             at the top of these ranks' compute phase every step.
         crash_rank / crash_step: the given rank crashes at the given
             global step (``crash_step=None`` crashes every step).
+        tracer: a :class:`repro.telemetry.Tracer` to record per-rank
+            phase spans and typed counters on the live training path;
+            ``None`` (the default) uses the shared no-op
+            :data:`~repro.telemetry.NULL_TRACER`.  Tracing is
+            observation-only: traced and untraced runs are
+            bit-identical.
     """
 
     scheme: str = "32bit"
@@ -85,6 +91,9 @@ class TrainingConfig:
     straggler_delay: float = 0.0
     crash_rank: int | None = None
     crash_step: int | None = None
+    # live-path telemetry (see repro.telemetry); excluded from equality
+    # and repr so configs stay comparable cell labels
+    tracer: object | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.scheme not in SCHEME_NAMES:

@@ -8,12 +8,21 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
     from ..runtime.faults import WorkerFailure
 
-__all__ = ["EpochMetrics", "History"]
+__all__ = ["EpochMetrics", "History", "PHASE_NAMES"]
+
+#: per-phase timing fields, in the paper's breakdown-figure order
+PHASE_NAMES = ("compute", "encode", "transfer", "decode", "barrier")
 
 
 @dataclass
 class EpochMetrics:
-    """Measurements from one training epoch."""
+    """Measurements from one training epoch.
+
+    The ``*_seconds`` phase fields are populated from the live tracer
+    when :attr:`~repro.core.TrainingConfig.tracer` is set (they are the
+    measured per-phase busy time of the epoch's training steps) and
+    stay ``None`` on untraced runs.
+    """
 
     epoch: int
     train_loss: float
@@ -21,6 +30,11 @@ class EpochMetrics:
     test_accuracy: float
     comm_bytes: int
     wall_seconds: float
+    compute_seconds: float | None = None
+    encode_seconds: float | None = None
+    transfer_seconds: float | None = None
+    decode_seconds: float | None = None
+    barrier_seconds: float | None = None
 
 
 @dataclass
@@ -64,6 +78,23 @@ class History:
         """Extract one per-epoch series by attribute name."""
         return [getattr(m, attribute) for m in self.epochs]
 
+    def phase_totals(self) -> dict[str, float]:
+        """Whole-run seconds per traced phase (zeros when untraced).
+
+        Sums the per-epoch ``*_seconds`` fields the trainer records
+        when tracing is on; this is the series behind the paper's
+        stacked-bar time-per-epoch breakdowns.
+        """
+        return {
+            phase: float(
+                sum(
+                    getattr(m, f"{phase}_seconds") or 0.0
+                    for m in self.epochs
+                )
+            )
+            for phase in PHASE_NAMES
+        }
+
     def epochs_to_reach(self, test_accuracy: float) -> int | None:
         """Epochs needed to first reach ``test_accuracy``.
 
@@ -81,7 +112,12 @@ class History:
         """JSON-serializable run record (for EXPERIMENTS.md tooling)."""
         record = {
             "label": self.label,
-            "epochs": [vars(m).copy() for m in self.epochs],
+            # phase fields are None on untraced runs; drop them so old
+            # and new records serialize identically when tracing is off
+            "epochs": [
+                {k: v for k, v in vars(m).items() if v is not None}
+                for m in self.epochs
+            ],
         }
         if self.failures:
             record["failures"] = [f.to_dict() for f in self.failures]

@@ -25,7 +25,7 @@ from ..optim import exponential_decay
 from ..runtime.engine import make_engine
 from ..runtime.faults import WorkerFailureError
 from .config import TrainingConfig
-from .metrics import EpochMetrics, History
+from .metrics import PHASE_NAMES, EpochMetrics, History
 
 __all__ = ["ParallelTrainer"]
 
@@ -124,11 +124,15 @@ class ParallelTrainer:
         raised, so partial results stay inspectable.
         """
         history = History(label=self.config.label)
+        tracer = self.engine.tracer
         for epoch in range(epochs):
             self.engine.set_lr(
                 exponential_decay(self.config.lr, self.config.lr_decay, epoch)
             )
             self.step_engine.reset_traffic()
+            # per-epoch phase deltas: snapshot the tracer's cumulative
+            # busy seconds so each epoch records only its own share
+            phase_before = tracer.phase_seconds() if tracer.enabled else None
             start = time.perf_counter()
             try:
                 loss, train_acc = self.train_epoch(train_x, train_y)
@@ -138,6 +142,15 @@ class ParallelTrainer:
                     print(f"[{self.config.label}] stopped: {failure}")
                 break
             elapsed = time.perf_counter() - start
+            if phase_before is not None:
+                phase_after = tracer.phase_seconds()
+                phase_delta = {
+                    phase: phase_after.get(phase, 0.0)
+                    - phase_before.get(phase, 0.0)
+                    for phase in PHASE_NAMES
+                }
+            else:
+                phase_delta = {}
             test_acc = self.evaluate(test_x, test_y)
             metrics = EpochMetrics(
                 epoch=epoch,
@@ -146,6 +159,10 @@ class ParallelTrainer:
                 test_accuracy=test_acc,
                 comm_bytes=self.step_engine.comm_bytes,
                 wall_seconds=elapsed,
+                **{
+                    f"{phase}_seconds": seconds
+                    for phase, seconds in phase_delta.items()
+                },
             )
             history.append(metrics)
             if verbose:

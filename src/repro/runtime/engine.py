@@ -40,6 +40,7 @@ import numpy as np
 
 from ..data.loader import split_among_ranks
 from ..nn.module import Module
+from ..telemetry.tracer import COORDINATOR
 from .barrier import BarrierTimeout, StepBarrier
 from .buckets import BucketReadiness, GradientBucket, build_buckets
 from .faults import (
@@ -94,6 +95,10 @@ class ExecutionEngine(abc.ABC):
         self.step_engine = SynchronousStep(
             config, self.workers[0].parameters
         )
+        # telemetry handle resolved by SynchronousStep (NULL_TRACER
+        # when config.tracer is None); spans/counters below are no-ops
+        # on the null path
+        self.tracer = self.step_engine.tracer
         self.buckets: list[GradientBucket] = build_buckets(
             self.workers[0].parameters, config.comm_bucket_bytes
         )
@@ -158,10 +163,30 @@ class ExecutionEngine(abc.ABC):
             },
         )
 
-    def _pace_transmit(self, nbytes: int) -> None:
+    def _pace_transmit(self, nbytes: int, rank: int = 0) -> None:
         """Occupy one rank's link for ``nbytes`` of encoded gradient."""
         if self._link_bytes_per_s is not None and nbytes > 0:
-            time.sleep(nbytes / self._link_bytes_per_s)
+            with self.tracer.span("transfer", rank):
+                time.sleep(nbytes / self._link_bytes_per_s)
+
+    def _timed_wait(self, waiter, track: int):
+        """Run one blocking rendezvous wait, traced as barrier time.
+
+        The wall time a party spends blocked at a step barrier or
+        bucket rendezvous is exactly the paper's synchronization cost;
+        traced runs record it as a ``barrier`` span on ``track`` and
+        fold it into the barrier-wait counter.  Untraced runs call the
+        waiter directly.
+        """
+        counters = self.tracer.counter_sink
+        if counters is None:
+            return waiter()
+        with self.tracer.span("barrier", track):
+            start = time.perf_counter()
+            try:
+                return waiter()
+            finally:
+                counters.add_barrier_wait(time.perf_counter() - start)
 
     def _collect_metrics(self) -> tuple[float, float]:
         """Shard-size-weighted global loss and accuracy of the last step."""
@@ -198,23 +223,28 @@ class SequentialEngine(ExecutionEngine):
     def train_step(self, x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
         step = self._step_index
         self._step_index += 1
+        tracer = self.tracer
         shards = split_among_ranks(x, y, self.world_size)
         for worker, (shard_x, shard_y) in zip(self.workers, shards):
             try:
-                self.fault_plan.inject(worker.rank, step)
+                self.fault_plan.inject(
+                    worker.rank, step, tracer.counter_sink
+                )
             except InjectedCrash as exc:
                 raise WorkerFailureError(
                     WorkerFailure(worker.rank, step, "crash", str(exc))
                 ) from exc
-            worker.compute(shard_x, shard_y)
+            with tracer.span("compute", worker.rank):
+                worker.compute(shard_x, shard_y)
             # one thread, one timeline: this rank's upload cannot
             # overlap anything
-            self._pace_transmit(self.per_rank_payload_nbytes)
+            self._pace_transmit(self.per_rank_payload_nbytes, worker.rank)
         aggregated: dict[str, np.ndarray] = {}
         for bucket in self.buckets:
             aggregated.update(self._exchange_bucket(bucket))
         for worker in self.workers:
-            worker.apply_updates(aggregated)
+            with tracer.span("compute", worker.rank):
+                worker.apply_updates(aggregated)
         return self._collect_metrics()
 
 
@@ -278,22 +308,30 @@ class ThreadedEngine(ExecutionEngine):
             ctx = self._inbox[rank].get()
             if ctx is None:
                 return
+            tracer = self.tracer
             try:
-                self.fault_plan.inject(rank, ctx.step)
+                self.fault_plan.inject(rank, ctx.step, tracer.counter_sink)
                 shard_x, shard_y = ctx.shards[rank]
-                worker.compute(
-                    shard_x, shard_y, on_ready=self._paced_hook(rank, ctx)
-                )
+                # bucket transfers run inside the readiness hook, so on
+                # this engine transfer spans nest within the compute
+                # span (the overlap the engine exists to create)
+                with tracer.span("compute", rank):
+                    worker.compute(
+                        shard_x,
+                        shard_y,
+                        on_ready=self._paced_hook(rank, ctx),
+                    )
             except BaseException as exc:  # noqa: BLE001 - surfaced to main
                 worker.error = exc
                 ctx.tracker.mark_dead(rank)
                 continue
-            ctx.apply_ready.wait()
+            self._timed_wait(ctx.apply_ready.wait, rank)
             if ctx.abort:
                 continue
-            worker.apply_updates(ctx.aggregated)
+            with tracer.span("compute", rank):
+                worker.apply_updates(ctx.aggregated)
             try:
-                self._end_barrier.wait(rank)
+                self._timed_wait(lambda: self._end_barrier.wait(rank), rank)
             except BarrierTimeout:
                 continue
 
@@ -317,7 +355,7 @@ class ThreadedEngine(ExecutionEngine):
                 index = self._bucket_of_name[name]
                 owed[index] -= 1
                 if owed[index] == 0:
-                    self._pace_transmit(self.bucket_tx_nbytes[index])
+                    self._pace_transmit(self.bucket_tx_nbytes[index], rank)
             tracker.mark_ready(rank, names)
 
         return on_ready
@@ -337,8 +375,11 @@ class ThreadedEngine(ExecutionEngine):
             self._inbox[rank].put(ctx)
         try:
             for bucket in self.buckets:
-                dead = ctx.tracker.wait(
-                    bucket.index, timeout=self.config.barrier_timeout
+                dead = self._timed_wait(
+                    lambda: ctx.tracker.wait(
+                        bucket.index, timeout=self.config.barrier_timeout
+                    ),
+                    COORDINATOR,
                 )
                 if dead:
                     self._raise_worker_errors(ctx, sorted(dead))
@@ -354,7 +395,9 @@ class ThreadedEngine(ExecutionEngine):
             raise WorkerFailureError(failure) from timeout
         ctx.apply_ready.set()
         try:
-            self._end_barrier.wait(self.world_size)
+            self._timed_wait(
+                lambda: self._end_barrier.wait(self.world_size), COORDINATOR
+            )
         except BarrierTimeout as timeout:
             failure = WorkerFailure(
                 rank=min(timeout.missing, default=-1),

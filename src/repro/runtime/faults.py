@@ -116,11 +116,18 @@ class FaultPlan:
             and (self.crash_step is None or step == self.crash_step)
         )
 
-    def inject(self, rank: int, step: int) -> None:
-        """Apply the plan at the top of one rank's compute phase."""
+    def inject(self, rank: int, step: int, counters=None) -> None:
+        """Apply the plan at the top of one rank's compute phase.
+
+        When a telemetry ``counters`` sink is provided, injected
+        straggler delay is accounted as stall time (the engines pass
+        their tracer's sink so traced runs attribute the stall).
+        """
         delay = self.delay_for(rank, step)
         if delay > 0.0:
             time.sleep(delay)
+            if counters is not None:
+                counters.add_straggler_stall(delay)
         if self.should_crash(rank, step):
             raise InjectedCrash(
                 f"injected crash of rank {rank} at step {step}"

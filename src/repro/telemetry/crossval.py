@@ -1,0 +1,165 @@
+"""Cross-validate measured phase breakdowns against the simulator.
+
+The paper validates its analytic cost model against instrumented runs
+(as Shi et al. do for their DAG model of S-SGD); this module does the
+same for this repository: a measured :class:`PhaseBreakdown` from the
+live tracer is compared, phase by phase, against the calibrated
+performance simulator's prediction for the *same scheme, exchange and
+world size* on a paper-scale network/machine cell.
+
+Because the live runs train tiny synthetic models while the simulator
+costs paper-scale networks on EC2/DGX-1 hardware, absolute seconds are
+not comparable — phase *ratios* are, and that is what the report
+shows: the measured compute : quantize : communicate split next to the
+simulated one, plus the simulator's predicted exchange makespan (the
+discrete-event :func:`~repro.simulator.timeline.pipeline_timeline` on
+the MPI path, serialized quantize-then-allreduce on the NCCL path,
+exactly as :mod:`repro.simulator.epoch` composes them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simulator.costmodel import cached_cost_model
+from ..simulator.epoch import SimulationResult, simulate
+from ..simulator.machine import get_machine
+from ..simulator.timeline import pipeline_timeline
+from .export import PhaseBreakdown
+
+__all__ = ["RatioRow", "CrossValidation", "cross_validate"]
+
+#: how measured span names map onto the simulator's three cost terms
+_MEASURED_GROUPS = {
+    "compute": ("compute",),
+    "quantize": ("encode", "decode"),
+    "communicate": ("transfer", "barrier"),
+}
+
+
+@dataclass(frozen=True)
+class RatioRow:
+    """One phase of the measured-vs-simulated comparison."""
+
+    phase: str
+    measured_seconds: float
+    measured_fraction: float
+    simulated_seconds: float
+    simulated_fraction: float
+
+    @property
+    def fraction_gap(self) -> float:
+        """Measured minus simulated share of the step."""
+        return self.measured_fraction - self.simulated_fraction
+
+
+@dataclass(frozen=True)
+class CrossValidation:
+    """Measured vs simulated phase ratios for one study cell."""
+
+    network: str
+    machine: str
+    scheme: str
+    exchange: str
+    world_size: int
+    breakdown: PhaseBreakdown
+    simulated: SimulationResult
+    #: simulator's predicted exchange makespan (seconds): the
+    #: discrete-event pipeline on MPI, quantize + allreduce on NCCL
+    predicted_makespan_seconds: float
+    rows: tuple[RatioRow, ...]
+
+    def report(self) -> str:
+        """Side-by-side ratio table, one line per phase."""
+        lines = [
+            f"cross-validation [{self.breakdown.label}] vs simulated "
+            f"{self.network} on {self.machine} "
+            f"({self.scheme}/{self.exchange}/K={self.world_size})",
+            f"  {'phase':12s} {'measured':>18s} {'simulated':>18s}",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"  {row.phase:12s} "
+                f"{row.measured_seconds:9.4f}s {row.measured_fraction:6.1%} "
+                f"{row.simulated_seconds:9.4f}s {row.simulated_fraction:6.1%}"
+            )
+        lines.append(
+            f"  predicted exchange makespan: "
+            f"{self.predicted_makespan_seconds:.4f} s/iteration"
+        )
+        return "\n".join(lines)
+
+
+def cross_validate(
+    breakdown: PhaseBreakdown,
+    *,
+    scheme: str,
+    exchange: str,
+    world_size: int,
+    network: str = "AlexNet",
+    machine: str = "p2.8xlarge",
+) -> CrossValidation:
+    """Compare a measured breakdown to the simulator's prediction.
+
+    Args:
+        breakdown: phase seconds measured by the live tracer.
+        scheme / exchange / world_size: the cell the breakdown was
+            measured on (the simulator is run on the same cell).
+        network / machine: paper-scale inventory entries the simulator
+            costs; the comparison is by phase *ratio*, so the live
+            run's model need not (and cannot) match their size.
+    """
+    sim = simulate(network, machine, scheme, exchange, world_size)
+
+    measured = {
+        group: sum(
+            breakdown.phase_seconds.get(name, 0.0) for name in names
+        )
+        for group, names in _MEASURED_GROUPS.items()
+    }
+    simulated = {
+        "compute": sim.compute_seconds,
+        "quantize": sim.quantize_seconds,
+        "communicate": sim.comm_seconds,
+    }
+    measured_total = sum(measured.values())
+    simulated_total = sum(simulated.values())
+    rows = tuple(
+        RatioRow(
+            phase=group,
+            measured_seconds=measured[group],
+            measured_fraction=(
+                measured[group] / measured_total if measured_total else 0.0
+            ),
+            simulated_seconds=simulated[group],
+            simulated_fraction=(
+                simulated[group] / simulated_total
+                if simulated_total
+                else 0.0
+            ),
+        )
+        for group in _MEASURED_GROUPS
+    )
+
+    if exchange == "mpi" and world_size > 1:
+        timeline = pipeline_timeline(
+            cached_cost_model(network, scheme, world_size),
+            get_machine(machine),
+            world_size,
+        )
+        makespan = timeline.makespan
+    else:
+        # simulated NCCL quantizes, then allreduces (paper Section 4.4)
+        makespan = sim.quantize_seconds + sim.comm_seconds
+
+    return CrossValidation(
+        network=network,
+        machine=machine,
+        scheme=scheme,
+        exchange=exchange,
+        world_size=world_size,
+        breakdown=breakdown,
+        simulated=sim,
+        predicted_makespan_seconds=makespan,
+        rows=rows,
+    )

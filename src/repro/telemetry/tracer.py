@@ -1,0 +1,279 @@
+"""Measured per-rank tracing for the live training path.
+
+The simulator in :mod:`repro.simulator` *predicts* how one synchronous
+step decomposes into compute / encode / transfer / decode / barrier
+time; this module *measures* that decomposition on the actual
+:class:`~repro.core.algorithm.SynchronousStep` / engine / exchange
+code, which is what the paper's stacked-bar epoch-time figures show.
+
+Two tracer implementations share one duck-typed interface:
+
+* :class:`Tracer` records every span as a timestamped
+  :class:`TraceEvent` on a per-track timeline (one track per rank,
+  plus a coordinator track) and accumulates typed :class:`Counters`.
+  Collection is thread-safe so the threaded engine's rank workers can
+  record concurrently.
+* :class:`NullTracer` (the default, shared :data:`NULL_TRACER`
+  singleton) is a no-op: ``span()`` returns one reusable null context
+  manager and the counter sink is ``None``, so the instrumented hot
+  path neither allocates nor synchronizes when tracing is off.
+
+Tracing is observation-only by construction: no instrumentation point
+touches gradient data, RNG streams, or exchange ordering, so traced
+and untraced runs are bit-identical (asserted by
+``tests/telemetry/test_trace_identity.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import defaultdict
+from dataclasses import dataclass
+
+__all__ = [
+    "PHASES",
+    "COORDINATOR",
+    "TraceEvent",
+    "Counters",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+]
+
+#: canonical span names, mirroring the paper's breakdown figures
+PHASES = ("compute", "encode", "transfer", "decode", "barrier")
+
+#: track id for work done on the coordinator (exchange-driving) thread
+COORDINATOR = -1
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One completed span on one track (times from the monotonic clock)."""
+
+    name: str
+    track: int
+    start_ns: int
+    duration_ns: int
+
+    @property
+    def seconds(self) -> float:
+        return self.duration_ns / 1e9
+
+
+class Counters:
+    """Typed, thread-safe counters for one traced run.
+
+    Attributes:
+        encode_calls / decode_calls: quantizer kernel invocations on the
+            exchange path (every encoded message is decoded exactly
+            once, so the two match — asserted by the parity tests).
+        encoded_bytes / decoded_bytes: wire sizes of those messages.
+        barrier_wait_seconds: time ranks (and the coordinator) spent
+            blocked on step barriers and bucket rendezvous.
+        straggler_stall_seconds: injected straggler delay actually slept.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.encode_calls = 0
+        self.decode_calls = 0
+        self.encoded_bytes = 0
+        self.decoded_bytes = 0
+        self.barrier_wait_seconds = 0.0
+        self.straggler_stall_seconds = 0.0
+        self._sent_by: dict[int, int] = defaultdict(int)
+        self._received_by: dict[int, int] = defaultdict(int)
+
+    # -- wire traffic -----------------------------------------------------
+    def count_wire(self, src: int, dst: int, nbytes: int) -> None:
+        """Record ``nbytes`` moving up from ``src`` and down to ``dst``."""
+        with self._lock:
+            self._sent_by[src] += nbytes
+            self._received_by[dst] += nbytes
+
+    @property
+    def wire_bytes_total(self) -> int:
+        """Total bytes moved across links (equals link-traffic totals)."""
+        with self._lock:
+            return sum(self._sent_by.values())
+
+    def bytes_sent(self, rank: int) -> int:
+        """Bytes rank ``rank`` put on the wire ("up")."""
+        with self._lock:
+            return self._sent_by.get(rank, 0)
+
+    def bytes_received(self, rank: int) -> int:
+        """Bytes delivered to rank ``rank`` ("down")."""
+        with self._lock:
+            return self._received_by.get(rank, 0)
+
+    # -- codec calls ------------------------------------------------------
+    def count_encode(self, nbytes: int) -> None:
+        with self._lock:
+            self.encode_calls += 1
+            self.encoded_bytes += nbytes
+
+    def count_decode(self, nbytes: int) -> None:
+        with self._lock:
+            self.decode_calls += 1
+            self.decoded_bytes += nbytes
+
+    # -- waiting ----------------------------------------------------------
+    def add_barrier_wait(self, seconds: float) -> None:
+        with self._lock:
+            self.barrier_wait_seconds += seconds
+
+    def add_straggler_stall(self, seconds: float) -> None:
+        with self._lock:
+            self.straggler_stall_seconds += seconds
+
+    def to_dict(self) -> dict:
+        """JSON-friendly snapshot of every counter."""
+        with self._lock:
+            return {
+                "wire_bytes_total": sum(self._sent_by.values()),
+                "bytes_sent": dict(self._sent_by),
+                "bytes_received": dict(self._received_by),
+                "encode_calls": self.encode_calls,
+                "decode_calls": self.decode_calls,
+                "encoded_bytes": self.encoded_bytes,
+                "decoded_bytes": self.decoded_bytes,
+                "barrier_wait_seconds": self.barrier_wait_seconds,
+                "straggler_stall_seconds": self.straggler_stall_seconds,
+            }
+
+
+class _Span:
+    """One live span; records a :class:`TraceEvent` when it exits."""
+
+    __slots__ = ("_tracer", "_name", "_track", "_start_ns")
+
+    def __init__(self, tracer: "Tracer", name: str, track: int):
+        self._tracer = tracer
+        self._name = name
+        self._track = track
+        self._start_ns = 0
+
+    def __enter__(self) -> "_Span":
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        end_ns = time.perf_counter_ns()
+        self._tracer._record(
+            TraceEvent(
+                name=self._name,
+                track=self._track,
+                start_ns=self._start_ns,
+                duration_ns=end_ns - self._start_ns,
+            )
+        )
+        return False
+
+
+class _NullSpan:
+    """Reusable no-op context manager (one shared instance, ever)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    ``span()`` hands back one shared null context manager and
+    ``counter_sink`` is ``None`` (byte-accounting call sites check for
+    ``None`` instead of calling through), so steady-state training with
+    tracing off performs zero tracing allocations — the overhead-guard
+    test and ``bench_hotpath.py`` both pin this.
+    """
+
+    enabled = False
+    counter_sink = None
+
+    def span(self, name: str, track: int = COORDINATOR) -> _NullSpan:
+        return _NULL_SPAN
+
+    def phase_seconds(self, track: int | None = None) -> dict[str, float]:
+        return {}
+
+    def events(self) -> list[TraceEvent]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects spans and counters from one (or more) training runs.
+
+    Spans nest freely — each ``with tracer.span(name, track)`` records
+    its own interval — and may be opened concurrently from several
+    threads: the threaded engine's rank workers each trace onto their
+    own ``track`` while the coordinator traces exchanges onto
+    :data:`COORDINATOR`.  Timing uses the monotonic
+    ``time.perf_counter_ns`` clock, so wall-clock adjustments never
+    corrupt a trace.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: list[TraceEvent] = []
+        self.counters = Counters()
+
+    #: counter sink used by the byte-accounting hot path; ``None`` on
+    #: the null tracer so disabled runs skip the call entirely
+    @property
+    def counter_sink(self) -> Counters:
+        return self.counters
+
+    def span(self, name: str, track: int = COORDINATOR) -> _Span:
+        """Open a nestable span named ``name`` on ``track``."""
+        return _Span(self, name, track)
+
+    def _record(self, event: TraceEvent) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def events(self) -> list[TraceEvent]:
+        """Snapshot of every completed span, in completion order."""
+        with self._lock:
+            return list(self._events)
+
+    def tracks(self) -> list[int]:
+        """Sorted track ids that recorded at least one span."""
+        with self._lock:
+            return sorted({event.track for event in self._events})
+
+    def phase_seconds(self, track: int | None = None) -> dict[str, float]:
+        """Total seconds per span name (optionally for one track)."""
+        totals: dict[str, float] = {}
+        with self._lock:
+            for event in self._events:
+                if track is not None and event.track != track:
+                    continue
+                totals[event.name] = (
+                    totals.get(event.name, 0.0) + event.seconds
+                )
+        return totals
+
+    def clear(self) -> None:
+        """Drop all events and counters (a fresh run on the same tracer)."""
+        with self._lock:
+            self._events.clear()
+        self.counters = Counters()

@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from typing import Mapping, Sequence
 
-__all__ = ["line_chart", "stacked_bars"]
+__all__ = ["line_chart", "phase_bars", "stacked_bars"]
 
 
 def line_chart(
@@ -94,4 +94,65 @@ def stacked_bars(
             + f"  {totals[name]:.3g}"
         )
     lines.append(f"{' ' * name_width}  # = {labels[0]}, . = {labels[1]}")
+    return "\n".join(lines)
+
+
+#: fill characters for :func:`phase_bars`, one per segment in order
+_PHASE_FILLS = "#=~.:+o*"
+
+
+def phase_bars(
+    bars: Mapping[str, Mapping[str, float]],
+    width: int = 50,
+    unit: str = "s",
+) -> str:
+    """Render per-scheme phase breakdowns as multi-segment stacked bars.
+
+    This is the compute-vs-communication figure for *measured* (traced)
+    runs: each bar is one scheme/cell, each segment one traced phase
+    (e.g. from :meth:`repro.core.History.phase_totals` or a
+    :class:`repro.telemetry.PhaseBreakdown`'s phase seconds).  Segment
+    order follows the first bar's key order; phases absent from a bar
+    contribute zero width.
+
+    Args:
+        bars: bar name -> ordered mapping of segment name -> value.
+        width: cell count of the longest bar.
+        unit: printed after each bar's total.
+    """
+    if not bars:
+        raise ValueError("need at least one bar")
+    segments: list[str] = []
+    for phases in bars.values():
+        for phase in phases:
+            if phase not in segments:
+                segments.append(phase)
+    if len(segments) > len(_PHASE_FILLS):
+        raise ValueError(
+            f"at most {len(_PHASE_FILLS)} distinct phases, got "
+            f"{len(segments)}"
+        )
+    totals = {
+        name: sum(phases.get(s, 0.0) for s in segments)
+        for name, phases in bars.items()
+    }
+    peak = max(totals.values())
+    if peak <= 0:
+        raise ValueError("bar totals must be positive")
+    name_width = max(len(name) for name in bars)
+    fill_of = dict(zip(segments, _PHASE_FILLS))
+    lines = []
+    for name, phases in bars.items():
+        bar = "".join(
+            fill_of[segment]
+            * int(round(phases.get(segment, 0.0) / peak * width))
+            for segment in segments
+        )
+        lines.append(
+            f"{name.rjust(name_width)} |{bar}  {totals[name]:.3g}{unit}"
+        )
+    legend = ", ".join(
+        f"{fill_of[segment]} = {segment}" for segment in segments
+    )
+    lines.append(f"{' ' * name_width}  {legend}")
     return "\n".join(lines)

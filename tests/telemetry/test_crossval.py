@@ -1,0 +1,82 @@
+"""Measured-vs-simulated cross-validation of phase breakdowns."""
+
+import numpy as np
+import pytest
+
+from repro.core import ParallelTrainer, TrainingConfig
+from repro.nn import Dense, Sequential
+from repro.telemetry import PhaseBreakdown, Tracer, cross_validate
+
+FEATURES = 32
+CLASSES = 4
+
+
+def measured_breakdown(scheme, exchange, world_size=2):
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(48, FEATURES)).astype(np.float32)
+    y = rng.integers(0, CLASSES, size=48).astype(np.int64)
+    tracer = Tracer()
+    config = TrainingConfig(
+        scheme=scheme,
+        exchange=exchange,
+        world_size=world_size,
+        batch_size=16,
+        lr=0.01,
+        seed=0,
+        tracer=tracer,
+    )
+    model = Sequential(Dense(FEATURES, CLASSES, "fc", rng))
+    with ParallelTrainer(model, config) as trainer:
+        history = trainer.fit(x, y, x, y, epochs=1)
+    assert not history.failed
+    return PhaseBreakdown.from_history(history)
+
+
+@pytest.mark.parametrize("exchange", ["mpi", "nccl"])
+def test_cross_validate_live_cell(exchange):
+    world_size = 4
+    breakdown = measured_breakdown("qsgd4", exchange, world_size)
+    validation = cross_validate(
+        breakdown,
+        scheme="qsgd4",
+        exchange=exchange,
+        world_size=world_size,
+        network="AlexNet",
+    )
+    assert validation.exchange == exchange
+    assert validation.predicted_makespan_seconds > 0.0
+    phases = [row.phase for row in validation.rows]
+    assert phases == ["compute", "quantize", "communicate"]
+    assert sum(r.measured_fraction for r in validation.rows) == (
+        pytest.approx(1.0)
+    )
+    assert sum(r.simulated_fraction for r in validation.rows) == (
+        pytest.approx(1.0)
+    )
+    for row in validation.rows:
+        assert -1.0 <= row.fraction_gap <= 1.0
+    report = validation.report()
+    assert "cross-validation" in report
+    assert "predicted exchange makespan" in report
+
+
+def test_mpi_makespan_uses_discrete_event_timeline():
+    # the MPI prediction comes from the pipeline timeline, which
+    # accounts overlap — it must undercut the serialized phase sum
+    breakdown = PhaseBreakdown(
+        label="synthetic", wall_seconds=1.0, phase_seconds={"compute": 1.0}
+    )
+    mpi = cross_validate(
+        breakdown, scheme="qsgd4", exchange="mpi", world_size=8
+    )
+    serialized = (
+        mpi.simulated.quantize_seconds + mpi.simulated.comm_seconds
+    )
+    assert mpi.predicted_makespan_seconds != pytest.approx(serialized)
+
+    nccl = cross_validate(
+        breakdown, scheme="qsgd4", exchange="nccl", world_size=8
+    )
+    assert nccl.predicted_makespan_seconds == pytest.approx(
+        nccl.simulated.quantize_seconds + nccl.simulated.comm_seconds
+    )

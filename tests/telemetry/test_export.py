@@ -1,0 +1,130 @@
+"""Chrome-trace export schema and phase-breakdown report tests."""
+
+import json
+
+import pytest
+
+from repro.core import EpochMetrics, History
+from repro.telemetry import PhaseBreakdown, Tracer, write_chrome_trace
+from repro.telemetry.export import chrome_trace
+from repro.telemetry.tracer import COORDINATOR
+
+
+def traced_tracer():
+    tracer = Tracer()
+    with tracer.span("compute", 0):
+        with tracer.span("encode", 0):
+            pass
+    with tracer.span("compute", 1):
+        pass
+    with tracer.span("barrier", COORDINATOR):
+        pass
+    tracer.counters.count_wire(0, 1, 42)
+    return tracer
+
+
+class TestChromeTrace:
+    def test_schema(self):
+        doc = chrome_trace(traced_tracer())
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert len(complete) == 4
+        # one thread_name metadata record per track (rank 0, 1, coord)
+        assert len(metadata) == 3
+        for event in complete:
+            assert event["cat"] == "phase"
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert event["pid"] == 0
+            assert event["tid"] >= 0
+
+    def test_coordinator_track_remapped_after_ranks(self):
+        doc = chrome_trace(traced_tracer())
+        names = {
+            e["args"]["name"]: e["tid"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert names == {"rank 0": 0, "rank 1": 1, "coordinator": 2}
+
+    def test_timestamps_relative_to_first_span(self):
+        doc = chrome_trace(traced_tracer())
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert min(e["ts"] for e in complete) == 0.0
+
+    def test_counters_embedded(self):
+        doc = chrome_trace(traced_tracer())
+        assert doc["otherData"]["counters"]["wire_bytes_total"] == 42
+
+    def test_write_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(traced_tracer(), str(path))
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+    def test_empty_tracer_exports(self):
+        doc = chrome_trace(Tracer())
+        assert doc["traceEvents"] == []
+
+
+class TestPhaseBreakdown:
+    def test_rows_sum_to_wall_time(self):
+        breakdown = PhaseBreakdown(
+            label="cell",
+            wall_seconds=10.0,
+            phase_seconds={"compute": 6.0, "encode": 1.5, "decode": 0.5},
+        )
+        rows = dict(breakdown.rows())
+        assert rows["other"] == pytest.approx(2.0)
+        assert breakdown.total_seconds == pytest.approx(10.0)
+        assert sum(breakdown.fractions().values()) == pytest.approx(1.0)
+
+    def test_overlapped_phases_clamp_other_at_zero(self):
+        # threaded engine: traced busy time can exceed wall time
+        breakdown = PhaseBreakdown(
+            label="cell", wall_seconds=1.0, phase_seconds={"compute": 4.0}
+        )
+        assert breakdown.other_seconds == 0.0
+        assert breakdown.total_seconds == pytest.approx(4.0)
+
+    def test_from_tracer(self):
+        breakdown = PhaseBreakdown.from_tracer(
+            traced_tracer(), wall_seconds=1.0, label="cell"
+        )
+        assert breakdown.phase_seconds["compute"] > 0.0
+        assert breakdown.phase_seconds["transfer"] == 0.0
+        assert "phase breakdown [cell]" in breakdown.report()
+
+    def test_from_history_uses_phase_totals(self):
+        history = History(label="qsgd4/mpi/2gpu")
+        history.append(
+            EpochMetrics(
+                epoch=0,
+                train_loss=1.0,
+                train_accuracy=0.5,
+                test_accuracy=0.5,
+                comm_bytes=100,
+                wall_seconds=2.0,
+                compute_seconds=1.0,
+                encode_seconds=0.25,
+            )
+        )
+        history.append(
+            EpochMetrics(
+                epoch=1,
+                train_loss=0.9,
+                train_accuracy=0.6,
+                test_accuracy=0.6,
+                comm_bytes=100,
+                wall_seconds=2.0,
+                compute_seconds=1.0,
+                encode_seconds=0.25,
+            )
+        )
+        breakdown = PhaseBreakdown.from_history(history)
+        assert breakdown.label == "qsgd4/mpi/2gpu"
+        assert breakdown.wall_seconds == pytest.approx(4.0)
+        assert breakdown.phase_seconds["compute"] == pytest.approx(2.0)
+        assert breakdown.phase_seconds["encode"] == pytest.approx(0.5)

@@ -1,0 +1,70 @@
+"""Tracing is observation-only: traced runs are bit-identical.
+
+The tentpole invariant of the telemetry subsystem — no instrumentation
+point touches gradient data, RNG streams, or exchange ordering, so
+enabling the tracer changes nothing about the trajectory.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ParallelTrainer, TrainingConfig
+from repro.nn import Dense, Sequential
+from repro.telemetry import Tracer
+
+FEATURES = 32
+CLASSES = 4
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(7)
+    x = rng.normal(size=(48, FEATURES)).astype(np.float32)
+    y = rng.integers(0, CLASSES, size=48).astype(np.int64)
+    return x, y
+
+
+def run(dataset, scheme, exchange, engine, tracer):
+    x, y = dataset
+    rng = np.random.default_rng(3)
+    model = Sequential(Dense(FEATURES, CLASSES, "fc", rng))
+    config = TrainingConfig(
+        scheme=scheme,
+        exchange=exchange,
+        engine=engine,
+        world_size=2,
+        batch_size=16,
+        lr=0.05,
+        seed=0,
+        tracer=tracer,
+    )
+    with ParallelTrainer(model, config) as trainer:
+        history = trainer.fit(x, y, x, y, epochs=2)
+        params = [p.data.copy() for p in trainer.parameters]
+    return history, params
+
+
+@pytest.mark.parametrize(
+    "scheme,exchange,engine",
+    [
+        ("qsgd4", "mpi", "sequential"),
+        ("qsgd4", "nccl", "threaded"),
+        ("1bit", "mpi", "threaded"),
+        ("1bit*", "alltoall", "sequential"),
+        ("32bit", "nccl", "sequential"),
+    ],
+)
+def test_traced_run_is_bit_identical(dataset, scheme, exchange, engine):
+    baseline_history, baseline = run(dataset, scheme, exchange, engine, None)
+    tracer = Tracer()
+    traced_history, traced = run(dataset, scheme, exchange, engine, tracer)
+
+    assert len(tracer.events()) > 0  # tracing actually happened
+    for expected, got in zip(baseline, traced):
+        np.testing.assert_array_equal(expected, got)
+    assert baseline_history.series("train_loss") == (
+        traced_history.series("train_loss")
+    )
+    assert baseline_history.series("comm_bytes") == (
+        traced_history.series("comm_bytes")
+    )

@@ -1,0 +1,129 @@
+"""Unit tests for the tracer, null tracer, and typed counters."""
+
+import threading
+import time
+
+from repro.telemetry import NULL_TRACER, Counters, NullTracer, Tracer
+from repro.telemetry.tracer import _NULL_SPAN, COORDINATOR
+
+
+class TestTracer:
+    def test_span_records_event(self):
+        tracer = Tracer()
+        with tracer.span("compute", 0):
+            time.sleep(0.001)
+        events = tracer.events()
+        assert len(events) == 1
+        event = events[0]
+        assert event.name == "compute"
+        assert event.track == 0
+        assert event.duration_ns > 0
+        assert event.seconds >= 0.001
+
+    def test_spans_nest(self):
+        tracer = Tracer()
+        with tracer.span("compute", 1):
+            with tracer.span("encode", 1):
+                pass
+        names = [e.name for e in tracer.events()]
+        # inner span completes (and records) first
+        assert names == ["encode", "compute"]
+
+    def test_default_track_is_coordinator(self):
+        tracer = Tracer()
+        with tracer.span("barrier"):
+            pass
+        assert tracer.events()[0].track == COORDINATOR
+
+    def test_phase_seconds_aggregates_per_track(self):
+        tracer = Tracer()
+        with tracer.span("compute", 0):
+            pass
+        with tracer.span("compute", 1):
+            pass
+        with tracer.span("encode", 0):
+            pass
+        assert set(tracer.phase_seconds()) == {"compute", "encode"}
+        assert set(tracer.phase_seconds(track=1)) == {"compute"}
+        assert tracer.tracks() == [0, 1]
+
+    def test_span_records_on_exception(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("compute", 0):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert len(tracer.events()) == 1
+
+    def test_concurrent_recording_is_thread_safe(self):
+        tracer = Tracer()
+        spans_per_thread = 200
+
+        def record(track):
+            for _ in range(spans_per_thread):
+                with tracer.span("compute", track):
+                    pass
+
+        threads = [
+            threading.Thread(target=record, args=(t,)) for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(tracer.events()) == 4 * spans_per_thread
+        assert tracer.tracks() == [0, 1, 2, 3]
+
+    def test_clear_resets_events_and_counters(self):
+        tracer = Tracer()
+        with tracer.span("compute", 0):
+            pass
+        tracer.counters.count_encode(10)
+        tracer.clear()
+        assert tracer.events() == []
+        assert tracer.counters.encode_calls == 0
+
+
+class TestNullTracer:
+    def test_is_disabled_and_shares_one_span(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.counter_sink is None
+        span_a = NULL_TRACER.span("compute", 0)
+        span_b = NULL_TRACER.span("encode", 3)
+        assert span_a is span_b is _NULL_SPAN
+        with span_a:
+            pass
+        assert NULL_TRACER.events() == []
+        assert NULL_TRACER.phase_seconds() == {}
+
+    def test_fresh_instance_matches_singleton(self):
+        tracer = NullTracer()
+        assert tracer.span("compute") is _NULL_SPAN
+        tracer.clear()  # no-op, must not raise
+
+
+class TestCounters:
+    def test_wire_accounting(self):
+        counters = Counters()
+        counters.count_wire(0, 1, 100)
+        counters.count_wire(1, 0, 50)
+        counters.count_wire(0, 2, 25)
+        assert counters.wire_bytes_total == 175
+        assert counters.bytes_sent(0) == 125
+        assert counters.bytes_received(0) == 50
+        assert counters.bytes_received(2) == 25
+
+    def test_codec_and_wait_counters(self):
+        counters = Counters()
+        counters.count_encode(64)
+        counters.count_encode(64)
+        counters.count_decode(64)
+        counters.add_barrier_wait(0.5)
+        counters.add_straggler_stall(0.25)
+        snapshot = counters.to_dict()
+        assert snapshot["encode_calls"] == 2
+        assert snapshot["decode_calls"] == 1
+        assert snapshot["encoded_bytes"] == 128
+        assert snapshot["barrier_wait_seconds"] == 0.5
+        assert snapshot["straggler_stall_seconds"] == 0.25

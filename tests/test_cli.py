@@ -92,3 +92,72 @@ class TestTrainCommand:
         assert code == 1
         err = capsys.readouterr().err
         assert "rank 1 crash at step 0" in err
+
+
+class TestTrace:
+    def args(self, tmp_path, *extra):
+        return [
+            "trace",
+            "--scheme", "qsgd",
+            "--bits", "4",
+            "--gpus", "2",
+            "--train-samples", "32",
+            "--test-samples", "16",
+            "--output", str(tmp_path / "trace.json"),
+            *extra,
+        ]
+
+    def test_trace_writes_chrome_json_and_breakdown(self, capsys, tmp_path):
+        import json
+
+        assert main(self.args(tmp_path, "--exchange", "nccl")) == 0
+        out = capsys.readouterr().out
+        assert "phase breakdown" in out
+        assert "wire bytes:" in out
+        doc = json.loads((tmp_path / "trace.json").read_text())
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert complete
+        assert {"compute", "encode", "decode"} <= {
+            e["name"] for e in complete
+        }
+        # one track per rank
+        assert {e["tid"] for e in complete} == {0, 1}
+        for event in complete:
+            assert event["ts"] >= 0 and event["dur"] >= 0
+
+    def test_trace_breakdown_rows_sum_to_wall(self, capsys, tmp_path):
+        import re
+
+        assert main(self.args(tmp_path)) == 0
+        out = capsys.readouterr().out
+        rows = dict(
+            re.findall(r"^  (\w+) +([\d.]+) s", out, flags=re.MULTILINE)
+        )
+        wall = float(re.search(r"wall ([\d.]+) s", out).group(1))
+        total = sum(
+            float(v) for k, v in rows.items() if k != "total"
+        )
+        # phases + "other" partition the wall time (5% printing slack)
+        assert abs(total - wall) <= 0.05 * wall + 1e-3
+
+    def test_trace_crossval_reports_both_exchanges(self, capsys, tmp_path):
+        for exchange in ("mpi", "nccl"):
+            assert main(
+                self.args(tmp_path, "--exchange", exchange, "--crossval")
+            ) == 0
+            out = capsys.readouterr().out
+            assert "cross-validation" in out
+            assert "predicted exchange makespan" in out
+
+    def test_trace_rejects_bits_without_qsgd(self, capsys, tmp_path):
+        code = main(
+            self.args(tmp_path)[:1]
+            + ["--scheme", "1bit", "--bits", "4"]
+        )
+        assert code == 2
+        assert "--bits only applies" in capsys.readouterr().err
+
+    def test_trace_requires_bits_for_qsgd(self, capsys, tmp_path):
+        code = main(["trace", "--scheme", "qsgd"])
+        assert code == 2
+        assert "requires --bits" in capsys.readouterr().err
