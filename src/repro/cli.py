@@ -5,8 +5,13 @@ Commands:
 * ``list`` — show every registered experiment (one per paper figure);
 * ``run <exp-id>...`` — regenerate specific tables/figures;
 * ``train`` — train a zoo model end-to-end on synthetic data, with
-  ``--engine sequential|threaded`` selecting the execution engine and
-  optional straggler/crash fault injection;
+  ``--engine sequential|threaded`` selecting the execution engine,
+  optional straggler/crash fault injection, retry/degradation policy
+  (``--max-retries``, ``--allow-degraded``), and periodic
+  checkpointing (``--checkpoint-dir``);
+* ``resume`` — continue a ``train`` run from a checkpoint file (or the
+  latest checkpoint in a directory), bit-identically: the resumed
+  run's history digest equals the uninterrupted run's;
 * ``trace`` — train a small traced cell, write a Chrome-trace JSON
   timeline (``chrome://tracing`` / Perfetto), and print the measured
   per-phase breakdown, optionally cross-validated against the
@@ -21,9 +26,17 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
+from pathlib import Path
 
 from .comm import EXCHANGE_NAMES
-from .core import ParallelTrainer, TrainingConfig
+from .core import (
+    CheckpointPolicy,
+    ParallelTrainer,
+    TrainingCheckpoint,
+    TrainingConfig,
+    latest_checkpoint,
+)
 from .data import make_image_dataset, make_sequence_dataset
 from .models import MODEL_BUILDERS, build_model
 from .models.specs import NETWORKS
@@ -76,6 +89,58 @@ def _build_train_model(args: argparse.Namespace):
                        seed=args.model_seed)
 
 
+def _make_train_dataset(args: argparse.Namespace, config: TrainingConfig):
+    if args.model == "lstm":
+        return make_sequence_dataset(
+            num_classes=args.classes, train_samples=args.train_samples,
+            test_samples=args.test_samples, seed=config.seed,
+        )
+    return make_image_dataset(
+        num_classes=args.classes, train_samples=args.train_samples,
+        test_samples=args.test_samples, image_size=args.image_size,
+        seed=config.seed,
+    )
+
+
+def _report_run(config: TrainingConfig, history) -> int:
+    """Shared tail of ``train`` / ``resume``: verdict, digest, exit code."""
+    for change in history.topology_changes:
+        survivors = ",".join(str(r) for r in change.survivors)
+        print(
+            f"DEGRADED: rank {change.rank} evicted at step {change.step} "
+            f"after {change.retries} retries ({change.kind}); "
+            f"continuing on ranks [{survivors}]"
+        )
+    if history.failures:
+        for failure in history.failures:
+            print(
+                f"FAILED: rank {failure.rank} {failure.kind} at step "
+                f"{failure.step}: {failure.message}",
+                file=sys.stderr,
+            )
+        return 1
+    total_mb = history.total_comm_bytes / 1e6
+    print(
+        f"[{config.label}/{config.engine}] final test accuracy "
+        f"{history.final_test_accuracy:.3f}, {total_mb:.1f} MB on the wire"
+    )
+    print(f"history digest: {history.digest()}")
+    return 0
+
+
+def _checkpoint_policy(
+    args: argparse.Namespace, extra: dict
+) -> CheckpointPolicy | None:
+    if args.checkpoint_dir is None:
+        return None
+    return CheckpointPolicy(
+        directory=args.checkpoint_dir,
+        every_steps=args.checkpoint_every_steps,
+        every_epochs=args.checkpoint_every_epochs,
+        extra=extra,
+    )
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     try:
         config = TrainingConfig(
@@ -92,40 +157,100 @@ def _cmd_train(args: argparse.Namespace) -> int:
             straggler_delay=args.straggler_delay,
             crash_rank=args.crash_rank,
             crash_step=args.crash_step,
+            crash_transient=args.crash_transient,
+            max_retries=args.max_retries,
+            retry_backoff=args.retry_backoff,
+            allow_degraded=args.allow_degraded,
+            min_world_size=args.min_world_size,
+        )
+        policy = _checkpoint_policy(
+            args,
+            extra={
+                "model": args.model,
+                "model_seed": args.model_seed,
+                "classes": args.classes,
+                "image_size": args.image_size,
+                "train_samples": args.train_samples,
+                "test_samples": args.test_samples,
+                "epochs": args.epochs,
+                "checkpoint_every_steps": args.checkpoint_every_steps,
+                "checkpoint_every_epochs": args.checkpoint_every_epochs,
+            },
         )
     except ValueError as exc:
         print(f"repro train: error: {exc}", file=sys.stderr)
         return 2
-    if args.model == "lstm":
-        ds = make_sequence_dataset(
-            num_classes=args.classes, train_samples=args.train_samples,
-            test_samples=args.test_samples, seed=args.seed,
-        )
-    else:
-        ds = make_image_dataset(
-            num_classes=args.classes, train_samples=args.train_samples,
-            test_samples=args.test_samples, image_size=args.image_size,
-            seed=args.seed,
-        )
+    ds = _make_train_dataset(args, config)
     with ParallelTrainer(_build_train_model(args), config) as trainer:
         history = trainer.fit(
             ds.train_x, ds.train_y, ds.test_x, ds.test_y,
-            epochs=args.epochs, verbose=True,
+            epochs=args.epochs, verbose=True, checkpoint=policy,
         )
-    if history.failures:
-        for failure in history.failures:
+    return _report_run(config, history)
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    path = Path(args.checkpoint)
+    if path.is_dir():
+        found = latest_checkpoint(path)
+        if found is None:
             print(
-                f"FAILED: rank {failure.rank} {failure.kind} at step "
-                f"{failure.step}: {failure.message}",
+                f"repro resume: error: no ckpt-*.npz under {path}",
                 file=sys.stderr,
             )
-        return 1
-    total_mb = history.total_comm_bytes / 1e6
-    print(
-        f"[{config.label}/{config.engine}] final test accuracy "
-        f"{history.final_test_accuracy:.3f}, {total_mb:.1f} MB on the wire"
+            return 2
+        path = found
+    try:
+        ckpt = TrainingCheckpoint.load(path)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"repro resume: error: {exc}", file=sys.stderr)
+        return 2
+    config = ckpt.config
+    if not args.keep_faults:
+        # the fault that killed the original run is not re-injected —
+        # resuming past it is the whole point
+        config = replace(
+            config, crash_rank=None, crash_step=None, straggler_ranks=(),
+            straggler_delay=0.0,
+        )
+    if args.engine is not None:
+        config = replace(config, engine=args.engine)
+    extra = ckpt.meta.get("extra", {})
+    if not extra:
+        print(
+            "repro resume: error: checkpoint has no model/dataset "
+            "metadata (was it written by `repro train`?)",
+            file=sys.stderr,
+        )
+        return 2
+    epochs = args.epochs if args.epochs is not None else extra["epochs"]
+    model_args = argparse.Namespace(
+        model=extra["model"],
+        model_seed=extra["model_seed"],
+        classes=extra["classes"],
+        image_size=extra["image_size"],
+        train_samples=extra["train_samples"],
+        test_samples=extra["test_samples"],
     )
-    return 0
+    policy = CheckpointPolicy(
+        directory=path.parent,
+        every_steps=extra.get("checkpoint_every_steps"),
+        every_epochs=extra.get("checkpoint_every_epochs", 1),
+        extra=extra,
+    )
+    print(
+        f"resuming {config.label}/{config.engine} from {path} "
+        f"(step {ckpt.step}, epoch {ckpt.epoch}, "
+        f"{ckpt.batches_done} batches in)"
+    )
+    ds = _make_train_dataset(model_args, config)
+    with ParallelTrainer(_build_train_model(model_args), config) as trainer:
+        history = trainer.fit(
+            ds.train_x, ds.train_y, ds.test_x, ds.test_y,
+            epochs=epochs, verbose=True, checkpoint=policy,
+            resume_from=ckpt,
+        )
+    return _report_run(config, history)
 
 
 #: CLI scheme families accepted by ``repro trace``; "qsgd" composes
@@ -340,7 +465,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="rank to crash at --crash-step (fault-injection demo)",
     )
     train.add_argument("--crash-step", type=int, default=None)
+    train.add_argument(
+        "--crash-transient", action="store_true",
+        help="the injected crash fires only on a step's first attempt, "
+        "so a retried step succeeds",
+    )
+    train.add_argument(
+        "--max-retries", type=int, default=0,
+        help="re-attempts per failed step before escalating (0 = "
+        "fail fast)",
+    )
+    train.add_argument(
+        "--retry-backoff", type=float, default=0.05,
+        help="base backoff seconds between retries (doubles per retry)",
+    )
+    train.add_argument(
+        "--allow-degraded", action="store_true",
+        help="evict a rank that exhausts its retries and continue on "
+        "the survivors (resharded batch, reweighted gradient mean)",
+    )
+    train.add_argument(
+        "--min-world-size", type=int, default=1,
+        help="smallest live world --allow-degraded may shrink to",
+    )
+    train.add_argument(
+        "--checkpoint-dir", default=None,
+        help="write ckpt-<step>.npz checkpoints here (enables "
+        "`repro resume`)",
+    )
+    train.add_argument(
+        "--checkpoint-every-steps", type=int, default=None,
+        help="also checkpoint every N global steps (mid-epoch)",
+    )
+    train.add_argument(
+        "--checkpoint-every-epochs", type=int, default=1,
+        help="checkpoint at the end of every N epochs",
+    )
     train.set_defaults(handler=_cmd_train)
+    resume = sub.add_parser(
+        "resume",
+        help="continue a `repro train` run from a checkpoint, "
+        "bit-identically",
+    )
+    resume.add_argument(
+        "checkpoint",
+        help="a ckpt-*.npz file, or a directory (latest checkpoint wins)",
+    )
+    resume.add_argument(
+        "--epochs", type=int, default=None,
+        help="total epochs to train to (default: the original run's)",
+    )
+    resume.add_argument(
+        "--engine", default=None, choices=ENGINE_NAMES,
+        help="override the engine (legal: both are bit-identical)",
+    )
+    resume.add_argument(
+        "--keep-faults", action="store_true",
+        help="re-apply the original run's fault injection instead of "
+        "clearing it",
+    )
+    resume.set_defaults(handler=_cmd_resume)
     trace = sub.add_parser(
         "trace",
         help="trace a small training cell (Chrome trace + breakdown)",

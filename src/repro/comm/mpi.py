@@ -39,15 +39,23 @@ class MpiReduceBroadcast(GradientExchange):
         self._fullprec = FullPrecision()
         # aggregator-side error feedback, one residual per (key, owner)
         self._broadcast_feedback: dict[int, ErrorFeedback] = {}
+        # residuals restored from a checkpoint before the codec is
+        # known; adopted lazily the first time each owner's feedback
+        # wrapper is built
+        self._restored_residuals: dict[int, dict[str, np.ndarray]] = {}
 
     def _broadcast_codec(self, codec: Quantizer, owner: int):
         """Encode/decode pair used for the broadcast phase."""
         if not self.requantize_broadcast or isinstance(codec, FullPrecision):
             return None
         if codec.requires_error_feedback:
-            feedback = self._broadcast_feedback.setdefault(
-                owner, ErrorFeedback(codec)
-            )
+            feedback = self._broadcast_feedback.get(owner)
+            if feedback is None:
+                feedback = ErrorFeedback(codec)
+                feedback._residuals.update(
+                    self._restored_residuals.pop(owner, {})
+                )
+                self._broadcast_feedback[owner] = feedback
             return feedback
         return codec
 
@@ -154,6 +162,30 @@ class MpiReduceBroadcast(GradientExchange):
             ),
         )
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Aggregator-side broadcast residuals as ``"owner|stream"`` keys."""
+        state = {
+            f"{owner}|{stream}": residual.copy()
+            for owner, feedback in self._broadcast_feedback.items()
+            for stream, residual in feedback._residuals.items()
+        }
+        # restored-but-not-yet-adopted residuals round-trip unchanged
+        for owner, residuals in self._restored_residuals.items():
+            for stream, residual in residuals.items():
+                state[f"{owner}|{stream}"] = residual.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self._broadcast_feedback.clear()
+        self._restored_residuals.clear()
+        for key, residual in state.items():
+            owner_text, _, stream = key.partition("|")
+            owner = int(owner_text)
+            self._restored_residuals.setdefault(owner, {})[stream] = (
+                np.array(residual, dtype=np.float32)
+            )
+
     def reset(self) -> None:
         super().reset()
         self._broadcast_feedback.clear()
+        self._restored_residuals.clear()

@@ -1,12 +1,22 @@
 """Core: synchronous data-parallel SGD with quantized communication."""
 
 from .algorithm import SynchronousStep
+from .checkpoint import (
+    CheckpointPolicy,
+    TrainingCheckpoint,
+    latest_checkpoint,
+    save_checkpoint,
+)
 from .config import TrainingConfig
 from .metrics import EpochMetrics, History
 from .trainer import ParallelTrainer
 
 __all__ = [
     "SynchronousStep",
+    "CheckpointPolicy",
+    "TrainingCheckpoint",
+    "latest_checkpoint",
+    "save_checkpoint",
     "TrainingConfig",
     "EpochMetrics",
     "History",

@@ -9,6 +9,9 @@ schemes and the small-matrix passthrough policy.
 
 from __future__ import annotations
 
+import copy
+from dataclasses import replace
+
 import numpy as np
 
 from ..comm import make_exchange
@@ -70,6 +73,10 @@ class SynchronousStep:
         self._residuals: list[dict[str, np.ndarray]] = [
             {} for _ in range(config.world_size)
         ]
+        # bytes already on the wire before this step engine existed
+        # (carried across a mid-run shrink or a checkpoint resume so
+        # per-epoch comm accounting stays continuous)
+        self._comm_bytes_base = 0
 
     @staticmethod
     def _build_quantizer(config: TrainingConfig):
@@ -187,12 +194,75 @@ class SynchronousStep:
     @property
     def comm_bytes(self) -> int:
         """Total bytes moved since construction (or last reset)."""
-        return self.exchange.traffic.total_bytes
+        return self.exchange.traffic.total_bytes + self._comm_bytes_base
 
     def reset_traffic(self) -> None:
         self.exchange.traffic.reset()
+        self._comm_bytes_base = 0
+
+    def set_comm_bytes_base(self, nbytes: int) -> None:
+        """Preset bytes already accounted before this engine's traffic."""
+        self._comm_bytes_base = int(nbytes)
+
+    # -- resilience hooks -------------------------------------------------
+    def snapshot(self) -> dict:
+        """Deep copy of all numeric state a step can mutate.
+
+        Covers the shared quantization RNG, per-rank error-feedback
+        residuals, and any aggregator-side exchange state (the MPI
+        path's broadcast residuals).  Restoring the snapshot makes a
+        partially-executed step as if it never ran, which is what
+        makes step retries sound.
+        """
+        return {
+            "rng": copy.deepcopy(self.rng.bit_generator.state),
+            "residuals": [
+                {name: array.copy() for name, array in per_rank.items()}
+                for per_rank in self._residuals
+            ],
+            "exchange": self.exchange.state_dict(),
+        }
+
+    def restore_snapshot(self, snap: dict) -> None:
+        """Rewind to a state captured by :meth:`snapshot`."""
+        self.rng.bit_generator.state = copy.deepcopy(snap["rng"])
+        self._residuals = [
+            {name: array.copy() for name, array in per_rank.items()}
+            for per_rank in snap["residuals"]
+        ]
+        self.exchange.load_state_dict(
+            {key: array.copy() for key, array in snap["exchange"].items()}
+        )
+
+    def shrink(self, keep: list[int], parameters: list[Parameter]) -> "SynchronousStep":
+        """A new step engine over the surviving rank positions.
+
+        ``keep`` holds the *positions* (indices into the current rank
+        order) that survive an eviction.  The shared quantization RNG
+        continues from its current state and the survivors keep their
+        error-feedback residual buffers, so the degraded collective
+        picks up exactly where the full one stopped.  Aggregator-side
+        exchange state is deliberately dropped: the MPI column ranges
+        are re-partitioned over the smaller world, which orphans the
+        old per-range broadcast residuals.
+        """
+        config = replace(
+            self.config,
+            world_size=len(keep),
+            straggler_ranks=(),
+            crash_rank=None,
+            crash_step=None,
+        )
+        shrunk = SynchronousStep(config, parameters)
+        shrunk.rng.bit_generator.state = copy.deepcopy(
+            self.rng.bit_generator.state
+        )
+        shrunk._residuals = [self._residuals[index] for index in keep]
+        shrunk._comm_bytes_base = self.comm_bytes
+        return shrunk
 
     def reset(self) -> None:
         """Drop residuals, aggregator state, and traffic records."""
         self.exchange.reset()
         self._residuals = [{} for _ in range(self.world_size)]
+        self._comm_bytes_base = 0

@@ -1,0 +1,406 @@
+"""Deterministic checkpoint/resume of full training state.
+
+A :class:`TrainingCheckpoint` captures *everything* a bit-identical
+continuation needs — model parameters, optimizer momentum, the data
+shuffle RNG, every per-rank module RNG stream (dropout masks), the
+shared quantization RNG, per-rank error-feedback residuals, any
+aggregator-side exchange state (the MPI path's broadcast residuals),
+the live topology after evictions, and the partially-completed epoch's
+running metrics.  Resuming a run from a checkpoint taken at step N and
+training to the end produces exactly the trajectory of the
+uninterrupted run, byte for byte, for every scheme × exchange × engine
+cell — the checkpoint test-grid asserts this.
+
+Files are single ``.npz`` archives: one JSON metadata blob plus one
+array entry per tensor, written to a temporary file in the target
+directory and atomically renamed into place (``os.replace``), so a
+crash mid-save can never leave a torn checkpoint behind.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+import re
+from dataclasses import dataclass, fields
+from pathlib import Path
+
+import numpy as np
+
+from ..runtime.worker import collect_module_rngs
+from .config import TrainingConfig
+from .metrics import History
+
+__all__ = [
+    "CheckpointPolicy",
+    "TrainingCheckpoint",
+    "latest_checkpoint",
+    "save_checkpoint",
+]
+
+#: checkpoint file-format version
+FORMAT_VERSION = 1
+
+#: config fields that define the numeric trajectory; a checkpoint only
+#: restores into a trainer whose config matches on all of them.  The
+#: engine is deliberately absent (sequential and threaded runs are
+#: bit-identical, so resuming on the other engine is legal), as are the
+#: workspace switch and every fault/retry/telemetry knob.
+IDENTITY_FIELDS = (
+    "scheme",
+    "bucket_size",
+    "exchange",
+    "world_size",
+    "batch_size",
+    "lr",
+    "lr_decay",
+    "momentum",
+    "weight_decay",
+    "seed",
+    "requantize_broadcast",
+    "passthrough_coverage",
+    "norm",
+    "variant",
+    "quantize_kinds",
+    "comm_bucket_bytes",
+)
+
+_CKPT_NAME = re.compile(r"^ckpt-(\d+)\.npz$")
+
+
+def config_to_dict(config: TrainingConfig) -> dict:
+    """JSON-friendly config record (the tracer handle is dropped)."""
+    record = {}
+    for f in fields(config):
+        if f.name == "tracer":
+            continue
+        value = getattr(config, f.name)
+        if isinstance(value, tuple):
+            value = list(value)
+        record[f.name] = value
+    return record
+
+
+def config_from_dict(record: dict) -> TrainingConfig:
+    """Rebuild a :class:`TrainingConfig` from :func:`config_to_dict`."""
+    kwargs = dict(record)
+    known = {f.name for f in fields(TrainingConfig)}
+    kwargs = {k: v for k, v in kwargs.items() if k in known}
+    for key in ("straggler_ranks", "quantize_kinds"):
+        if kwargs.get(key) is not None:
+            kwargs[key] = tuple(kwargs[key])
+    return TrainingConfig(**kwargs)
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """When and where the trainer writes checkpoints.
+
+    Attributes:
+        directory: target directory (created on first save).
+        every_steps: save after every N global steps (``None`` = only
+            at epoch boundaries).
+        every_epochs: save at the end of every N epochs (``None``
+            disables epoch-boundary saves).
+        keep: most-recent checkpoints retained; older files are pruned
+            after each save.  ``None`` keeps everything.
+        extra: opaque JSON-serializable dict stored verbatim in every
+            checkpoint's metadata — the CLI records how to rebuild the
+            model and dataset here, so ``repro resume`` needs nothing
+            but the checkpoint file.
+    """
+
+    directory: str | os.PathLike
+    every_steps: int | None = None
+    every_epochs: int | None = 1
+    keep: int | None = 3
+    extra: dict | None = None
+
+    def __post_init__(self) -> None:
+        if self.every_steps is not None and self.every_steps < 1:
+            raise ValueError(
+                f"every_steps must be >= 1, got {self.every_steps}"
+            )
+        if self.every_epochs is not None and self.every_epochs < 1:
+            raise ValueError(
+                f"every_epochs must be >= 1, got {self.every_epochs}"
+            )
+        if self.keep is not None and self.keep < 1:
+            raise ValueError(f"keep must be >= 1, got {self.keep}")
+
+
+class TrainingCheckpoint:
+    """One captured training state: a metadata dict plus named arrays."""
+
+    def __init__(self, meta: dict, arrays: dict[str, np.ndarray]):
+        self.meta = meta
+        self.arrays = arrays
+
+    # -- convenient accessors ---------------------------------------------
+    @property
+    def step(self) -> int:
+        """Global step index the resumed run continues from."""
+        return int(self.meta["step"])
+
+    @property
+    def epoch(self) -> int:
+        """Epoch the resumed run continues in (0-based)."""
+        return int(self.meta["epoch"])
+
+    @property
+    def batches_done(self) -> int:
+        """Batches of that epoch already trained (0 = epoch boundary)."""
+        return int(self.meta["batches_done"])
+
+    @property
+    def config(self) -> TrainingConfig:
+        return config_from_dict(self.meta["config"])
+
+    @property
+    def history(self) -> History:
+        return History.from_dict(self.meta["history"])
+
+    # -- capture ----------------------------------------------------------
+    @classmethod
+    def capture(
+        cls,
+        trainer,
+        *,
+        epoch: int,
+        batches_done: int,
+        shuffle_state: dict,
+        partial_losses: list[float] = (),
+        partial_accuracies: list[float] = (),
+        history: History | None = None,
+        extra: dict | None = None,
+    ) -> "TrainingCheckpoint":
+        """Snapshot a :class:`~repro.core.trainer.ParallelTrainer`.
+
+        ``shuffle_state`` must be the shuffle-RNG state from which the
+        *current* epoch's permutation is (re)drawn: the pre-epoch
+        snapshot when mid-epoch, the current state at an epoch
+        boundary.  The resumed run restores it, re-draws the same
+        permutation, and skips the first ``batches_done`` batches.
+        """
+        engine = trainer.engine
+        step_engine = engine.step_engine
+        reference = engine.reference_worker
+        arrays: dict[str, np.ndarray] = {}
+
+        param_names = [p.name for p in reference.parameters]
+        for i, param in enumerate(reference.parameters):
+            arrays[f"param{i}"] = np.array(param.data, copy=True)
+
+        velocity = reference.optimizer._velocity
+        velocity_names = sorted(velocity)
+        for i, name in enumerate(velocity_names):
+            arrays[f"vel{i}"] = np.array(velocity[name], copy=True)
+
+        # per-rank error-feedback residuals, keyed by *original* rank id
+        residual_index: list[list] = []
+        for position, rank in enumerate(engine.live_ranks):
+            for name, residual in step_engine._residuals[position].items():
+                arrays[f"res{len(residual_index)}"] = np.array(
+                    residual, copy=True
+                )
+                residual_index.append([rank, name])
+
+        exchange_keys = []
+        for key, array in step_engine.exchange.state_dict().items():
+            arrays[f"exch{len(exchange_keys)}"] = np.array(array, copy=True)
+            exchange_keys.append(key)
+
+        module_rngs = {
+            str(rank): [
+                copy.deepcopy(gen.bit_generator.state)
+                for gen in collect_module_rngs(engine.workers[rank].model)
+            ]
+            for rank in engine.live_ranks
+        }
+
+        meta = {
+            "version": FORMAT_VERSION,
+            "step": int(engine._step_index),
+            "epoch": int(epoch),
+            "batches_done": int(batches_done),
+            "config": config_to_dict(trainer.config),
+            "history": (history or History(trainer.config.label)).to_dict(),
+            "live_ranks": list(engine.live_ranks),
+            "shuffle_state": copy.deepcopy(shuffle_state),
+            "quant_state": copy.deepcopy(
+                step_engine.rng.bit_generator.state
+            ),
+            "module_rngs": module_rngs,
+            "partial_losses": [float(v) for v in partial_losses],
+            "partial_accuracies": [float(v) for v in partial_accuracies],
+            "partial_comm_bytes": int(step_engine.comm_bytes),
+            "param_names": param_names,
+            "velocity_names": velocity_names,
+            "residuals": residual_index,
+            "exchange_keys": exchange_keys,
+            "extra": dict(extra) if extra else {},
+        }
+        return cls(meta, arrays)
+
+    # -- restore ----------------------------------------------------------
+    def restore(self, trainer) -> None:
+        """Load this checkpoint's state into a freshly-built trainer.
+
+        The trainer's config must match the checkpoint's on every
+        trajectory-defining field (:data:`IDENTITY_FIELDS`); fault,
+        retry, engine, and telemetry knobs may differ — so a resumed
+        run can, for example, drop the crash injection that killed the
+        original.
+        """
+        mismatches = [
+            name
+            for name in IDENTITY_FIELDS
+            if config_to_dict(trainer.config).get(name)
+            != self.meta["config"].get(name)
+        ]
+        if mismatches:
+            raise ValueError(
+                "checkpoint was taken under a different config; "
+                f"mismatched fields: {', '.join(mismatches)}"
+            )
+
+        engine = trainer.engine
+        engine.restore_topology([int(r) for r in self.meta["live_ranks"]])
+        step_engine = engine.step_engine
+
+        param_names = self.meta["param_names"]
+        velocity_names = self.meta["velocity_names"]
+        for rank in engine.live_ranks:
+            worker = engine.workers[rank]
+            for i, name in enumerate(param_names):
+                param = worker.param_by_name[name]
+                saved = self.arrays[f"param{i}"]
+                if param.data.shape != saved.shape:
+                    raise ValueError(
+                        f"parameter {name!r} shape {param.data.shape} != "
+                        f"checkpointed {saved.shape}"
+                    )
+                param.data[...] = saved
+            worker.optimizer._velocity = {
+                name: np.array(self.arrays[f"vel{i}"], copy=True)
+                for i, name in enumerate(velocity_names)
+            }
+            generators = collect_module_rngs(worker.model)
+            states = self.meta["module_rngs"][str(rank)]
+            if len(generators) != len(states):
+                raise ValueError(
+                    f"rank {rank} has {len(generators)} module RNGs, "
+                    f"checkpoint recorded {len(states)}"
+                )
+            for gen, state in zip(generators, states):
+                gen.bit_generator.state = copy.deepcopy(state)
+
+        step_engine.rng.bit_generator.state = copy.deepcopy(
+            self.meta["quant_state"]
+        )
+        position_of = {
+            rank: position for position, rank in enumerate(engine.live_ranks)
+        }
+        residuals: list[dict[str, np.ndarray]] = [
+            {} for _ in engine.live_ranks
+        ]
+        for i, (rank, name) in enumerate(self.meta["residuals"]):
+            residuals[position_of[int(rank)]][name] = np.array(
+                self.arrays[f"res{i}"], copy=True
+            )
+        step_engine._residuals = residuals
+        step_engine.exchange.load_state_dict(
+            {
+                key: np.array(self.arrays[f"exch{i}"], copy=True)
+                for i, key in enumerate(self.meta["exchange_keys"])
+            }
+        )
+        engine._step_index = self.step
+
+    # -- disk -------------------------------------------------------------
+    def save(self, path: str | os.PathLike) -> Path:
+        """Write atomically: temp file in the target dir, then rename."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{path.name}.tmp{os.getpid()}"
+        try:
+            with open(tmp, "wb") as handle:
+                np.savez(
+                    handle,
+                    __meta__=np.array(json.dumps(self.meta)),
+                    **self.arrays,
+                )
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # pragma: no cover - only on failed save
+                tmp.unlink()
+        return path
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "TrainingCheckpoint":
+        with np.load(Path(path), allow_pickle=False) as archive:
+            meta = json.loads(str(archive["__meta__"][()]))
+            if meta.get("version") != FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported checkpoint version {meta.get('version')}"
+                    f" (expected {FORMAT_VERSION})"
+                )
+            arrays = {
+                key: archive[key] for key in archive.files if key != "__meta__"
+            }
+        return cls(meta, arrays)
+
+
+def latest_checkpoint(directory: str | os.PathLike) -> Path | None:
+    """Highest-step ``ckpt-*.npz`` under ``directory`` (or ``None``)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    best: tuple[int, Path] | None = None
+    for entry in directory.iterdir():
+        match = _CKPT_NAME.match(entry.name)
+        if match is None:
+            continue
+        step = int(match.group(1))
+        if best is None or step > best[0]:
+            best = (step, entry)
+    return best[1] if best else None
+
+
+def save_checkpoint(
+    trainer,
+    policy: CheckpointPolicy,
+    *,
+    epoch: int,
+    batches_done: int,
+    shuffle_state: dict,
+    partial_losses: list[float] = (),
+    partial_accuracies: list[float] = (),
+    history: History | None = None,
+) -> Path:
+    """Capture, write ``ckpt-<step>.npz`` under the policy dir, prune."""
+    ckpt = TrainingCheckpoint.capture(
+        trainer,
+        epoch=epoch,
+        batches_done=batches_done,
+        shuffle_state=shuffle_state,
+        partial_losses=partial_losses,
+        partial_accuracies=partial_accuracies,
+        history=history,
+        extra=policy.extra,
+    )
+    directory = Path(policy.directory)
+    path = ckpt.save(directory / f"ckpt-{ckpt.step:08d}.npz")
+    if policy.keep is not None:
+        found = sorted(
+            (
+                (int(m.group(1)), entry)
+                for entry in directory.iterdir()
+                if (m := _CKPT_NAME.match(entry.name))
+            ),
+            key=lambda pair: pair[0],
+        )
+        for _, stale in found[: -policy.keep]:
+            stale.unlink()
+    return path

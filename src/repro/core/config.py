@@ -55,6 +55,25 @@ class TrainingConfig:
             at the top of these ranks' compute phase every step.
         crash_rank / crash_step: the given rank crashes at the given
             global step (``crash_step=None`` crashes every step).
+        crash_transient: the injected crash fires only on the first
+            attempt of its step, so a retried step succeeds (models a
+            recoverable glitch); ``False`` re-fires every attempt.
+        max_retries: re-attempts allowed per failed step (crash or
+            missed bucket rendezvous) before the failure escalates;
+            0 (the default) preserves the historical fail-fast
+            behaviour.
+        retry_backoff / retry_backoff_max / retry_jitter: exponential
+            backoff schedule between attempts — base delay in seconds
+            (doubling per retry), its ceiling, and the fraction added
+            as deterministic jitter.
+        allow_degraded: when a rank exhausts its retries, evict it and
+            continue on the survivors — the global batch is resharded
+            across live ranks and the gradient mean is reweighted by
+            live shard sizes.  The eviction is recorded as a
+            :class:`~repro.runtime.resilience.TopologyChange` on the
+            run's ``History``.
+        min_world_size: smallest live world degradation may shrink to;
+            a failure that would drop below it aborts the run instead.
         tracer: a :class:`repro.telemetry.Tracer` to record per-rank
             phase spans and typed counters on the live training path;
             ``None`` (the default) uses the shared no-op
@@ -91,6 +110,14 @@ class TrainingConfig:
     straggler_delay: float = 0.0
     crash_rank: int | None = None
     crash_step: int | None = None
+    crash_transient: bool = False
+    # resilience (see repro.runtime.resilience)
+    max_retries: int = 0
+    retry_backoff: float = 0.05
+    retry_backoff_max: float = 2.0
+    retry_jitter: float = 0.1
+    allow_degraded: bool = False
+    min_world_size: int = 1
     # live-path telemetry (see repro.telemetry); excluded from equality
     # and repr so configs stay comparable cell labels
     tracer: object | None = field(default=None, repr=False, compare=False)
@@ -149,6 +176,28 @@ class TrainingConfig:
             raise ValueError(
                 f"crash_rank {self.crash_rank} outside world of "
                 f"{self.world_size}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}"
+            )
+        if self.retry_backoff_max < self.retry_backoff:
+            raise ValueError(
+                f"retry_backoff_max ({self.retry_backoff_max}) must be >= "
+                f"retry_backoff ({self.retry_backoff})"
+            )
+        if self.retry_jitter < 0:
+            raise ValueError(
+                f"retry_jitter must be >= 0, got {self.retry_jitter}"
+            )
+        if not 1 <= self.min_world_size <= self.world_size:
+            raise ValueError(
+                f"min_world_size must be in [1, {self.world_size}], got "
+                f"{self.min_world_size}"
             )
 
     @property

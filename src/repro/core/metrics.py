@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
     from ..runtime.faults import WorkerFailure
+    from ..runtime.resilience import TopologyChange
 
 __all__ = ["EpochMetrics", "History", "PHASE_NAMES"]
 
@@ -45,11 +47,16 @@ class History:
         failures: structured :class:`~repro.runtime.faults.WorkerFailure`
             records for ranks that crashed or timed out; a non-empty
             list means the run stopped early.
+        topology_changes: ranks evicted mid-run by graceful degradation
+            (:class:`~repro.runtime.resilience.TopologyChange`); unlike
+            ``failures`` these do *not* stop the run — training
+            continued on the survivors.
     """
 
     label: str
     epochs: list[EpochMetrics] = field(default_factory=list)
     failures: list["WorkerFailure"] = field(default_factory=list)
+    topology_changes: list["TopologyChange"] = field(default_factory=list)
 
     def append(self, metrics: EpochMetrics) -> None:
         self.epochs.append(metrics)
@@ -108,6 +115,31 @@ class History:
                 return metrics.epoch + 1
         return None
 
+    def digest(self) -> str:
+        """Content hash of the numeric training trajectory.
+
+        Hashes every per-epoch *numeric* field — losses and accuracies
+        via ``float.hex`` (exact, no formatting loss) plus the integer
+        comm-byte counts — and deliberately excludes wall-clock and
+        traced phase times, which legitimately differ between runs of
+        the same trajectory.  Two runs producing the same digest took
+        bit-identical per-epoch measurements; the resume CI job
+        compares an interrupted-then-resumed run against an
+        uninterrupted one this way.
+        """
+        h = hashlib.sha256()
+        h.update(self.label.encode())
+        for m in self.epochs:
+            row = (
+                f"|{m.epoch}"
+                f"|{float(m.train_loss).hex()}"
+                f"|{float(m.train_accuracy).hex()}"
+                f"|{float(m.test_accuracy).hex()}"
+                f"|{int(m.comm_bytes)}"
+            )
+            h.update(row.encode())
+        return h.hexdigest()
+
     def to_dict(self) -> dict:
         """JSON-serializable run record (for EXPERIMENTS.md tooling)."""
         record = {
@@ -121,16 +153,23 @@ class History:
         }
         if self.failures:
             record["failures"] = [f.to_dict() for f in self.failures]
+        if self.topology_changes:
+            record["topology_changes"] = [
+                t.to_dict() for t in self.topology_changes
+            ]
         return record
 
     @classmethod
     def from_dict(cls, record: dict) -> "History":
         """Inverse of :meth:`to_dict`."""
         from ..runtime.faults import WorkerFailure
+        from ..runtime.resilience import TopologyChange
 
         history = cls(label=record["label"])
         for row in record["epochs"]:
             history.append(EpochMetrics(**row))
         for row in record.get("failures", ()):
             history.failures.append(WorkerFailure.from_dict(row))
+        for row in record.get("topology_changes", ()):
+            history.topology_changes.append(TopologyChange.from_dict(row))
         return history

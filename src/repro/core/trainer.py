@@ -13,6 +13,8 @@ asserted by tests.
 
 from __future__ import annotations
 
+import copy
+import os
 import time
 from typing import Callable
 
@@ -24,12 +26,14 @@ from ..nn.module import Module
 from ..optim import exponential_decay
 from ..runtime.engine import make_engine
 from ..runtime.faults import WorkerFailureError
+from .checkpoint import CheckpointPolicy, TrainingCheckpoint, save_checkpoint
 from .config import TrainingConfig
 from .metrics import PHASE_NAMES, EpochMetrics, History
 
 __all__ = ["ParallelTrainer"]
 
 LossFn = Callable[[np.ndarray, np.ndarray], tuple[float, np.ndarray]]
+StepHook = Callable[[int, list[float], list[float]], None]
 
 
 class ParallelTrainer:
@@ -80,17 +84,39 @@ class ParallelTrainer:
 
     # -- epochs -----------------------------------------------------------
     def train_epoch(
-        self, x: np.ndarray, y: np.ndarray
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        start_batch: int = 0,
+        losses: list[float] | None = None,
+        accuracies: list[float] | None = None,
+        on_step: StepHook | None = None,
     ) -> tuple[float, float]:
-        """One pass over the training set; returns (loss, accuracy)."""
-        losses = []
-        accuracies = []
+        """One pass over the training set; returns (loss, accuracy).
+
+        ``start_batch`` skips that many leading batches of the epoch's
+        permutation (a mid-epoch resume: the shuffle RNG re-draws the
+        same permutation, and the already-trained batches are passed
+        over).  ``losses`` / ``accuracies`` seed the running per-batch
+        metric lists (the skipped batches' metrics from the
+        checkpoint), and ``on_step`` is called after every trained
+        batch with ``(batches_done, losses, accuracies)`` — the
+        checkpoint hook.
+        """
+        losses = [] if losses is None else losses
+        accuracies = [] if accuracies is None else accuracies
+        batch_index = 0
         for batch_x, batch_y in iterate_minibatches(
             x, y, self.config.batch_size, rng=self._shuffle_rng
         ):
+            batch_index += 1
+            if batch_index <= start_batch:
+                continue
             loss, acc = self.train_step(batch_x, batch_y)
             losses.append(loss)
             accuracies.append(acc)
+            if on_step is not None:
+                on_step(batch_index, losses, accuracies)
         if not losses:
             return float("nan"), float("nan")
         return float(np.mean(losses)), float(np.mean(accuracies))
@@ -98,13 +124,17 @@ class ParallelTrainer:
     def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
         """Test accuracy in [0, 1], batched to bound memory.
 
+        Evaluates on the engine's reference replica — rank 0's model
+        until rank 0 is evicted by graceful degradation, then the
+        lowest surviving rank's (all live replicas are bit-identical).
         An empty test set has no defined accuracy: returns NaN.
         """
         if x.shape[0] == 0:
             return float("nan")
+        model = self.engine.reference_worker.model
         correct = 0
         for batch_x, batch_y in iterate_minibatches(x, y, 256):
-            logits = self.model.forward(batch_x, training=False)
+            logits = model.forward(batch_x, training=False)
             correct += int((logits.argmax(axis=1) == batch_y).sum())
         return correct / x.shape[0]
 
@@ -116,27 +146,93 @@ class ParallelTrainer:
         test_y: np.ndarray,
         epochs: int,
         verbose: bool = False,
+        checkpoint: CheckpointPolicy | None = None,
+        resume_from: TrainingCheckpoint | str | os.PathLike | None = None,
     ) -> History:
         """Train for ``epochs`` passes, recording per-epoch metrics.
 
         A rank crash or barrier timeout stops training and is recorded
         as a structured failure on the returned history rather than
-        raised, so partial results stay inspectable.
+        raised, so partial results stay inspectable.  Ranks evicted by
+        graceful degradation are recorded as topology changes on the
+        history and training continues.
+
+        ``checkpoint`` turns on periodic checkpointing per the policy;
+        ``resume_from`` (a :class:`TrainingCheckpoint` or a path to
+        one) restores full training state before the first step, and
+        the returned history includes the checkpointed epochs — a
+        resumed run's history is bit-identical to the uninterrupted
+        run's.
         """
         history = History(label=self.config.label)
+        start_epoch = 0
+        skip_batches = 0
+        carry_losses: list[float] = []
+        carry_accuracies: list[float] = []
+        carry_comm_bytes = 0
+        prior_topology = []
+        if resume_from is not None:
+            if not isinstance(resume_from, TrainingCheckpoint):
+                resume_from = TrainingCheckpoint.load(resume_from)
+            resume_from.restore(self)
+            prior = resume_from.history
+            history.epochs.extend(prior.epochs)
+            history.failures.extend(prior.failures)
+            prior_topology = list(prior.topology_changes)
+            start_epoch = resume_from.epoch
+            skip_batches = resume_from.batches_done
+            carry_losses = list(resume_from.meta["partial_losses"])
+            carry_accuracies = list(resume_from.meta["partial_accuracies"])
+            carry_comm_bytes = int(resume_from.meta["partial_comm_bytes"])
+            self._shuffle_rng.bit_generator.state = copy.deepcopy(
+                resume_from.meta["shuffle_state"]
+            )
+
+        def sync_topology() -> None:
+            history.topology_changes = (
+                prior_topology + self.engine.topology_events
+            )
+
         tracer = self.engine.tracer
-        for epoch in range(epochs):
+        for epoch in range(start_epoch, epochs):
             self.engine.set_lr(
                 exponential_decay(self.config.lr, self.config.lr_decay, epoch)
             )
             self.step_engine.reset_traffic()
+            # the state the current epoch's permutation is drawn from —
+            # what a mid-epoch checkpoint must record to re-draw it
+            epoch_shuffle_state = copy.deepcopy(
+                self._shuffle_rng.bit_generator.state
+            )
+            start_batch = 0
+            losses: list[float] = []
+            accuracies: list[float] = []
+            if epoch == start_epoch and skip_batches:
+                start_batch = skip_batches
+                losses = carry_losses
+                accuracies = carry_accuracies
+                self.step_engine.set_comm_bytes_base(carry_comm_bytes)
+            on_step: StepHook | None = None
+            if checkpoint is not None and checkpoint.every_steps:
+                on_step = self._step_checkpointer(
+                    checkpoint, epoch, epoch_shuffle_state, history,
+                    sync_topology,
+                )
             # per-epoch phase deltas: snapshot the tracer's cumulative
             # busy seconds so each epoch records only its own share
             phase_before = tracer.phase_seconds() if tracer.enabled else None
             start = time.perf_counter()
             try:
-                loss, train_acc = self.train_epoch(train_x, train_y)
+                loss, train_acc = self.train_epoch(
+                    train_x,
+                    train_y,
+                    start_batch=start_batch,
+                    losses=losses,
+                    accuracies=accuracies,
+                    on_step=on_step,
+                )
             except WorkerFailureError as failure:
+                sync_topology()
                 history.failures.append(failure.failure)
                 if verbose:
                     print(f"[{self.config.label}] stopped: {failure}")
@@ -165,13 +261,61 @@ class ParallelTrainer:
                 },
             )
             history.append(metrics)
+            sync_topology()
+            if checkpoint is not None and checkpoint.every_epochs and (
+                (epoch + 1) % checkpoint.every_epochs == 0
+            ):
+                # boundary checkpoint: next epoch, zero batches in, and
+                # the shuffle RNG exactly where the next draw happens
+                save_checkpoint(
+                    self,
+                    checkpoint,
+                    epoch=epoch + 1,
+                    batches_done=0,
+                    shuffle_state=copy.deepcopy(
+                        self._shuffle_rng.bit_generator.state
+                    ),
+                    history=history,
+                )
             if verbose:
                 print(
                     f"[{self.config.label}] epoch {epoch:3d} "
                     f"loss={loss:.4f} train={train_acc:.3f} "
                     f"test={test_acc:.3f}"
                 )
+        sync_topology()
         return history
+
+    def _step_checkpointer(
+        self,
+        policy: CheckpointPolicy,
+        epoch: int,
+        epoch_shuffle_state: dict,
+        history: History,
+        sync_topology: Callable[[], None],
+    ) -> StepHook:
+        """Per-batch hook saving every ``policy.every_steps`` steps."""
+
+        def on_step(
+            batches_done: int,
+            losses: list[float],
+            accuracies: list[float],
+        ) -> None:
+            if self.engine._step_index % policy.every_steps != 0:
+                return
+            sync_topology()
+            save_checkpoint(
+                self,
+                policy,
+                epoch=epoch,
+                batches_done=batches_done,
+                shuffle_state=epoch_shuffle_state,
+                partial_losses=losses,
+                partial_accuracies=accuracies,
+                history=history,
+            )
+
+        return on_step
 
     def close(self) -> None:
         """Shut down the execution engine (worker threads, if any)."""

@@ -24,7 +24,18 @@ from .faults import (
     WorkerFailure,
     WorkerFailureError,
 )
-from .worker import RankWorker, clone_module, reseed_module_rngs
+from .resilience import (
+    AttemptFailure,
+    RetryPolicy,
+    RetryState,
+    TopologyChange,
+)
+from .worker import (
+    RankWorker,
+    clone_module,
+    collect_module_rngs,
+    reseed_module_rngs,
+)
 
 __all__ = [
     "BarrierTimeout",
@@ -41,7 +52,12 @@ __all__ = [
     "InjectedCrash",
     "WorkerFailure",
     "WorkerFailureError",
+    "AttemptFailure",
+    "RetryPolicy",
+    "RetryState",
+    "TopologyChange",
     "RankWorker",
     "clone_module",
+    "collect_module_rngs",
     "reseed_module_rngs",
 ]

@@ -56,6 +56,7 @@ class StepBarrier:
         self._cond = threading.Condition()
         self._generation = 0
         self._arrived: set[int] = set()
+        self._expected: set[int] = set(range(parties))
         self._missing_at_break: tuple[int, ...] | None = None
 
     @property
@@ -86,11 +87,15 @@ class StepBarrier:
         timeout = self.timeout if timeout is None else timeout
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
+            if party not in self._expected:
+                # an evicted participant straggling in: it no longer
+                # holds up the rendezvous, and must not block on it
+                raise BarrierTimeout(self._generation, (party,))
             if self._missing_at_break is not None:
                 raise BarrierTimeout(self._generation, self._missing_at_break)
             generation = self._generation
             self._arrived.add(party)
-            if len(self._arrived) == self.parties:
+            if len(self._arrived) == len(self._expected):
                 self._generation += 1
                 self._arrived = set()
                 self._cond.notify_all()
@@ -104,7 +109,7 @@ class StepBarrier:
                 )
                 if remaining is not None and remaining <= 0:
                     self._missing_at_break = tuple(
-                        sorted(set(range(self.parties)) - self._arrived)
+                        sorted(self._expected - self._arrived)
                     )
                     self._cond.notify_all()
                     raise BarrierTimeout(generation, self._missing_at_break)
@@ -113,9 +118,40 @@ class StepBarrier:
                 raise BarrierTimeout(generation, self._missing_at_break)
             return generation
 
+    def deregister(self, party: int) -> None:
+        """Permanently remove ``party`` from the rendezvous (eviction).
+
+        The current generation completes immediately if every remaining
+        party has already arrived; future :meth:`wait` calls by the
+        deregistered party raise :class:`BarrierTimeout` instead of
+        blocking a rendezvous they can no longer be part of.
+        """
+        with self._cond:
+            self._expected.discard(party)
+            self._arrived.discard(party)
+            if not self._expected:
+                raise ValueError("cannot deregister the last barrier party")
+            if (
+                self._missing_at_break is None
+                and len(self._arrived) == len(self._expected)
+                and self._arrived
+            ):
+                self._generation += 1
+                self._arrived = set()
+            self._cond.notify_all()
+
     def reset(self) -> None:
-        """Clear a broken barrier so it can be reused (testing aid)."""
+        """Clear a broken barrier so it can be reused.
+
+        Advances the generation so that any party still blocked inside
+        :meth:`wait` on the broken generation releases immediately
+        (returning as if the generation completed) instead of
+        re-blocking on a rendezvous that will never finish — the
+        engines' retry path resets the end-of-step barrier between
+        attempts while worker threads may still be draining out of it.
+        """
         with self._cond:
             self._missing_at_break = None
+            self._generation += 1
             self._arrived = set()
             self._cond.notify_all()

@@ -93,10 +93,24 @@ class BucketReadiness:
     all waiters immediately instead of letting them run out the clock.
     """
 
-    def __init__(self, buckets: Sequence[GradientBucket], world_size: int):
+    def __init__(
+        self,
+        buckets: Sequence[GradientBucket],
+        world_size: int,
+        live_ranks: Iterable[int] | None = None,
+    ):
+        """Track readiness for ``world_size`` ranks (or a live subset).
+
+        ``live_ranks`` restricts the rendezvous to the given rank ids
+        (a degraded collective after evictions); ranks outside it owe
+        nothing and are never waited for.
+        """
         if world_size < 1:
             raise ValueError(f"world_size must be >= 1, got {world_size}")
         self.world_size = world_size
+        live = (
+            set(range(world_size)) if live_ranks is None else set(live_ranks)
+        )
         self._bucket_of: dict[str, int] = {}
         for bucket in buckets:
             for name in bucket.names:
@@ -105,7 +119,11 @@ class BucketReadiness:
                 self._bucket_of[name] = bucket.index
         # per bucket, per rank: gradients still owed
         self._owed: list[list[int]] = [
-            [len(bucket.names)] * world_size for bucket in buckets
+            [
+                len(bucket.names) if rank in live else 0
+                for rank in range(world_size)
+            ]
+            for bucket in buckets
         ]
         self._seen: set[tuple[int, str]] = set()
         self._dead: set[int] = set()

@@ -26,11 +26,21 @@ same replica with the same per-rank RNG stream, (2) the exchange is
 invoked bucket-by-bucket in one fixed order with one shared
 quantization RNG, and (3) every rank applies the same aggregated
 gradient.  The runtime test-suite asserts this across the full matrix.
+
+Both engines additionally run every step through a shared recovery
+loop (see :mod:`repro.runtime.resilience`): a failed attempt is
+retried from a snapshot of the collective state with exponential
+backoff, and a rank that exhausts its retries can be evicted — the
+engine reshards the batch over the survivors and reweights the
+gradient mean by live shard sizes.  With the resilience knobs at
+their defaults (``max_retries=0``, ``allow_degraded=False``) the loop
+collapses to the historical fail-fast behaviour, byte for byte.
 """
 
 from __future__ import annotations
 
 import abc
+import copy
 import queue
 import threading
 import time
@@ -49,7 +59,14 @@ from .faults import (
     WorkerFailure,
     WorkerFailureError,
 )
-from .worker import LossFn, RankWorker, clone_module, reseed_module_rngs
+from .resilience import AttemptFailure, RetryPolicy, TopologyChange
+from .worker import (
+    LossFn,
+    RankWorker,
+    clone_module,
+    collect_module_rngs,
+    reseed_module_rngs,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
     from ..core.config import TrainingConfig
@@ -130,6 +147,11 @@ class ExecutionEngine(abc.ABC):
             for bucket in self.buckets
             for name in bucket.names
         }
+        # resilience: live topology, retry schedule, and eviction log
+        self.live_ranks: list[int] = list(range(config.world_size))
+        self.topology_events: list[TopologyChange] = []
+        self.retry_policy = RetryPolicy.from_config(config)
+        self._retry_state = self.retry_policy.make_state()
 
     # -- shared helpers ---------------------------------------------------
     def set_lr(self, lr: float) -> None:
@@ -153,12 +175,61 @@ class ExecutionEngine(abc.ABC):
         """
         return self.step_engine.workspace
 
+    @property
+    def reference_worker(self) -> RankWorker:
+        """A live worker whose replica equals every other live replica.
+
+        Rank 0's worker until rank 0 is evicted; evaluation and
+        checkpointing must go through this instead of indexing
+        ``workers[0]`` directly.
+        """
+        return self.workers[self.live_ranks[0]]
+
+    def _shard(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+        """Split the global batch across the live ranks, by rank id."""
+        parts = split_among_ranks(x, y, len(self.live_ranks))
+        return {rank: parts[i] for i, rank in enumerate(self.live_ranks)}
+
+    def _grad_scales(
+        self, shards: dict[int, tuple[np.ndarray, np.ndarray]]
+    ) -> dict[int, float]:
+        """Per-rank gradient reweighting for a degraded collective.
+
+        The step engine divides the aggregated sum by the live world
+        size, which is the exact global-batch mean only when shards are
+        equal.  After an eviction the reshard may be uneven, so each
+        rank's gradient is scaled by ``n_r * K_live / N`` before the
+        exchange — the weighted sum over live ranks divided by
+        ``K_live`` then equals ``sum(n_r * g_r) / N`` exactly.  Scales
+        of exactly 1.0 are omitted (no multiply), so an even reshard
+        stays bit-identical to a fresh run at the smaller world size.
+        Full-topology runs return no scales at all, preserving the
+        historical trajectory byte for byte.
+        """
+        if len(self.live_ranks) == self.world_size:
+            return {}
+        total = sum(shard_x.shape[0] for shard_x, _ in shards.values())
+        if total == 0:
+            return {}
+        live = len(self.live_ranks)
+        scales: dict[int, float] = {}
+        for rank, (shard_x, _) in shards.items():
+            scale = shard_x.shape[0] * live / total
+            if scale != 1.0:
+                scales[rank] = float(scale)
+        return scales
+
     def _exchange_bucket(self, bucket: GradientBucket) -> dict[str, np.ndarray]:
         """Run the collective for one bucket; returns aggregated grads."""
         return self.step_engine.aggregate_bucket(
             list(bucket.names),
             {
-                name: [w.gradient(name) for w in self.workers]
+                name: [
+                    self.workers[rank].gradient(name)
+                    for rank in self.live_ranks
+                ]
                 for name in bucket.names
             },
         )
@@ -190,26 +261,200 @@ class ExecutionEngine(abc.ABC):
 
     def _collect_metrics(self) -> tuple[float, float]:
         """Shard-size-weighted global loss and accuracy of the last step."""
-        total = sum(w.samples for w in self.workers if w.loss is not None)
+        live = [self.workers[rank] for rank in self.live_ranks]
+        total = sum(w.samples for w in live if w.loss is not None)
         if total == 0:
             return float("nan"), float("nan")
         loss = (
-            sum(w.loss * w.samples for w in self.workers if w.loss is not None)
+            sum(w.loss * w.samples for w in live if w.loss is not None)
             / total
         )
         acc = (
             sum(
                 w.accuracy * w.samples
-                for w in self.workers
+                for w in live
                 if w.accuracy is not None
             )
             / total
         )
         return float(loss), float(acc)
 
-    @abc.abstractmethod
+    # -- step driving with recovery ---------------------------------------
     def train_step(self, x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
         """One global minibatch; returns (weighted loss, weighted acc)."""
+        step = self._step_index
+        self._step_index += 1
+        return self._run_step_with_recovery(step, x, y)
+
+    @property
+    def _resilience_active(self) -> bool:
+        return self.retry_policy.enabled or self.config.allow_degraded
+
+    def _run_step_with_recovery(
+        self, step: int, x: np.ndarray, y: np.ndarray
+    ) -> tuple[float, float]:
+        """Drive one step through retry / eviction recovery.
+
+        With resilience off (the defaults) this is a single attempt
+        whose :class:`AttemptFailure` converts straight into the
+        historical ``WorkerFailureError`` — no snapshot is even taken,
+        so the default path costs nothing.
+        """
+        attempts = 0
+        while True:
+            resilient = self._resilience_active
+            snapshot = self._snapshot_step_state() if resilient else None
+            try:
+                return self._attempt_step(step, x, y)
+            except AttemptFailure as attempt:
+                failure = attempt.failure
+                if not resilient:
+                    self._latch_failure(failure)
+                    raise WorkerFailureError(failure) from attempt
+                if attempt.committed:
+                    # the survivors already applied this step's update:
+                    # their state is valid and identical, so never
+                    # rewind — either evict the missing rank and count
+                    # the step as done, or abort the run
+                    self._recover_attempt(attempt)
+                    if self._can_evict(failure):
+                        self._evict_rank(failure, attempts)
+                        return self._collect_metrics()
+                    self._latch_failure(failure)
+                    raise WorkerFailureError(failure) from attempt
+                # drain/cleanup first (threaded workers may still be
+                # inside the aborted attempt), then rewind
+                self._recover_attempt(attempt)
+                self._restore_step_state(snapshot)
+                if attempt.retryable and attempts < self.retry_policy.max_retries:
+                    delay = self._retry_state.backoff_delay(attempts)
+                    attempts += 1
+                    self._retry_state.total_retries += 1
+                    sink = self.tracer.counter_sink
+                    if sink is not None:
+                        sink.count_retry(failure.rank)
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                if self._can_evict(failure):
+                    self._evict_rank(failure, attempts)
+                    attempts = 0
+                    continue
+                self._latch_failure(failure)
+                raise WorkerFailureError(failure) from attempt
+
+    @abc.abstractmethod
+    def _attempt_step(
+        self, step: int, x: np.ndarray, y: np.ndarray
+    ) -> tuple[float, float]:
+        """One attempt of one step; raises :class:`AttemptFailure`."""
+
+    def _snapshot_step_state(self) -> dict:
+        """Capture everything a failed attempt could have consumed.
+
+        Beyond the collective's own state (shared quantization RNG,
+        error-feedback residuals, exchange-side state — covered by
+        ``SynchronousStep.snapshot``), a partially-run attempt also
+        advances the per-rank *module* RNG streams: every rank that got
+        as far as its forward pass drew dropout masks.  Which ranks got
+        that far differs between the engines (the sequential loop stops
+        at the crashing rank; threaded ranks run concurrently), so a
+        retry that did not rewind these streams would break engine
+        parity and bit-identity with the uninterrupted run.
+        """
+        return {
+            "engine": self.step_engine.snapshot(),
+            "module_rngs": {
+                rank: [
+                    copy.deepcopy(gen.bit_generator.state)
+                    for gen in collect_module_rngs(self.workers[rank].model)
+                ]
+                for rank in self.live_ranks
+            },
+        }
+
+    def _restore_step_state(self, snapshot: dict) -> None:
+        """Rewind the collective and per-rank RNG streams to ``snapshot``.
+
+        Only valid for uncommitted attempts — once any rank applied the
+        step, its RNG draws are part of the committed trajectory.
+        """
+        self.step_engine.restore_snapshot(snapshot["engine"])
+        for rank, states in snapshot["module_rngs"].items():
+            if rank not in self.live_ranks:
+                continue
+            for gen, state in zip(
+                collect_module_rngs(self.workers[rank].model), states
+            ):
+                gen.bit_generator.state = copy.deepcopy(state)
+
+    def _recover_attempt(self, attempt: AttemptFailure) -> None:
+        """Engine-specific cleanup between attempts (threads, barriers)."""
+
+    def _latch_failure(self, failure: WorkerFailure) -> None:
+        """Engine-specific terminal-failure bookkeeping."""
+
+    def _on_evict(self, rank: int) -> None:
+        """Engine-specific eviction cleanup (barriers, threads)."""
+
+    def _can_evict(self, failure: WorkerFailure) -> bool:
+        return (
+            self.config.allow_degraded
+            and failure.rank in self.live_ranks
+            and len(self.live_ranks) - 1 >= self.config.min_world_size
+        )
+
+    def _shrink_world(self, rank: int) -> None:
+        """Remove ``rank`` from the live topology and shrink the step."""
+        if rank not in self.live_ranks:
+            raise ValueError(f"rank {rank} is not live")
+        keep = [
+            index
+            for index, live in enumerate(self.live_ranks)
+            if live != rank
+        ]
+        self.live_ranks = [r for r in self.live_ranks if r != rank]
+        self.step_engine = self.step_engine.shrink(
+            keep, self.workers[0].parameters
+        )
+        worker = self.workers[rank]
+        worker.error = None
+        worker.loss = None
+        worker.accuracy = None
+        worker.samples = 0
+        self._on_evict(rank)
+
+    def _evict_rank(self, failure: WorkerFailure, retries: int) -> None:
+        """Evict ``failure.rank`` and record the topology change."""
+        self._shrink_world(failure.rank)
+        self.topology_events.append(
+            TopologyChange(
+                step=failure.step,
+                rank=failure.rank,
+                kind=failure.kind,
+                survivors=tuple(self.live_ranks),
+                retries=retries,
+            )
+        )
+        sink = self.tracer.counter_sink
+        if sink is not None:
+            sink.count_eviction(failure.rank)
+
+    def restore_topology(self, live_ranks: list[int]) -> None:
+        """Re-apply recorded evictions (checkpoint resume).
+
+        Shrinks the freshly-built full-world engine down to the given
+        live set without logging new topology events — the events are
+        already in the resumed ``History``.
+        """
+        target = [int(rank) for rank in live_ranks]
+        for rank in [r for r in self.live_ranks if r not in target]:
+            self._shrink_world(rank)
+        if self.live_ranks != target:
+            raise ValueError(
+                f"cannot restore topology {target} from "
+                f"{self.live_ranks} (order or membership mismatch)"
+            )
 
     def shutdown(self) -> None:
         """Release engine resources (worker threads, if any)."""
@@ -220,31 +465,35 @@ class SequentialEngine(ExecutionEngine):
 
     name = "sequential"
 
-    def train_step(self, x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
-        step = self._step_index
-        self._step_index += 1
+    def _attempt_step(
+        self, step: int, x: np.ndarray, y: np.ndarray
+    ) -> tuple[float, float]:
         tracer = self.tracer
-        shards = split_among_ranks(x, y, self.world_size)
-        for worker, (shard_x, shard_y) in zip(self.workers, shards):
+        shards = self._shard(x, y)
+        scales = self._grad_scales(shards)
+        for rank in self.live_ranks:
+            worker = self.workers[rank]
+            shard_x, shard_y = shards[rank]
             try:
-                self.fault_plan.inject(
-                    worker.rank, step, tracer.counter_sink
-                )
+                self.fault_plan.inject(rank, step, tracer.counter_sink)
             except InjectedCrash as exc:
-                raise WorkerFailureError(
-                    WorkerFailure(worker.rank, step, "crash", str(exc))
+                raise AttemptFailure(
+                    WorkerFailure(rank, step, "crash", str(exc)),
+                    retryable=True,
                 ) from exc
-            with tracer.span("compute", worker.rank):
-                worker.compute(shard_x, shard_y)
+            with tracer.span("compute", rank):
+                worker.compute(
+                    shard_x, shard_y, grad_scale=scales.get(rank)
+                )
             # one thread, one timeline: this rank's upload cannot
             # overlap anything
-            self._pace_transmit(self.per_rank_payload_nbytes, worker.rank)
+            self._pace_transmit(self.per_rank_payload_nbytes, rank)
         aggregated: dict[str, np.ndarray] = {}
         for bucket in self.buckets:
             aggregated.update(self._exchange_bucket(bucket))
-        for worker in self.workers:
-            with tracer.span("compute", worker.rank):
-                worker.apply_updates(aggregated)
+        for rank in self.live_ranks:
+            with tracer.span("compute", rank):
+                self.workers[rank].apply_updates(aggregated)
         return self._collect_metrics()
 
 
@@ -254,15 +503,35 @@ class _StepContext:
     def __init__(
         self,
         step: int,
-        shards: list[tuple[np.ndarray, np.ndarray]],
+        shards: dict[int, tuple[np.ndarray, np.ndarray]],
         tracker: BucketReadiness,
+        grad_scales: dict[int, float] | None = None,
+        participants: list[int] | tuple[int, ...] = (),
     ):
         self.step = step
         self.shards = shards
         self.tracker = tracker
+        self.grad_scales = grad_scales or {}
         self.aggregated: dict[str, np.ndarray] = {}
         self.apply_ready = threading.Event()
         self.abort = False
+        # drain tracking: each participant marks itself done when it is
+        # fully out of this step (applied, aborted, or crashed), so the
+        # coordinator can rewind RNG state without racing live workers
+        self._pending = set(participants)
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+        if not self._pending:
+            self._done.set()
+
+    def mark_done(self, rank: int) -> None:
+        with self._lock:
+            self._pending.discard(rank)
+            if not self._pending:
+                self._done.set()
+
+    def wait_done(self, timeout: float | None = None) -> bool:
+        return self._done.wait(timeout)
 
 
 class ThreadedEngine(ExecutionEngine):
@@ -289,6 +558,7 @@ class ThreadedEngine(ExecutionEngine):
             self.world_size + 1, timeout=config.barrier_timeout
         )
         self._failure: WorkerFailure | None = None
+        self._active_ctx: _StepContext | None = None
         self._threads = [
             threading.Thread(
                 target=self._worker_loop,
@@ -310,30 +580,39 @@ class ThreadedEngine(ExecutionEngine):
                 return
             tracer = self.tracer
             try:
-                self.fault_plan.inject(rank, ctx.step, tracer.counter_sink)
-                shard_x, shard_y = ctx.shards[rank]
-                # bucket transfers run inside the readiness hook, so on
-                # this engine transfer spans nest within the compute
-                # span (the overlap the engine exists to create)
-                with tracer.span("compute", rank):
-                    worker.compute(
-                        shard_x,
-                        shard_y,
-                        on_ready=self._paced_hook(rank, ctx),
+                try:
+                    self.fault_plan.inject(
+                        rank, ctx.step, tracer.counter_sink
                     )
-            except BaseException as exc:  # noqa: BLE001 - surfaced to main
-                worker.error = exc
-                ctx.tracker.mark_dead(rank)
-                continue
-            self._timed_wait(ctx.apply_ready.wait, rank)
-            if ctx.abort:
-                continue
-            with tracer.span("compute", rank):
-                worker.apply_updates(ctx.aggregated)
-            try:
-                self._timed_wait(lambda: self._end_barrier.wait(rank), rank)
-            except BarrierTimeout:
-                continue
+                    shard_x, shard_y = ctx.shards[rank]
+                    # bucket transfers run inside the readiness hook,
+                    # so on this engine transfer spans nest within the
+                    # compute span (the overlap the engine exists to
+                    # create)
+                    with tracer.span("compute", rank):
+                        worker.compute(
+                            shard_x,
+                            shard_y,
+                            on_ready=self._paced_hook(rank, ctx),
+                            grad_scale=ctx.grad_scales.get(rank),
+                        )
+                except BaseException as exc:  # noqa: BLE001 - to main
+                    worker.error = exc
+                    ctx.tracker.mark_dead(rank)
+                    continue
+                self._timed_wait(ctx.apply_ready.wait, rank)
+                if ctx.abort:
+                    continue
+                with tracer.span("compute", rank):
+                    worker.apply_updates(ctx.aggregated)
+                try:
+                    self._timed_wait(
+                        lambda: self._end_barrier.wait(rank), rank
+                    )
+                except BarrierTimeout:
+                    continue
+            finally:
+                ctx.mark_done(rank)
 
     def _paced_hook(self, rank: int, ctx: _StepContext):
         """Per-step readiness hook: transmit a bucket, then announce it.
@@ -364,14 +643,23 @@ class ThreadedEngine(ExecutionEngine):
     def train_step(self, x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
         if self._failure is not None:
             raise WorkerFailureError(self._failure)
-        step = self._step_index
-        self._step_index += 1
+        return super().train_step(x, y)
+
+    def _attempt_step(
+        self, step: int, x: np.ndarray, y: np.ndarray
+    ) -> tuple[float, float]:
+        shards = self._shard(x, y)
         ctx = _StepContext(
             step,
-            split_among_ranks(x, y, self.world_size),
-            BucketReadiness(self.buckets, self.world_size),
+            shards,
+            BucketReadiness(
+                self.buckets, self.world_size, live_ranks=self.live_ranks
+            ),
+            grad_scales=self._grad_scales(shards),
+            participants=self.live_ranks,
         )
-        for rank in range(self.world_size):
+        self._active_ctx = ctx
+        for rank in self.live_ranks:
             self._inbox[rank].put(ctx)
         try:
             for bucket in self.buckets:
@@ -391,8 +679,10 @@ class ThreadedEngine(ExecutionEngine):
                 kind="timeout",
                 message=str(timeout),
             )
-            self._abort(ctx, failure)
-            raise WorkerFailureError(failure) from timeout
+            # nobody applied anything yet: release the workers and let
+            # the recovery loop decide (retry, evict, or abort)
+            self._abort(ctx)
+            raise AttemptFailure(failure, retryable=True) from timeout
         ctx.apply_ready.set()
         try:
             self._timed_wait(
@@ -405,8 +695,11 @@ class ThreadedEngine(ExecutionEngine):
                 kind="timeout",
                 message=str(timeout),
             )
-            self._failure = failure
-            raise WorkerFailureError(failure) from timeout
+            # the ranks that did reach the barrier already applied the
+            # update — the step is committed for the survivors
+            raise AttemptFailure(
+                failure, retryable=False, committed=True
+            ) from timeout
         return self._collect_metrics()
 
     def _raise_worker_errors(self, ctx: _StepContext, dead: list[int]) -> None:
@@ -417,7 +710,7 @@ class ThreadedEngine(ExecutionEngine):
                 # a real compute error (e.g. divergence) propagates
                 # with its original type, exactly as the sequential
                 # engine raises it from the rank loop
-                self._abort(ctx, failure=None)
+                self._abort(ctx)
                 self.workers[rank].error = None
                 raise error
         rank = dead[0]
@@ -428,17 +721,44 @@ class ThreadedEngine(ExecutionEngine):
             kind="crash",
             message=str(error) if error is not None else "rank died",
         )
-        self._abort(ctx, failure)
-        raise WorkerFailureError(failure)
+        self._abort(ctx)
+        raise AttemptFailure(failure, retryable=True)
 
-    def _abort(
-        self, ctx: _StepContext, failure: WorkerFailure | None
-    ) -> None:
+    def _abort(self, ctx: _StepContext) -> None:
         """Release every worker from the step without applying updates."""
         ctx.abort = True
         ctx.apply_ready.set()
-        if failure is not None:
-            self._failure = failure
+
+    def _latch_failure(self, failure: WorkerFailure) -> None:
+        # a terminally-failed threaded engine refuses further steps
+        self._failure = failure
+
+    def _recover_attempt(self, attempt: AttemptFailure) -> None:
+        # drain first: workers still inside the aborted attempt may be
+        # consuming their module RNG streams, and the rewind in
+        # ``_restore_step_state`` must not race them.  Committed steps
+        # are never rewound (and the missing rank may be stuck
+        # arbitrarily long), so no drain there.
+        ctx = self._active_ctx
+        if ctx is not None and not attempt.committed:
+            self._timed_wait(
+                lambda: ctx.wait_done(timeout=self.config.barrier_timeout),
+                COORDINATOR,
+            )
+        # clear injected-crash residue so the next attempt (or the
+        # degraded collective) starts clean; real errors never reach
+        # here — they propagate with their original type
+        for rank in self.live_ranks:
+            self.workers[rank].error = None
+        if self._end_barrier.broken:
+            self._end_barrier.reset()
+
+    def _on_evict(self, rank: int) -> None:
+        # the evicted rank no longer participates in the end-of-step
+        # rendezvous, and its thread is told to exit (the sentinel
+        # queues behind any step context it is still draining)
+        self._end_barrier.deregister(rank)
+        self._inbox[rank].put(None)
 
     def shutdown(self) -> None:
         for rank in range(self.world_size):

@@ -78,12 +78,22 @@ class FaultPlan:
         crash_rank / crash_step: the given rank raises
             :class:`InjectedCrash` at the given global step; ``None``
             disables crash injection.
+        crash_transient: a transient crash fires only on the *first*
+            execution of its (rank, step) — a retried attempt of the
+            same step succeeds, modelling a recoverable glitch.  A
+            persistent crash (the default) re-fires on every attempt,
+            so only eviction or abort resolves it.
     """
 
     straggler_ranks: tuple[int, ...] = ()
     straggler_delay: float = 0.0
     crash_rank: int | None = None
     crash_step: int | None = None
+    crash_transient: bool = False
+
+    def __post_init__(self) -> None:
+        # frozen dataclass: the fired-set is bookkeeping, not identity
+        object.__setattr__(self, "_fired", set())
 
     @classmethod
     def from_config(cls, config) -> "FaultPlan":
@@ -93,6 +103,7 @@ class FaultPlan:
             straggler_delay=config.straggler_delay,
             crash_rank=config.crash_rank,
             crash_step=config.crash_step,
+            crash_transient=getattr(config, "crash_transient", False),
         )
 
     @property
@@ -110,11 +121,17 @@ class FaultPlan:
         return 0.0
 
     def should_crash(self, rank: int, step: int) -> bool:
-        return (
-            self.crash_rank is not None
-            and rank == self.crash_rank
-            and (self.crash_step is None or step == self.crash_step)
-        )
+        if (
+            self.crash_rank is None
+            or rank != self.crash_rank
+            or (self.crash_step is not None and step != self.crash_step)
+        ):
+            return False
+        if self.crash_transient:
+            if (rank, step) in self._fired:
+                return False
+            self._fired.add((rank, step))
+        return True
 
     def inject(self, rank: int, step: int, counters=None) -> None:
         """Apply the plan at the top of one rank's compute phase.

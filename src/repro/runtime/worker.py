@@ -24,7 +24,12 @@ from ..nn.loss import accuracy as _accuracy
 from ..nn.module import Module, Parameter, Sequential
 from ..optim import Sgd
 
-__all__ = ["RankWorker", "clone_module", "reseed_module_rngs"]
+__all__ = [
+    "RankWorker",
+    "clone_module",
+    "collect_module_rngs",
+    "reseed_module_rngs",
+]
 
 LossFn = Callable[[np.ndarray, np.ndarray], tuple[float, np.ndarray]]
 ReadyHook = Callable[[Iterable[str]], None]
@@ -71,6 +76,31 @@ def reseed_module_rngs(module: Module, seed: int, rank: int) -> int:
     return counter
 
 
+def collect_module_rngs(module: Module) -> list[np.random.Generator]:
+    """Every RNG inside ``module``, in the reseeding walk's order.
+
+    The traversal mirrors :func:`reseed_module_rngs` exactly, so the
+    list positions line up with that function's ``(seed, rank,
+    position)`` streams — which is what lets a checkpoint capture and
+    restore per-rank RNG state positionally.
+    """
+    found: list[np.random.Generator] = []
+
+    def visit(node: object) -> None:
+        if isinstance(node, Module):
+            for value in vars(node).values():
+                if isinstance(value, np.random.Generator):
+                    found.append(value)
+                else:
+                    visit(value)
+        elif isinstance(node, (list, tuple)):
+            for item in node:
+                visit(item)
+
+    visit(module)
+    return found
+
+
 class RankWorker:
     """State and per-step compute of one simulated rank.
 
@@ -114,6 +144,7 @@ class RankWorker:
         x: np.ndarray,
         y: np.ndarray,
         on_ready: ReadyHook | None = None,
+        grad_scale: float | None = None,
     ) -> None:
         """Forward/backward on this rank's shard of the global batch.
 
@@ -122,6 +153,10 @@ class RankWorker:
         order), enabling bucketed exchange to overlap with the rest of
         the backward pass.  Gradients are left in each parameter's
         ``grad`` buffer; an empty shard yields zero gradients.
+
+        ``grad_scale`` multiplies every gradient before it is
+        announced — a degraded collective reweights uneven shards this
+        way so the aggregated mean stays the exact global-batch mean.
         """
         self.loss = None
         self.accuracy = None
@@ -141,30 +176,43 @@ class RankWorker:
             )
         self.loss = float(loss)
         self.accuracy = float(_accuracy(logits, y))
-        self._backward(dlogits, on_ready)
+        self._backward(dlogits, on_ready, grad_scale)
 
     def _backward(
-        self, dlogits: np.ndarray, on_ready: ReadyHook | None
+        self,
+        dlogits: np.ndarray,
+        on_ready: ReadyHook | None,
+        grad_scale: float | None = None,
     ) -> None:
         """Backward pass, announcing gradient readiness layer by layer.
 
         For :class:`Sequential` models each top-level layer (including
         composite blocks) is announced as soon as its backward
-        completes; other model classes are announced wholesale.
+        completes; other model classes are announced wholesale.  Any
+        ``grad_scale`` is applied to a layer's gradients *before* the
+        layer is announced, so overlapped exchanges always consume
+        scaled gradients.
         """
-        if on_ready is None:
+        if on_ready is None and grad_scale is None:
             self.model.backward(dlogits)
             return
         if isinstance(self.model, Sequential):
             dout = dlogits
             for layer in reversed(self.model.layers):
                 dout = layer.backward(dout)
-                names = [p.name for p in layer.parameters()]
-                if names:
-                    on_ready(names)
+                params = layer.parameters()
+                if grad_scale is not None:
+                    for param in params:
+                        param.grad *= grad_scale
+                if params and on_ready is not None:
+                    on_ready([p.name for p in params])
         else:
             self.model.backward(dlogits)
-            on_ready([p.name for p in self.parameters])
+            if grad_scale is not None:
+                for param in self.parameters:
+                    param.grad *= grad_scale
+            if on_ready is not None:
+                on_ready([p.name for p in self.parameters])
 
     # -- update phase -----------------------------------------------------
     def apply_updates(self, aggregated: dict[str, np.ndarray]) -> None:

@@ -73,6 +73,10 @@ class Counters:
         barrier_wait_seconds: time ranks (and the coordinator) spent
             blocked on step barriers and bucket rendezvous.
         straggler_stall_seconds: injected straggler delay actually slept.
+        retries_total: failed step attempts that were re-tried by the
+            resilience layer (see :mod:`repro.runtime.resilience`).
+        evicted_ranks: ranks removed from the collective after
+            exhausting their retries, in eviction order.
     """
 
     def __init__(self) -> None:
@@ -83,6 +87,9 @@ class Counters:
         self.decoded_bytes = 0
         self.barrier_wait_seconds = 0.0
         self.straggler_stall_seconds = 0.0
+        self.retries_total = 0
+        self.evicted_ranks: list[int] = []
+        self._retries_by: dict[int, int] = defaultdict(int)
         self._sent_by: dict[int, int] = defaultdict(int)
         self._received_by: dict[int, int] = defaultdict(int)
 
@@ -129,6 +136,23 @@ class Counters:
         with self._lock:
             self.straggler_stall_seconds += seconds
 
+    # -- resilience -------------------------------------------------------
+    def count_retry(self, rank: int) -> None:
+        """Record one re-attempted step after ``rank`` failed."""
+        with self._lock:
+            self.retries_total += 1
+            self._retries_by[rank] += 1
+
+    def count_eviction(self, rank: int) -> None:
+        """Record ``rank`` leaving the collective for good."""
+        with self._lock:
+            self.evicted_ranks.append(rank)
+
+    def retries(self, rank: int) -> int:
+        """Retries attributed to failures of rank ``rank``."""
+        with self._lock:
+            return self._retries_by.get(rank, 0)
+
     def to_dict(self) -> dict:
         """JSON-friendly snapshot of every counter."""
         with self._lock:
@@ -142,6 +166,9 @@ class Counters:
                 "decoded_bytes": self.decoded_bytes,
                 "barrier_wait_seconds": self.barrier_wait_seconds,
                 "straggler_stall_seconds": self.straggler_stall_seconds,
+                "retries_total": self.retries_total,
+                "retries_by_rank": dict(self._retries_by),
+                "evicted_ranks": list(self.evicted_ranks),
             }
 
 

@@ -1,0 +1,296 @@
+"""Deterministic checkpoint/resume: atomicity, round-trips, bit-identity.
+
+The invariant under test: a run checkpointed at step N and resumed
+produces *exactly* the history and weights of the uninterrupted run —
+including the error-feedback schemes whose per-rank residuals are part
+of the trajectory, and across an engine switch at the resume point.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CheckpointPolicy,
+    ParallelTrainer,
+    TrainingConfig,
+    latest_checkpoint,
+    save_checkpoint,
+)
+from repro.core.checkpoint import TrainingCheckpoint, config_from_dict
+from repro.data import make_image_dataset
+from repro.models import tiny_alexnet
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_image_dataset(
+        num_classes=4,
+        train_samples=48,
+        test_samples=24,
+        image_size=8,
+        noise=0.8,
+        seed=0,
+    )
+
+
+def make_config(**kw):
+    defaults = dict(
+        scheme="1bit",
+        exchange="mpi",
+        world_size=2,
+        batch_size=16,
+        lr=0.05,
+        seed=3,
+        engine="sequential",
+    )
+    defaults.update(kw)
+    return TrainingConfig(**defaults)
+
+
+def make_trainer(**kw):
+    return ParallelTrainer(
+        tiny_alexnet(num_classes=4, image_size=8, seed=1), make_config(**kw)
+    )
+
+
+def fit(trainer, dataset, epochs, **kw):
+    return trainer.fit(
+        dataset.train_x,
+        dataset.train_y,
+        dataset.test_x,
+        dataset.test_y,
+        epochs=epochs,
+        **kw,
+    )
+
+
+def weights_of(trainer):
+    return {
+        p.name: p.data.copy()
+        for p in trainer.engine.reference_worker.parameters
+    }
+
+
+def assert_same_run(history_a, weights_a, history_b, weights_b):
+    assert history_a.digest() == history_b.digest()
+    for name, data in weights_a.items():
+        assert np.array_equal(data, weights_b[name]), (
+            f"parameter {name} not bit-identical"
+        )
+
+
+class TestCheckpointFiles:
+    def test_save_is_atomic_no_tmp_left_behind(self, dataset, tmp_path):
+        with make_trainer() as trainer:
+            fit(
+                trainer,
+                dataset,
+                epochs=1,
+                checkpoint=CheckpointPolicy(directory=tmp_path),
+            )
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["ckpt-00000003.npz"]
+        assert not any(n.endswith(".tmp") for n in names)
+
+    def test_epoch_boundary_names_carry_step(self, dataset, tmp_path):
+        # 48 samples / (batch 16) = 3 steps per epoch
+        with make_trainer() as trainer:
+            fit(
+                trainer,
+                dataset,
+                epochs=2,
+                checkpoint=CheckpointPolicy(directory=tmp_path),
+            )
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["ckpt-00000003.npz", "ckpt-00000006.npz"]
+
+    def test_pruning_keeps_most_recent(self, dataset, tmp_path):
+        policy = CheckpointPolicy(directory=tmp_path, every_steps=1, keep=2)
+        with make_trainer() as trainer:
+            fit(trainer, dataset, epochs=2, checkpoint=policy)
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["ckpt-00000005.npz", "ckpt-00000006.npz"]
+
+    def test_latest_checkpoint_picks_highest_step(self, tmp_path):
+        assert latest_checkpoint(tmp_path) is None
+        for step in (3, 12, 7):
+            (tmp_path / f"ckpt-{step:08d}.npz").write_bytes(b"x")
+        (tmp_path / "notes.txt").write_bytes(b"x")
+        found = latest_checkpoint(tmp_path)
+        assert found is not None and found.name == "ckpt-00000012.npz"
+
+    def test_load_rejects_future_format(self, dataset, tmp_path):
+        with make_trainer() as trainer:
+            fit(
+                trainer,
+                dataset,
+                epochs=1,
+                checkpoint=CheckpointPolicy(directory=tmp_path),
+            )
+        path = latest_checkpoint(tmp_path)
+        ckpt = TrainingCheckpoint.load(path)
+        ckpt.meta["version"] = 999
+        bad = tmp_path / "bad.npz"
+        ckpt.save(bad)
+        with pytest.raises(ValueError, match="version"):
+            TrainingCheckpoint.load(bad)
+
+    def test_meta_is_plain_json(self, dataset, tmp_path):
+        with make_trainer() as trainer:
+            fit(
+                trainer,
+                dataset,
+                epochs=1,
+                checkpoint=CheckpointPolicy(directory=tmp_path),
+            )
+        ckpt = TrainingCheckpoint.load(latest_checkpoint(tmp_path))
+        # round-trips through json without numpy leakage
+        meta = json.loads(json.dumps(ckpt.meta))
+        assert meta["step"] == 3
+        assert config_from_dict(meta["config"]).scheme == "1bit"
+
+    def test_policy_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="every_steps"):
+            CheckpointPolicy(directory=tmp_path, every_steps=0)
+        with pytest.raises(ValueError, match="every_epochs"):
+            CheckpointPolicy(directory=tmp_path, every_epochs=0)
+        with pytest.raises(ValueError, match="keep"):
+            CheckpointPolicy(directory=tmp_path, keep=0)
+
+    def test_identity_mismatch_rejected(self, dataset, tmp_path):
+        with make_trainer() as trainer:
+            fit(
+                trainer,
+                dataset,
+                epochs=1,
+                checkpoint=CheckpointPolicy(directory=tmp_path),
+            )
+        path = latest_checkpoint(tmp_path)
+        with make_trainer(scheme="qsgd4") as other:
+            with pytest.raises(ValueError, match="scheme"):
+                fit(other, dataset, epochs=2, resume_from=path)
+
+
+class TestBitIdenticalResume:
+    GRID = [
+        ("32bit", "mpi", "sequential"),
+        ("1bit", "mpi", "sequential"),
+        ("1bit", "mpi", "threaded"),
+        ("1bit*", "nccl", "sequential"),
+        ("1bit*", "mpi", "threaded"),
+        ("qsgd4", "nccl", "threaded"),
+        ("qsgd4", "alltoall", "sequential"),
+    ]
+
+    @pytest.mark.parametrize("scheme,exchange,engine", GRID)
+    def test_resume_matches_uninterrupted(
+        self, dataset, tmp_path, scheme, exchange, engine
+    ):
+        kw = dict(scheme=scheme, exchange=exchange, engine=engine)
+        with make_trainer(**kw) as trainer:
+            reference = fit(trainer, dataset, epochs=3)
+            ref_weights = weights_of(trainer)
+        with make_trainer(**kw) as trainer:
+            fit(
+                trainer,
+                dataset,
+                epochs=2,
+                checkpoint=CheckpointPolicy(directory=tmp_path),
+            )
+        path = latest_checkpoint(tmp_path)
+        with make_trainer(**kw) as trainer:
+            resumed = fit(trainer, dataset, epochs=3, resume_from=path)
+            res_weights = weights_of(trainer)
+        assert_same_run(reference, ref_weights, resumed, res_weights)
+
+    def test_error_feedback_residuals_round_trip(self, dataset, tmp_path):
+        # 1bit's per-rank residuals are trajectory state: dropping them
+        # at the resume point would visibly change every later step
+        kw = dict(scheme="1bit", exchange="mpi")
+        with make_trainer(**kw) as trainer:
+            fit(
+                trainer,
+                dataset,
+                epochs=1,
+                checkpoint=CheckpointPolicy(directory=tmp_path),
+            )
+            live_residuals = [
+                {k: v.copy() for k, v in rank_res.items()}
+                for rank_res in trainer.step_engine._residuals
+            ]
+        ckpt = TrainingCheckpoint.load(latest_checkpoint(tmp_path))
+        with make_trainer(**kw) as trainer:
+            ckpt.restore(trainer)
+            restored = trainer.step_engine._residuals
+            assert len(restored) == len(live_residuals)
+            for saved, loaded in zip(live_residuals, restored):
+                assert saved.keys() == loaded.keys()
+                nonzero = 0
+                for name in saved:
+                    assert np.array_equal(saved[name], loaded[name])
+                    nonzero += int(np.any(saved[name]))
+                assert nonzero > 0, "residuals were all zero — not a test"
+
+    def test_mid_epoch_resume_is_bit_identical(self, dataset, tmp_path):
+        kw = dict(scheme="1bit", exchange="mpi")
+        with make_trainer(**kw) as trainer:
+            reference = fit(trainer, dataset, epochs=2)
+            ref_weights = weights_of(trainer)
+        # checkpoint after every step; resume from step 4 = mid-epoch 1
+        with make_trainer(**kw) as trainer:
+            fit(
+                trainer,
+                dataset,
+                epochs=2,
+                checkpoint=CheckpointPolicy(
+                    directory=tmp_path, every_steps=1, keep=None,
+                    every_epochs=None,
+                ),
+            )
+        path = tmp_path / "ckpt-00000004.npz"
+        assert path.exists()
+        ckpt = TrainingCheckpoint.load(path)
+        assert ckpt.epoch == 1 and ckpt.batches_done == 1
+        with make_trainer(**kw) as trainer:
+            resumed = fit(trainer, dataset, epochs=2, resume_from=ckpt)
+            res_weights = weights_of(trainer)
+        assert_same_run(reference, ref_weights, resumed, res_weights)
+
+    def test_cross_engine_resume(self, dataset, tmp_path):
+        # the engine is not an identity field: a sequential checkpoint
+        # resumed on the threaded engine continues the same trajectory
+        kw = dict(scheme="1bit*", exchange="mpi")
+        with make_trainer(engine="sequential", **kw) as trainer:
+            reference = fit(trainer, dataset, epochs=3)
+            ref_weights = weights_of(trainer)
+        with make_trainer(engine="sequential", **kw) as trainer:
+            fit(
+                trainer,
+                dataset,
+                epochs=2,
+                checkpoint=CheckpointPolicy(directory=tmp_path),
+            )
+        path = latest_checkpoint(tmp_path)
+        with make_trainer(engine="threaded", **kw) as trainer:
+            resumed = fit(trainer, dataset, epochs=3, resume_from=path)
+            res_weights = weights_of(trainer)
+        assert_same_run(reference, ref_weights, resumed, res_weights)
+
+    def test_resumed_history_contains_prior_epochs(self, dataset, tmp_path):
+        with make_trainer() as trainer:
+            fit(
+                trainer,
+                dataset,
+                epochs=2,
+                checkpoint=CheckpointPolicy(directory=tmp_path),
+            )
+        with make_trainer() as trainer:
+            resumed = fit(
+                trainer,
+                dataset,
+                epochs=3,
+                resume_from=latest_checkpoint(tmp_path),
+            )
+        assert [m.epoch for m in resumed.epochs] == [0, 1, 2]

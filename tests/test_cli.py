@@ -93,6 +93,107 @@ class TestTrainCommand:
         err = capsys.readouterr().err
         assert "rank 1 crash at step 0" in err
 
+    def test_transient_crash_retried_to_success(self, capsys):
+        code = main(
+            self.ARGS
+            + [
+                "--world-size", "2",
+                "--crash-rank", "1",
+                "--crash-step", "1",
+                "--crash-transient",
+                "--max-retries", "2",
+                "--retry-backoff", "0",
+            ]
+        )
+        assert code == 0
+        assert "final test accuracy" in capsys.readouterr().out
+
+    def test_degraded_run_reports_eviction(self, capsys):
+        code = main(
+            self.ARGS
+            + [
+                "--world-size", "3",
+                "--batch-size", "18",
+                "--crash-rank", "1",
+                "--crash-step", "0",
+                "--max-retries", "0",
+                "--retry-backoff", "0",
+                "--allow-degraded",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DEGRADED: rank 1 evicted at step 0" in out
+        assert "continuing on ranks [0,2]" in out
+
+
+class TestResumeCommand:
+    def digest_of(self, out):
+        import re
+
+        return re.search(r"history digest: ([0-9a-f]{64})", out).group(1)
+
+    def train_args(self, *extra):
+        return [
+            "train",
+            "--scheme", "1bit",
+            "--epochs", "2",
+            "--train-samples", "32",
+            "--test-samples", "16",
+            "--batch-size", "16",
+            "--world-size", "2",
+            "--seed", "3",
+            *extra,
+        ]
+
+    def test_crash_checkpoint_resume_is_bit_identical(
+        self, capsys, tmp_path
+    ):
+        # the CI resilience job in miniature: uninterrupted reference,
+        # a run killed mid-epoch, and a resume that must converge to
+        # the exact same history digest
+        assert main(self.train_args()) == 0
+        reference = self.digest_of(capsys.readouterr().out)
+
+        code = main(
+            self.train_args(
+                "--crash-rank", "1",
+                "--crash-step", "3",
+                "--checkpoint-dir", str(tmp_path),
+                "--checkpoint-every-steps", "1",
+            )
+        )
+        assert code == 1
+        capsys.readouterr()
+
+        assert main(["resume", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "resuming" in out
+        assert self.digest_of(out) == reference
+
+    def test_resume_can_switch_engine(self, capsys, tmp_path):
+        assert main(self.train_args()) == 0
+        reference = self.digest_of(capsys.readouterr().out)
+        assert main(
+            self.train_args(
+                "--epochs", "1", "--checkpoint-dir", str(tmp_path)
+            )
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "resume", str(tmp_path),
+                "--epochs", "2",
+                "--engine", "threaded",
+            ]
+        )
+        assert code == 0
+        assert self.digest_of(capsys.readouterr().out) == reference
+
+    def test_resume_empty_directory_rejected(self, capsys, tmp_path):
+        assert main(["resume", str(tmp_path)]) == 2
+        assert "no ckpt-*.npz" in capsys.readouterr().err
+
 
 class TestTrace:
     def args(self, tmp_path, *extra):
