@@ -5,7 +5,8 @@ Commands:
 * ``list`` — show every registered experiment (one per paper figure);
 * ``run <exp-id>...`` — regenerate specific tables/figures;
 * ``train`` — train a zoo model end-to-end on synthetic data, with
-  ``--engine sequential|threaded`` selecting the execution engine,
+  ``--engine sequential|threaded|process`` selecting the execution
+  engine (``--ipc shm`` picks the process engine's transport),
   optional straggler/crash fault injection, retry/degradation policy
   (``--max-retries``, ``--allow-degraded``), and periodic
   checkpointing (``--checkpoint-dir``);
@@ -31,6 +32,7 @@ from pathlib import Path
 
 from .comm import EXCHANGE_NAMES
 from .core import (
+    IPC_NAMES,
     CheckpointPolicy,
     ParallelTrainer,
     TrainingCheckpoint,
@@ -151,6 +153,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
             lr=args.lr,
             seed=args.seed,
             engine=args.engine,
+            ipc=args.ipc,
             link_gbps=args.link_gbps,
             barrier_timeout=args.barrier_timeout,
             straggler_ranks=tuple(args.straggler_ranks),
@@ -437,8 +440,16 @@ def build_parser() -> argparse.ArgumentParser:
         default="sequential",
         choices=ENGINE_NAMES,
         help="execution engine; 'threaded' runs one worker thread per "
-        "rank with overlapped bucketed exchange (bit-identical to "
-        "'sequential')",
+        "rank with overlapped bucketed exchange, 'process' one OS "
+        "process per rank with shared-memory exchange (all three are "
+        "bit-identical)",
+    )
+    train.add_argument(
+        "--ipc",
+        default="shm",
+        choices=IPC_NAMES,
+        help="gradient transport of the process engine (ignored by "
+        "the in-process engines)",
     )
     train.add_argument("--world-size", type=int, default=2)
     train.add_argument("--batch-size", type=int, default=32)
@@ -517,7 +528,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     resume.add_argument(
         "--engine", default=None, choices=ENGINE_NAMES,
-        help="override the engine (legal: both are bit-identical)",
+        help="override the engine (legal: all engines are "
+        "bit-identical)",
     )
     resume.add_argument(
         "--keep-faults", action="store_true",

@@ -7,7 +7,7 @@ from .checkpoint import (
     latest_checkpoint,
     save_checkpoint,
 )
-from .config import TrainingConfig
+from .config import IPC_NAMES, TrainingConfig
 from .metrics import EpochMetrics, History
 from .trainer import ParallelTrainer
 
@@ -18,6 +18,7 @@ __all__ = [
     "latest_checkpoint",
     "save_checkpoint",
     "TrainingConfig",
+    "IPC_NAMES",
     "EpochMetrics",
     "History",
     "ParallelTrainer",

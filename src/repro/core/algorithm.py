@@ -252,6 +252,7 @@ class SynchronousStep:
             straggler_ranks=(),
             crash_rank=None,
             crash_step=None,
+            kill_points=(),
         )
         shrunk = SynchronousStep(config, parameters)
         shrunk.rng.bit_generator.state = copy.deepcopy(

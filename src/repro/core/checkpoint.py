@@ -90,6 +90,11 @@ def config_from_dict(record: dict) -> TrainingConfig:
     for key in ("straggler_ranks", "quantize_kinds"):
         if kwargs.get(key) is not None:
             kwargs[key] = tuple(kwargs[key])
+    if kwargs.get("kill_points") is not None:
+        # nested pairs serialize as lists-of-lists
+        kwargs["kill_points"] = tuple(
+            tuple(point) for point in kwargs["kill_points"]
+        )
     return TrainingConfig(**kwargs)
 
 
@@ -317,6 +322,9 @@ class TrainingCheckpoint:
             }
         )
         engine._step_index = self.step
+        # let the engine resync any state held outside the coordinator
+        # (the process engine respawns its workers from the replicas)
+        engine.on_state_restored()
 
     # -- disk -------------------------------------------------------------
     def save(self, path: str | os.PathLike) -> Path:

@@ -8,7 +8,10 @@ from ..comm import EXCHANGE_NAMES
 from ..quantization import SCHEME_NAMES
 from ..runtime.engine import ENGINE_NAMES
 
-__all__ = ["TrainingConfig", "ENGINE_NAMES"]
+__all__ = ["TrainingConfig", "ENGINE_NAMES", "IPC_NAMES"]
+
+#: gradient transports of the process engine
+IPC_NAMES = ("shm",)
 
 
 @dataclass
@@ -37,8 +40,13 @@ class TrainingConfig:
         passthrough_coverage: fraction of parameters that must stay
             quantized when choosing the small-matrix threshold.
         norm / variant: QSGD scaling and level-layout options.
-        engine: execution engine ("sequential" rank loop or
-            "threaded" worker-per-rank; bit-identical trajectories).
+        engine: execution engine ("sequential" rank loop, "threaded"
+            worker-per-rank, or "process" OS-process-per-rank;
+            bit-identical trajectories).
+        ipc: gradient transport of the process engine; "shm" (the only
+            implementation) exchanges through a zero-copy
+            ``multiprocessing.shared_memory`` arena.  Ignored by the
+            in-process engines.
         comm_bucket_bytes: coalescing cap for the runtime's gradient
             buckets (distinct from the quantizer's ``bucket_size``,
             which is an element-count wire-format knob).
@@ -58,6 +66,14 @@ class TrainingConfig:
         crash_transient: the injected crash fires only on the first
             attempt of its step, so a retried step succeeds (models a
             recoverable glitch); ``False`` re-fires every attempt.
+        kill_points: ``(rank, step)`` pairs at which the worker is
+            killed outright.  Under the process engine the rank
+            SIGKILLs itself mid-step — a real process death, not an
+            exception; the in-process engines degrade each point to an
+            injected crash so a grid cell keeps one meaning
+            everywhere.  Kills fire once (a retried or respawned
+            attempt proceeds), so they are always recoverable with
+            ``max_retries >= 1``.
         max_retries: re-attempts allowed per failed step (crash or
             missed bucket rendezvous) before the failure escalates;
             0 (the default) preserves the historical fail-fast
@@ -103,6 +119,7 @@ class TrainingConfig:
     quantize_kinds: tuple[str, ...] | None = None
     # runtime execution (see repro.runtime)
     engine: str = "sequential"
+    ipc: str = "shm"
     comm_bucket_bytes: int = 1 << 16
     barrier_timeout: float = 30.0
     link_gbps: float | None = None
@@ -111,6 +128,7 @@ class TrainingConfig:
     crash_rank: int | None = None
     crash_step: int | None = None
     crash_transient: bool = False
+    kill_points: tuple[tuple[int, int], ...] = ()
     # resilience (see repro.runtime.resilience)
     max_retries: int = 0
     retry_backoff: float = 0.05
@@ -147,6 +165,10 @@ class TrainingConfig:
                 f"unknown engine {self.engine!r}; expected one of "
                 f"{ENGINE_NAMES}"
             )
+        if self.ipc not in IPC_NAMES:
+            raise ValueError(
+                f"unknown ipc {self.ipc!r}; expected one of {IPC_NAMES}"
+            )
         if self.comm_bucket_bytes < 1:
             raise ValueError(
                 f"comm_bucket_bytes must be >= 1, got "
@@ -177,6 +199,21 @@ class TrainingConfig:
                 f"crash_rank {self.crash_rank} outside world of "
                 f"{self.world_size}"
             )
+        for point in self.kill_points:
+            if len(point) != 2:
+                raise ValueError(
+                    f"kill point {point!r} must be a (rank, step) pair"
+                )
+            rank, step = point
+            if not 0 <= rank < self.world_size:
+                raise ValueError(
+                    f"kill point rank {rank} outside world of "
+                    f"{self.world_size}"
+                )
+            if step < 0:
+                raise ValueError(
+                    f"kill point step must be >= 0, got {step}"
+                )
         if self.max_retries < 0:
             raise ValueError(
                 f"max_retries must be >= 0, got {self.max_retries}"

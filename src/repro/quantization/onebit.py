@@ -195,7 +195,10 @@ class OneBitSgd(Quantizer):
     ) -> EncodedTensor:
         grad = np.asarray(grad, dtype=np.float32)
         rows = grad.shape[0] if grad.ndim else 1
-        matrix = grad.reshape(rows, -1)
+        # explicit column count: reshape(rows, -1) cannot infer a
+        # dimension when the tensor is empty
+        cols = grad.size // rows if rows else 0
+        matrix = grad.reshape(rows, cols)
         # groups are the matrix columns: one (avg+, avg-) pair per column
         avg_pos, avg_neg, words = encode_groups_into(
             matrix.T, workspace=workspace
@@ -223,6 +226,8 @@ class OneBitSgd(Quantizer):
         workspace: EncodeWorkspace | None = None,
     ) -> np.ndarray:
         rows = int(message.meta["rows"])
+        if out.size == 0:
+            return out
         columns = decode_groups_into(
             message.payload["avg_pos"],
             message.payload["avg_neg"],

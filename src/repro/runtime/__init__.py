@@ -2,11 +2,12 @@
 
 The runtime turns the paper's Algorithm 1 from a sequential rank loop
 into an actual concurrent system: one worker per rank (thread-based —
-numpy/BLAS releases the GIL), a reusable step barrier with timeout
+numpy/BLAS releases the GIL — or one OS process per rank with a
+shared-memory gradient exchange), a reusable step barrier with timeout
 detection, DDP-style gradient bucketing that overlaps communication
-with backward, and deterministic straggler/crash injection.  The
-threaded engine is bit-identical to the sequential one by
-construction; see :mod:`repro.runtime.engine`.
+with backward, and deterministic straggler/crash/kill injection.  The
+threaded and process engines are bit-identical to the sequential one
+by construction; see :mod:`repro.runtime.engine`.
 """
 
 from .barrier import BarrierTimeout, StepBarrier
@@ -18,6 +19,8 @@ from .engine import (
     ThreadedEngine,
     make_engine,
 )
+from .process_engine import ProcessEngine, ProcessStepBarrier
+from .shm import GradientArena, arena_slots
 from .faults import (
     FaultPlan,
     InjectedCrash,
@@ -47,6 +50,10 @@ __all__ = [
     "ExecutionEngine",
     "SequentialEngine",
     "ThreadedEngine",
+    "ProcessEngine",
+    "ProcessStepBarrier",
+    "GradientArena",
+    "arena_slots",
     "make_engine",
     "FaultPlan",
     "InjectedCrash",

@@ -1,6 +1,6 @@
 """Execution engines: how the K simulated ranks actually run.
 
-Two engines share one interface and — by construction — one numeric
+Three engines share one interface and — by construction — one numeric
 trajectory:
 
 * :class:`SequentialEngine` runs rank workers one after another on the
@@ -9,6 +9,10 @@ trajectory:
   releases the GIL, so on multi-core hosts the per-rank
   forward/backward passes genuinely parallelize; on any host the
   bucketed exchange overlaps with the tail of backward.
+* :class:`~repro.runtime.process_engine.ProcessEngine` runs one OS
+  process per rank with a shared-memory gradient exchange, lifting the
+  GIL ceiling for Python-level compute as well (defined in its own
+  module; registered here by name).
 
 A paced interconnect (``TrainingConfig.link_gbps``) models each rank
 shipping its encoded gradient contribution over its own link, bucket
@@ -79,7 +83,7 @@ __all__ = [
     "make_engine",
 ]
 
-ENGINE_NAMES = ("sequential", "threaded")
+ENGINE_NAMES = ("sequential", "threaded", "process")
 
 
 class ExecutionEngine(abc.ABC):
@@ -457,7 +461,15 @@ class ExecutionEngine(abc.ABC):
             )
 
     def shutdown(self) -> None:
-        """Release engine resources (worker threads, if any)."""
+        """Release engine resources (worker threads/processes, if any)."""
+
+    def on_state_restored(self) -> None:
+        """Hook: engine state was overwritten by a checkpoint restore.
+
+        The in-process engines read worker state directly, so the
+        default is a no-op; the process engine uses this to resync
+        (respawn) its worker processes from the restored replicas.
+        """
 
 
 class SequentialEngine(ExecutionEngine):
@@ -784,6 +796,12 @@ def make_engine(
     model: Module, config: TrainingConfig, loss_fn: LossFn
 ) -> ExecutionEngine:
     """Construct the execution engine selected by ``config.engine``."""
+    if config.engine == "process" and "process" not in _ENGINES:
+        # deferred: the process engine pulls in multiprocessing and the
+        # shared-memory arena, which the in-process engines never need
+        from .process_engine import ProcessEngine
+
+        _ENGINES["process"] = ProcessEngine
     try:
         engine_cls = _ENGINES[config.engine]
     except KeyError:

@@ -3,9 +3,13 @@
 Synchronous training's Achilles heel is that one slow or dead rank
 stalls the whole step.  The fault plan lets experiments inject exactly
 that, deterministically: a fixed per-step delay on chosen ranks
-(straggler), or a hard crash of one rank at one global step.  The
-engines detect both through barrier/bucket timeouts and surface a
-structured :class:`WorkerFailure` instead of hanging.
+(straggler), a hard crash of one rank at one global step, or
+fire-once kill points — under the process engine a kill point is a
+real ``SIGKILL`` of the worker process; the in-process engines degrade
+it to an :class:`InjectedCrash` so one grid cell means the same thing
+on every engine.  The engines detect all of these through
+barrier/bucket timeouts or process sentinels and surface a structured
+:class:`WorkerFailure` instead of hanging.
 """
 
 from __future__ import annotations
@@ -83,6 +87,11 @@ class FaultPlan:
             same step succeeds, modelling a recoverable glitch.  A
             persistent crash (the default) re-fires on every attempt,
             so only eviction or abort resolves it.
+        kill_points: fire-once ``(rank, step)`` worker kills.  The
+            in-process engines degrade each point to a transient
+            :class:`InjectedCrash` via :meth:`inject`; the process
+            engine handles kills itself (a real ``SIGKILL``) and hands
+            its workers a plan with the points stripped.
     """
 
     straggler_ranks: tuple[int, ...] = ()
@@ -90,6 +99,7 @@ class FaultPlan:
     crash_rank: int | None = None
     crash_step: int | None = None
     crash_transient: bool = False
+    kill_points: tuple[tuple[int, int], ...] = ()
 
     def __post_init__(self) -> None:
         # frozen dataclass: the fired-set is bookkeeping, not identity
@@ -104,6 +114,10 @@ class FaultPlan:
             crash_rank=config.crash_rank,
             crash_step=config.crash_step,
             crash_transient=getattr(config, "crash_transient", False),
+            kill_points=tuple(
+                (int(rank), int(step))
+                for rank, step in getattr(config, "kill_points", ())
+            ),
         )
 
     @property
@@ -111,6 +125,7 @@ class FaultPlan:
         return bool(
             (self.straggler_ranks and self.straggler_delay > 0.0)
             or self.crash_rank is not None
+            or self.kill_points
         )
 
     def delay_for(self, rank: int, step: int) -> float:
@@ -133,6 +148,15 @@ class FaultPlan:
             self._fired.add((rank, step))
         return True
 
+    def should_kill(self, rank: int, step: int) -> bool:
+        """Whether this rank's kill point fires now (at most once)."""
+        if (rank, step) not in self.kill_points:
+            return False
+        if ("kill", rank, step) in self._fired:
+            return False
+        self._fired.add(("kill", rank, step))
+        return True
+
     def inject(self, rank: int, step: int, counters=None) -> None:
         """Apply the plan at the top of one rank's compute phase.
 
@@ -145,6 +169,12 @@ class FaultPlan:
             time.sleep(delay)
             if counters is not None:
                 counters.add_straggler_stall(delay)
+        if self.should_kill(rank, step):
+            # in-process degradation of a kill point: no real process
+            # to kill, so it surfaces as a one-shot crash
+            raise InjectedCrash(
+                f"injected kill of rank {rank} at step {step}"
+            )
         if self.should_crash(rank, step):
             raise InjectedCrash(
                 f"injected crash of rank {rank} at step {step}"

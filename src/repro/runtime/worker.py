@@ -27,7 +27,10 @@ from ..optim import Sgd
 __all__ = [
     "RankWorker",
     "clone_module",
+    "collect_module_buffers",
     "collect_module_rngs",
+    "install_module_buffers",
+    "read_module_buffers",
     "reseed_module_rngs",
 ]
 
@@ -99,6 +102,59 @@ def collect_module_rngs(module: Module) -> list[np.random.Generator]:
 
     visit(module)
     return found
+
+
+def collect_module_buffers(module: Module) -> list[tuple[Module, str]]:
+    """Every non-parameter array buffer inside ``module``, in walk order.
+
+    Buffers are the persistent arrays a layer keeps *outside* its
+    :class:`Parameter` objects — batchnorm's ``running_mean`` /
+    ``running_var`` — found as public ``numpy`` array attributes on a
+    module (underscore-prefixed attributes are transient per-step
+    caches and excluded).  The traversal mirrors
+    :func:`collect_module_rngs`, so two replicas of the same
+    architecture enumerate their buffers in the same positional order —
+    which is what lets the process engine ship a worker's buffer values
+    over a pipe and install them into the coordinator's shadow replica
+    by position.
+    """
+    found: list[tuple[Module, str]] = []
+
+    def visit(node: object) -> None:
+        if isinstance(node, Module):
+            for name, value in vars(node).items():
+                if isinstance(value, np.ndarray):
+                    if not name.startswith("_"):
+                        found.append((node, name))
+                else:
+                    visit(value)
+        elif isinstance(node, (list, tuple)):
+            for item in node:
+                visit(item)
+
+    visit(module)
+    return found
+
+
+def read_module_buffers(module: Module) -> list[np.ndarray]:
+    """Copies of the module's buffer values, in walk order."""
+    return [
+        np.array(getattr(owner, name), copy=True)
+        for owner, name in collect_module_buffers(module)
+    ]
+
+
+def install_module_buffers(
+    module: Module, values: list[np.ndarray]
+) -> None:
+    """Set the module's buffers to ``values`` (positional, walk order)."""
+    buffers = collect_module_buffers(module)
+    if len(buffers) != len(values):
+        raise ValueError(
+            f"model has {len(buffers)} buffers, got {len(values)} values"
+        )
+    for (owner, name), value in zip(buffers, values):
+        setattr(owner, name, np.array(value, copy=True))
 
 
 class RankWorker:

@@ -231,6 +231,9 @@ class NullTracer:
     def span(self, name: str, track: int = COORDINATOR) -> _NullSpan:
         return _NULL_SPAN
 
+    def record(self, event: TraceEvent) -> None:
+        pass
+
     def phase_seconds(self, track: int | None = None) -> dict[str, float]:
         return {}
 
@@ -272,6 +275,17 @@ class Tracer:
     def span(self, name: str, track: int = COORDINATOR) -> _Span:
         """Open a nestable span named ``name`` on ``track``."""
         return _Span(self, name, track)
+
+    def record(self, event: TraceEvent) -> None:
+        """Append one already-completed span to the trace.
+
+        This is how spans recorded elsewhere get merged in — the
+        process engine's workers each trace locally and ship their
+        events back to the coordinator's tracer (``perf_counter_ns``
+        reads the system-wide monotonic clock on Linux, so timestamps
+        from other processes share this trace's timebase).
+        """
+        self._record(event)
 
     def _record(self, event: TraceEvent) -> None:
         with self._lock:

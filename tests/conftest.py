@@ -1,0 +1,16 @@
+"""Shared test configuration.
+
+PYTHONHASHSEED: the engines' bit-identity guarantees must not depend
+on dict/set iteration order, and the CI parity jobs pin
+``PYTHONHASHSEED=0`` to prove it.  Setting the variable here cannot
+re-seed *this* interpreter (CPython reads it once at startup), but it
+is inherited by every process the suite spawns — in particular the
+process engine's spawn-context rank workers — so parent and children
+hash identically even when the parent was launched unseeded.  Tests
+that compare against a subprocess therefore see one deterministic
+ordering on both sides.
+"""
+
+import os
+
+os.environ.setdefault("PYTHONHASHSEED", "0")

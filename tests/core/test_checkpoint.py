@@ -178,9 +178,11 @@ class TestBitIdenticalResume:
         ("32bit", "mpi", "sequential"),
         ("1bit", "mpi", "sequential"),
         ("1bit", "mpi", "threaded"),
+        ("1bit", "mpi", "process"),
         ("1bit*", "nccl", "sequential"),
         ("1bit*", "mpi", "threaded"),
         ("qsgd4", "nccl", "threaded"),
+        ("qsgd4", "nccl", "process"),
         ("qsgd4", "alltoall", "sequential"),
     ]
 
@@ -258,14 +260,23 @@ class TestBitIdenticalResume:
             res_weights = weights_of(trainer)
         assert_same_run(reference, ref_weights, resumed, res_weights)
 
-    def test_cross_engine_resume(self, dataset, tmp_path):
-        # the engine is not an identity field: a sequential checkpoint
-        # resumed on the threaded engine continues the same trajectory
+    @pytest.mark.parametrize(
+        "writer,resumer",
+        [
+            ("sequential", "threaded"),
+            ("sequential", "process"),
+            ("process", "sequential"),
+            ("process", "threaded"),
+        ],
+    )
+    def test_cross_engine_resume(self, dataset, tmp_path, writer, resumer):
+        # the engine is not an identity field: a checkpoint written by
+        # one engine resumed on another continues the same trajectory
         kw = dict(scheme="1bit*", exchange="mpi")
         with make_trainer(engine="sequential", **kw) as trainer:
             reference = fit(trainer, dataset, epochs=3)
             ref_weights = weights_of(trainer)
-        with make_trainer(engine="sequential", **kw) as trainer:
+        with make_trainer(engine=writer, **kw) as trainer:
             fit(
                 trainer,
                 dataset,
@@ -273,8 +284,39 @@ class TestBitIdenticalResume:
                 checkpoint=CheckpointPolicy(directory=tmp_path),
             )
         path = latest_checkpoint(tmp_path)
-        with make_trainer(engine="threaded", **kw) as trainer:
+        with make_trainer(engine=resumer, **kw) as trainer:
             resumed = fit(trainer, dataset, epochs=3, resume_from=path)
+            res_weights = weights_of(trainer)
+        assert_same_run(reference, ref_weights, resumed, res_weights)
+
+    @pytest.mark.parametrize(
+        "writer,resumer",
+        [("process", "sequential"), ("threaded", "process")],
+    )
+    def test_mid_epoch_resume_lands_on_different_engine(
+        self, dataset, tmp_path, writer, resumer
+    ):
+        # mid-epoch state (shuffle position, partial epoch metrics) must
+        # survive the engine switch, not just epoch boundaries
+        kw = dict(scheme="1bit", exchange="mpi")
+        with make_trainer(engine="sequential", **kw) as trainer:
+            reference = fit(trainer, dataset, epochs=2)
+            ref_weights = weights_of(trainer)
+        with make_trainer(engine=writer, **kw) as trainer:
+            fit(
+                trainer,
+                dataset,
+                epochs=2,
+                checkpoint=CheckpointPolicy(
+                    directory=tmp_path, every_steps=1, keep=None,
+                    every_epochs=None,
+                ),
+            )
+        path = tmp_path / "ckpt-00000004.npz"
+        ckpt = TrainingCheckpoint.load(path)
+        assert ckpt.epoch == 1 and ckpt.batches_done == 1
+        with make_trainer(engine=resumer, **kw) as trainer:
+            resumed = fit(trainer, dataset, epochs=2, resume_from=ckpt)
             res_weights = weights_of(trainer)
         assert_same_run(reference, ref_weights, resumed, res_weights)
 

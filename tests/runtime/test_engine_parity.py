@@ -1,11 +1,14 @@
-"""Bit-identity of the threaded and sequential execution engines.
+"""Bit-identity of the threaded/process and sequential execution engines.
 
 The keystone guarantee of the runtime: for every scheme × exchange ×
-world-size combination, running the rank workers concurrently must
-produce *exactly* the parameter trajectory of the sequential rank
-loop — same losses, same test accuracies, same bytes on the wire,
-bit-identical weights.  Any nondeterminism in the barrier, bucketing,
-RNG streams, or reduction order breaks this.
+world-size combination, running the rank workers concurrently — as
+threads sharing the interpreter or as spawned OS processes exchanging
+through shared memory — must produce *exactly* the parameter
+trajectory of the sequential rank loop — same losses, same test
+accuracies, same bytes on the wire, bit-identical weights.  Any
+nondeterminism in the barrier, bucketing, RNG streams, reduction
+order, or (for the process engine) the spawn/pickle boundary breaks
+this.
 """
 
 import numpy as np
@@ -70,12 +73,17 @@ def assert_identical(run_a, run_b):
         )
 
 
+#: the engines that must reproduce the sequential trajectory bit for bit
+CONCURRENT_ENGINES = ["threaded", "process"]
+
+
 class TestEngineParity:
+    @pytest.mark.parametrize("engine", CONCURRENT_ENGINES)
     @pytest.mark.parametrize("world_size", [1, 2, 4])
     @pytest.mark.parametrize("exchange", ["mpi", "nccl"])
     @pytest.mark.parametrize("scheme", ["32bit", "1bit", "qsgd4"])
-    def test_threaded_matches_sequential(
-        self, dataset, scheme, exchange, world_size
+    def test_matches_sequential(
+        self, dataset, scheme, exchange, world_size, engine
     ):
         assert_identical(
             run(
@@ -86,7 +94,7 @@ class TestEngineParity:
                 world_size=world_size,
             ),
             run(
-                "threaded",
+                engine,
                 dataset,
                 scheme=scheme,
                 exchange=exchange,
@@ -94,7 +102,8 @@ class TestEngineParity:
             ),
         )
 
-    def test_parity_with_batchnorm_model(self, dataset):
+    @pytest.mark.parametrize("engine", CONCURRENT_ENGINES)
+    def test_parity_with_batchnorm_model(self, dataset, engine):
         # BN keeps running statistics per replica; parity must survive
         # stateful layers as well as dropout (the alexnet cases)
         assert_identical(
@@ -107,7 +116,7 @@ class TestEngineParity:
                 model=tiny_resnet,
             ),
             run(
-                "threaded",
+                engine,
                 dataset,
                 scheme="qsgd4",
                 exchange="mpi",
@@ -116,9 +125,11 @@ class TestEngineParity:
             ),
         )
 
-    def test_parity_with_tiny_buckets(self, dataset):
-        # one parameter per bucket maximizes overlap scheduling churn;
-        # the exchange order (and RNG stream) must not care
+    @pytest.mark.parametrize("engine", CONCURRENT_ENGINES)
+    def test_parity_with_tiny_buckets(self, dataset, engine):
+        # one parameter per bucket maximizes overlap scheduling churn
+        # (and, for the process engine, arena region count); the
+        # exchange order (and RNG stream) must not care
         assert_identical(
             run(
                 "sequential",
@@ -129,7 +140,7 @@ class TestEngineParity:
                 comm_bucket_bytes=1,
             ),
             run(
-                "threaded",
+                engine,
                 dataset,
                 scheme="qsgd4",
                 exchange="mpi",
@@ -138,7 +149,8 @@ class TestEngineParity:
             ),
         )
 
-    def test_parity_with_unequal_shards(self, dataset):
+    @pytest.mark.parametrize("engine", CONCURRENT_ENGINES)
+    def test_parity_with_unequal_shards(self, dataset, engine):
         # 64 training samples, batch 16, world 3: every step leaves
         # one rank a short shard; weighting must match exactly
         assert_identical(
@@ -150,7 +162,7 @@ class TestEngineParity:
                 world_size=3,
             ),
             run(
-                "threaded",
+                engine,
                 dataset,
                 scheme="32bit",
                 exchange="mpi",
