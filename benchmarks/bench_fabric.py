@@ -1,0 +1,169 @@
+"""Large-K fabric sweep: collective makespans on a leaf-spine Clos.
+
+The paper's measured machines stop at 16 GPUs; this benchmark runs the
+simulation-only extension out to K=1024 — every collective pattern
+(ring, tree, butterfly, hierarchical) crossed with full precision, a
+mid QSGD point, and 1-bit, on a 3:1-oversubscribed leaf-spine fabric
+with per-link FIFO queueing.  The K=4 end of the same simulator is
+cross-validated against the measured process engine (``repro fabric
+--crossval``), which is what licenses reading these numbers as more
+than internally-consistent fiction.
+
+Every cell is a deterministic discrete-event simulation, so the
+interesting output is not wall-clock but the *simulated* makespans —
+the pattern-crossover structure (ring's O(K) rounds losing to
+butterfly/hierarchical as K grows) that the checked-in
+``BENCH_fabric.json`` records.
+
+Run with: PYTHONPATH=src python -m pytest benchmarks/bench_fabric.py -q -s
+or standalone: PYTHONPATH=src python benchmarks/bench_fabric.py [--quick]
+"""
+
+from repro.fabric import PATTERN_NAMES
+from repro.study.fabric import (
+    SWEEP_ELEMENTS,
+    SWEEP_SCHEMES,
+    SWEEP_WORLD_SIZES,
+    fabric_sweep,
+)
+
+OVERSUBSCRIPTION = 3.0
+QUICK_WORLD_SIZES = (64, 128, 256)
+
+
+def sweep(world_sizes=SWEEP_WORLD_SIZES):
+    return fabric_sweep(
+        world_sizes=world_sizes,
+        total_elements=SWEEP_ELEMENTS,
+        oversubscription=OVERSUBSCRIPTION,
+    )
+
+
+def crossover_world_size(points, a="ring", b="butterfly",
+                         scheme="qsgd4"):
+    """Smallest K where pattern ``b`` beats pattern ``a``, or None."""
+    by_cell = {
+        (p.pattern, p.scheme, p.world_size): p.makespan_seconds
+        for p in points
+    }
+    for k in sorted({p.world_size for p in points}):
+        if by_cell[(b, scheme, k)] < by_cell[(a, scheme, k)]:
+            return k
+    return None
+
+
+# -- pytest entry points ----------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - standalone mode
+    pytest = None
+
+if pytest is not None:
+
+    def test_fabric_sweep_quick(benchmark):
+        from conftest import run_once
+
+        points = run_once(benchmark, lambda: sweep(QUICK_WORLD_SIZES))
+        assert len(points) == (
+            len(QUICK_WORLD_SIZES)
+            * len(PATTERN_NAMES)
+            * len(SWEEP_SCHEMES)
+        )
+        by_cell = {
+            (p.pattern, p.scheme, p.world_size): p for p in points
+        }
+        # quantization must keep paying at scale
+        full = by_cell[("ring", "32bit", 256)]
+        q4 = by_cell[("ring", "qsgd4", 256)]
+        print(
+            f"\nK=256 ring: 32bit {full.makespan_seconds * 1e3:.1f} ms, "
+            f"qsgd4 {q4.makespan_seconds * 1e3:.1f} ms"
+        )
+        assert q4.makespan_seconds < full.makespan_seconds / 2
+
+
+# -- standalone entry point (writes the checked-in BENCH entry) -------------
+
+
+def main(argv=None):
+    import argparse
+    import json
+    import platform
+    import time
+
+    import numpy
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="stop the sweep at K=256 (CI smoke depth)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_fabric.json",
+        help="report path (default: BENCH_fabric.json)",
+    )
+    args = parser.parse_args(argv)
+    world_sizes = QUICK_WORLD_SIZES if args.quick else SWEEP_WORLD_SIZES
+    start = time.perf_counter()
+    points = sweep(world_sizes)
+    elapsed = time.perf_counter() - start
+    report = {
+        "bench": "fabric",
+        "cell": {
+            "topology": "leaf-spine",
+            "oversubscription": OVERSUBSCRIPTION,
+            "total_elements": SWEEP_ELEMENTS,
+            "world_sizes": list(world_sizes),
+            "patterns": list(PATTERN_NAMES),
+            "schemes": list(SWEEP_SCHEMES),
+        },
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "simulation_wall_seconds": round(elapsed, 3),
+        "crossover": {
+            "ring_vs_butterfly_qsgd4": crossover_world_size(points),
+        },
+        "results": {
+            f"K{p.world_size}/{p.pattern}/{p.scheme}": {
+                "makespan_seconds": p.makespan_seconds,
+                "total_wire_bytes": p.total_wire_bytes,
+                "transfers": p.transfers,
+                "max_link_utilization": round(
+                    p.max_link_utilization, 6
+                ),
+            }
+            for p in points
+        },
+    }
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    for k in world_sizes:
+        row = {
+            pattern: next(
+                p.makespan_seconds
+                for p in points
+                if p.world_size == k
+                and p.pattern == pattern
+                and p.scheme == "qsgd4"
+            )
+            for pattern in PATTERN_NAMES
+        }
+        best = min(row, key=row.get)
+        print(
+            f"K={k:>4} qsgd4: "
+            + ", ".join(
+                f"{pattern} {seconds * 1e3:8.2f} ms"
+                for pattern, seconds in row.items()
+            )
+            + f"  -> {best}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,10 @@ Commands:
   timeline (``chrome://tracing`` / Perfetto), and print the measured
   per-phase breakdown, optionally cross-validated against the
   simulator's prediction;
+* ``fabric`` — simulate one collective on a multi-node fabric
+  (event-driven per-link queueing), optionally injecting link faults,
+  exporting a per-link Chrome trace, sweeping K, or gating the K=4
+  anchor against a measured process-engine run (``--crossval``);
 * ``insights`` — re-derive the paper's five summary answers;
 * ``calibration`` — compare simulated throughput to the published
   Figure 10/11 tables cell by cell;
@@ -40,6 +44,7 @@ from .core import (
     latest_checkpoint,
 )
 from .data import make_image_dataset, make_sequence_dataset
+from .fabric import PATTERN_NAMES, TOPOLOGY_NAMES
 from .models import MODEL_BUILDERS, build_model
 from .models.specs import NETWORKS
 from .quantization import SCHEME_NAMES
@@ -337,6 +342,164 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fabric_faults(args: argparse.Namespace):
+    from .fabric import LinkFault
+
+    if args.fail_link is None:
+        if args.recover_at is not None:
+            raise ValueError("--recover-at requires --fail-link")
+        return ()
+    try:
+        src, dst = args.fail_link.split(":", 1)
+    except ValueError:
+        raise ValueError(
+            f"--fail-link must be SRC:DST (e.g. leaf0:spine1), got "
+            f"{args.fail_link!r}"
+        ) from None
+    return (
+        LinkFault(
+            src=src,
+            dst=dst,
+            fail_at_s=args.fail_at,
+            recover_at_s=args.recover_at,
+        ),
+    )
+
+
+def _fabric_crossval(args: argparse.Namespace) -> int:
+    """The K=4 reality anchor: measured process engine vs fabric."""
+    import numpy as np
+
+    from .fabric import fabric_cross_validate
+    from .nn import Dense, Sequential
+
+    world_size, steps, batch = 4, 3, 16
+    link_gbps = args.link_gbps if args.link_gbps is not None else 0.002
+    rng = np.random.default_rng(args.seed)
+    samples = steps * batch
+    x = rng.normal(size=(samples, 32)).astype(np.float32)
+    y = rng.integers(0, 4, size=samples).astype(np.int64)
+    tracer = Tracer()
+    config = TrainingConfig(
+        scheme=args.scheme,
+        exchange="nccl",
+        world_size=world_size,
+        batch_size=batch,
+        lr=0.01,
+        seed=args.seed,
+        engine="process",
+        link_gbps=link_gbps,
+        tracer=tracer,
+    )
+    model = Sequential(Dense(32, 4, "fc", rng))
+    elements = sum(int(np.prod(p.shape)) for p in model.parameters())
+    with ParallelTrainer(model, config) as trainer:
+        history = trainer.fit(x, y, x, y, epochs=1)
+    if history.failures:
+        for failure in history.failures:
+            print(f"FAILED: {failure.message}", file=sys.stderr)
+        return 1
+    breakdown = PhaseBreakdown.from_history(history)
+    validation = fabric_cross_validate(
+        breakdown,
+        scheme=args.scheme,
+        pattern=args.pattern if args.pattern != "auto" else "ring",
+        world_size=world_size,
+        total_elements=elements,
+        steps=steps,
+        link_gbps=link_gbps,
+    )
+    print(validation.report())
+    if not validation.passes():
+        print(
+            "fabric crossval: FAIL — simulated communication share "
+            "diverges from the measured process engine",
+            file=sys.stderr,
+        )
+        return 1
+    print("fabric crossval: PASS")
+    return 0
+
+
+def _cmd_fabric(args: argparse.Namespace) -> int:
+    from .fabric import (
+        make_topology,
+        run_collective,
+        select_collective,
+        write_fabric_trace,
+    )
+    from .study.fabric import print_fabric_sweep
+
+    if args.crossval:
+        return _fabric_crossval(args)
+    if args.sweep:
+        sizes = tuple(args.sweep_ranks) if args.sweep_ranks else None
+        if sizes is None:
+            print_fabric_sweep()
+        else:
+            print_fabric_sweep(world_sizes=sizes)
+        return 0
+    try:
+        kwargs = {}
+        if args.topology == "leaf-spine":
+            kwargs["oversubscription"] = args.oversubscription
+        topology = make_topology(args.topology, args.ranks, **kwargs)
+        if args.network is not None:
+            from .models.specs import get_network
+
+            elements = get_network(args.network).parameter_count
+        else:
+            elements = args.elements
+        faults = _fabric_faults(args)
+        if args.pattern == "auto":
+            choice = select_collective(topology, elements, args.scheme)
+            print(
+                f"auto-selected {choice.pattern} "
+                f"(candidates: "
+                + ", ".join(
+                    f"{p}={s * 1e3:.3f}ms"
+                    for p, s in sorted(choice.candidates.items())
+                )
+                + ")"
+            )
+            pattern = choice.pattern
+        else:
+            pattern = args.pattern
+        result = run_collective(
+            topology, pattern, elements, scheme=args.scheme,
+            faults=faults,
+        )
+    except ValueError as exc:
+        print(f"repro fabric: error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"[{topology.name}/K={args.ranks}] {pattern}/{args.scheme}: "
+        f"{result.makespan_seconds * 1e3:.3f} ms makespan, "
+        f"{result.total_wire_bytes / 1e6:.2f} MB on the wire, "
+        f"{result.completed_transfers} transfers"
+    )
+    for link, utilization in result.busiest_links(3):
+        print(f"  hot link {link[0]}->{link[1]}: {utilization:.1%} busy")
+    for change in result.topology_changes:
+        survivors = ",".join(str(r) for r in change.survivors)
+        print(
+            f"DEGRADED: rank {change.rank} evicted ({change.kind}); "
+            f"continuing on ranks [{survivors}]"
+        )
+    if result.dropped_transfers:
+        print(
+            f"  {result.dropped_transfers} transfers dropped at the "
+            "partition and re-issued over the survivors"
+        )
+    if args.trace is not None:
+        write_fabric_trace(result, args.trace)
+        print(
+            f"per-link trace written to {args.trace} "
+            "(load in chrome://tracing)"
+        )
+    return 0
+
+
 def _cmd_insights(_args: argparse.Namespace) -> int:
     insights = print_insights()
     return 0 if all(i.holds for i in insights) else 1
@@ -585,6 +748,79 @@ def build_parser() -> argparse.ArgumentParser:
         help="paper network the cross-validation simulates",
     )
     trace.set_defaults(handler=_cmd_trace)
+    fabric = sub.add_parser(
+        "fabric",
+        help="simulate a collective on a multi-node fabric "
+        "(per-link queueing, failures, traces, K-sweeps)",
+    )
+    fabric.add_argument(
+        "--topology", default="leaf-spine", choices=TOPOLOGY_NAMES,
+        help="fabric family: single-node star (pcie/nvlink) or "
+        "two-level Clos (fat-tree/leaf-spine)",
+    )
+    fabric.add_argument(
+        "--ranks", type=int, default=64, help="number of GPUs (K)"
+    )
+    fabric.add_argument(
+        "--pattern", default="auto",
+        choices=("auto",) + PATTERN_NAMES,
+        help="collective schedule; 'auto' simulates every candidate "
+        "and picks the minimum-makespan one",
+    )
+    fabric.add_argument("--scheme", default="qsgd4", choices=SCHEME_NAMES)
+    fabric.add_argument(
+        "--network", default=None, choices=sorted(NETWORKS),
+        help="size the payload as this paper network's gradient "
+        "(overrides --elements)",
+    )
+    fabric.add_argument(
+        "--elements", type=int, default=2_000_000,
+        help="gradient elements per collective",
+    )
+    fabric.add_argument(
+        "--oversubscription", type=float, default=3.0,
+        help="leaf-spine trunk oversubscription factor (>= 1.0)",
+    )
+    fabric.add_argument(
+        "--fail-link", default=None, metavar="SRC:DST",
+        help="inject a fault on this link (e.g. leaf0:spine1, "
+        "host0:leaf0)",
+    )
+    fabric.add_argument(
+        "--fail-at", type=float, default=0.0,
+        help="failure time in simulated seconds",
+    )
+    fabric.add_argument(
+        "--recover-at", type=float, default=None,
+        help="recovery time; omit for a permanent failure (routes "
+        "around it, or evicts unreachable ranks like the resilience "
+        "loop)",
+    )
+    fabric.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write the per-link occupancy Chrome trace here",
+    )
+    fabric.add_argument(
+        "--sweep", action="store_true",
+        help="run the K-sweep study table + crossover chart instead "
+        "of a single cell",
+    )
+    fabric.add_argument(
+        "--sweep-ranks", type=int, nargs="*", default=None,
+        help="rank counts for --sweep (default 64..1024)",
+    )
+    fabric.add_argument(
+        "--crossval", action="store_true",
+        help="gate the fabric against reality: measure a K=4 process-"
+        "engine run and require phase shares to agree within "
+        "tolerance (exit 1 past it)",
+    )
+    fabric.add_argument(
+        "--link-gbps", type=float, default=None,
+        help="paced link rate of the --crossval measured run",
+    )
+    fabric.add_argument("--seed", type=int, default=0)
+    fabric.set_defaults(handler=_cmd_fabric)
     sub.add_parser(
         "insights", help="re-derive the paper's summary answers"
     ).set_defaults(handler=_cmd_insights)

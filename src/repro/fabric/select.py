@@ -1,0 +1,69 @@
+"""Cost-based collective auto-selection.
+
+The paper's takeaway that no single allreduce wins everywhere (ring
+amortizes bandwidth at large payloads, trees win the latency-bound
+small-gradient regime, hierarchical schedules exploit fast intra-node
+links) becomes executable here: simulate every candidate pattern on
+the actual topology with the actual encoded byte counts and pick the
+minimum-makespan schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .schedule import PATTERN_NAMES
+from .simulate import FabricSimResult, run_collective
+from .topology import FabricTopology
+
+__all__ = ["CollectiveChoice", "select_collective"]
+
+
+@dataclass(frozen=True)
+class CollectiveChoice:
+    """The auto-selector's verdict for one (topology, payload, scheme)."""
+
+    pattern: str
+    makespan_seconds: float
+    candidates: dict[str, float]
+
+    def speedup_over(self, pattern: str) -> float:
+        """How much faster the winner is than ``pattern``."""
+        return self.candidates[pattern] / self.makespan_seconds
+
+
+def select_collective(
+    topology: FabricTopology,
+    total_elements: int,
+    scheme: str = "32bit",
+    bucket_size: int | None = None,
+    patterns: tuple[str, ...] = PATTERN_NAMES,
+) -> CollectiveChoice:
+    """Simulate each candidate pattern and return the fastest.
+
+    Ties break toward the earlier entry of ``patterns``, keeping the
+    choice deterministic.  Hierarchical is skipped automatically on
+    single-host topologies where it degenerates to a plain ring.
+    """
+    candidates: dict[str, float] = {}
+    best: tuple[float, str] | None = None
+    for pattern in patterns:
+        if pattern == "hierarchical" and not topology.multi_node:
+            continue
+        result: FabricSimResult = run_collective(
+            topology,
+            pattern,
+            total_elements,
+            scheme=scheme,
+            bucket_size=bucket_size,
+        )
+        candidates[pattern] = result.makespan_seconds
+        if best is None or result.makespan_seconds < best[0]:
+            best = (result.makespan_seconds, pattern)
+    if best is None:
+        raise ValueError("no candidate pattern to select from")
+    return CollectiveChoice(
+        pattern=best[1],
+        makespan_seconds=best[0],
+        candidates=candidates,
+    )

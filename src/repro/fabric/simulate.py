@@ -1,0 +1,366 @@
+"""Event-driven fabric simulation: per-link FIFO queueing + failures.
+
+The single-machine simulator costs an exchange with closed-form bus
+models; this module instead *runs* a compiled
+:class:`~repro.fabric.schedule.CollectiveSchedule` against a
+:class:`~repro.fabric.topology.FabricTopology` on a simulated clock:
+
+* every transfer follows its routed links store-and-forward, paying
+  each link's latency plus ``bytes / bandwidth``;
+* links are serially-reusable FIFO resources — two transfers crossing
+  the same trunk queue behind each other, which is where leaf-spine
+  oversubscription and incast contention come from;
+* deterministic link faults can be injected: a *flap* stalls traffic
+  until its recovery time, a *permanent* failure first triggers ECMP
+  rerouting around the dead trunk and, when no route survives, cuts
+  the fabric — the unreachable ranks are evicted exactly like the
+  resilience loop's graceful degradation (one
+  :class:`~repro.runtime.resilience.TopologyChange` per lost rank) and
+  the collective is re-compiled over the survivors and resumed at the
+  failure time.
+
+Everything is deterministic: same topology, schedule and faults give
+the same event trace, byte for byte.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..runtime.resilience import TopologyChange
+from .schedule import CollectiveSchedule, compile_collective
+from .topology import FabricTopology
+
+__all__ = [
+    "LinkFault",
+    "LinkOccupancy",
+    "FabricSimResult",
+    "simulate_schedule",
+    "run_collective",
+]
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """One deterministic link failure.
+
+    Attributes:
+        src / dst: endpoints of the failed link; the fault cuts both
+            directions (a cable, not a lane).
+        fail_at_s: simulation time the link goes down.
+        recover_at_s: time it comes back (``None`` = permanent).
+    """
+
+    src: str
+    dst: str
+    fail_at_s: float = 0.0
+    recover_at_s: float | None = None
+
+    @property
+    def permanent(self) -> bool:
+        return self.recover_at_s is None
+
+    def covers(self, key: tuple[str, str]) -> bool:
+        return key in ((self.src, self.dst), (self.dst, self.src))
+
+    @property
+    def keys(self) -> tuple[tuple[str, str], tuple[str, str]]:
+        return ((self.src, self.dst), (self.dst, self.src))
+
+
+@dataclass(frozen=True)
+class LinkOccupancy:
+    """One transfer's occupancy of one link (a Chrome-trace slice)."""
+
+    link: tuple[str, str]
+    link_class: str
+    transfer: int
+    op: str
+    start_s: float
+    end_s: float
+    nbytes: int
+
+    @property
+    def busy_seconds(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
+class FabricSimResult:
+    """The full event trace of one simulated collective."""
+
+    topology_name: str
+    pattern: str
+    scheme: str
+    world_size: int
+    makespan_seconds: float
+    occupancies: tuple[LinkOccupancy, ...]
+    completed_transfers: int
+    dropped_transfers: int = 0
+    topology_changes: tuple[TopologyChange, ...] = ()
+    survivors: tuple[int, ...] = ()
+
+    @property
+    def total_wire_bytes(self) -> int:
+        """Bytes injected into the fabric (first hop of each transfer
+        counts once; store-and-forward hops repeat the payload)."""
+        return sum(o.nbytes for o in self.occupancies)
+
+    def link_busy_seconds(self) -> dict[tuple[str, str], float]:
+        """Busy seconds per directed link."""
+        busy: dict[tuple[str, str], float] = {}
+        for occ in self.occupancies:
+            busy[occ.link] = busy.get(occ.link, 0.0) + occ.busy_seconds
+        return busy
+
+    def link_utilization(self) -> dict[tuple[str, str], float]:
+        """Busy fraction of the makespan per directed link."""
+        if self.makespan_seconds <= 0:
+            return {}
+        return {
+            link: busy / self.makespan_seconds
+            for link, busy in self.link_busy_seconds().items()
+        }
+
+    def busiest_links(self, n: int = 5) -> list[tuple[tuple[str, str], float]]:
+        """The ``n`` most utilized links, descending."""
+        return sorted(
+            self.link_utilization().items(),
+            key=lambda item: (-item[1], item[0]),
+        )[:n]
+
+
+class _Partition(Exception):
+    """A permanent failure cut the fabric mid-collective."""
+
+    def __init__(self, at_s: float, dead: frozenset[tuple[str, str]],
+                 completed: list[LinkOccupancy], done_count: int):
+        self.at_s = at_s
+        self.dead = dead
+        self.completed = completed
+        self.done_count = done_count
+        super().__init__(f"fabric partitioned at {at_s:.6f}s")
+
+
+@dataclass
+class _LinkState:
+    """Mutable per-run link bookkeeping."""
+
+    free_at: dict[tuple[str, str], float] = field(default_factory=dict)
+
+
+def _dead_keys(
+    faults: tuple[LinkFault, ...], now: float
+) -> frozenset[tuple[str, str]]:
+    dead: set[tuple[str, str]] = set()
+    for fault in faults:
+        if fault.permanent and fault.fail_at_s <= now:
+            dead.update(fault.keys)
+    return frozenset(dead)
+
+
+def simulate_schedule(
+    topology: FabricTopology,
+    schedule: CollectiveSchedule,
+    faults: tuple[LinkFault, ...] = (),
+    start_time: float = 0.0,
+    rank_map: tuple[int, ...] | None = None,
+) -> FabricSimResult:
+    """Run one schedule through the fabric; raise on partition.
+
+    ``rank_map`` maps schedule ranks to physical ranks (used when a
+    survivor schedule re-runs on the original topology).  Raises
+    :class:`_Partition` (internal) when a permanent failure leaves a
+    transfer with no route; :func:`run_collective` turns that into
+    topology changes plus a survivor re-run.
+    """
+    if rank_map is None:
+        rank_map = tuple(range(schedule.world_size))
+    flaps = tuple(f for f in faults if not f.permanent)
+    end_of: dict[int, float] = {}
+    links = _LinkState()
+    occupancies: list[LinkOccupancy] = []
+    # dependents adjacency + indegree for dependency-ordered release
+    indegree = {t.index: len(t.deps) for t in schedule.transfers}
+    dependents: dict[int, list[int]] = {}
+    for t in schedule.transfers:
+        for d in t.deps:
+            dependents.setdefault(d, []).append(t.index)
+    heap: list[tuple[float, int]] = []
+    for t in schedule.transfers:
+        if indegree[t.index] == 0:
+            heapq.heappush(heap, (start_time, t.index))
+    transfers = schedule.transfers
+    makespan = start_time
+    while heap:
+        ready, index = heapq.heappop(heap)
+        t = transfers[index]
+        src, dst = rank_map[t.src], rank_map[t.dst]
+        cursor = ready
+        # route around links already permanently dead at ready time;
+        # restart the walk if a link dies underneath the transfer
+        for _attempt in range(len(faults) + 1):
+            dead = _dead_keys(faults, cursor)
+            route = topology.route(src, dst, flow=t.lo, avoid=dead)
+            if route is None:
+                raise _Partition(
+                    cursor, dead, occupancies, len(end_of)
+                )
+            hop_cursor = cursor
+            pending: list[LinkOccupancy] = []
+            restart = False
+            for link in route:
+                hop_start = max(hop_cursor, links.free_at.get(link.key,
+                                                              0.0))
+                for flap in flaps:
+                    if flap.covers(link.key) and (
+                        flap.fail_at_s <= hop_start < flap.recover_at_s
+                    ):
+                        hop_start = flap.recover_at_s
+                newly_dead = _dead_keys(faults, hop_start)
+                if link.key in newly_dead and link.key not in dead:
+                    cursor = hop_start
+                    restart = True
+                    break
+                if link.key in newly_dead:  # pragma: no cover - routed
+                    raise _Partition(hop_start, newly_dead,
+                                     occupancies, len(end_of))
+                hop_end = hop_start + link.seconds(t.nbytes)
+                pending.append(
+                    LinkOccupancy(
+                        link=link.key,
+                        link_class=link.cls.name,
+                        transfer=index,
+                        op=t.op,
+                        start_s=hop_start,
+                        end_s=hop_end,
+                        nbytes=t.nbytes,
+                    )
+                )
+                hop_cursor = hop_end
+            if restart:
+                continue
+            # commit the walk: occupy the links
+            for occ in pending:
+                links.free_at[occ.link] = occ.end_s
+            occupancies.extend(pending)
+            break
+        else:  # pragma: no cover - bounded by fault count
+            raise RuntimeError("link fault rerouting did not converge")
+        end_of[index] = hop_cursor
+        makespan = max(makespan, hop_cursor)
+        for dep_index in dependents.get(index, ()):
+            indegree[dep_index] -= 1
+            if indegree[dep_index] == 0:
+                ready_at = max(
+                    (end_of[d] for d in transfers[dep_index].deps),
+                    default=start_time,
+                )
+                heapq.heappush(heap, (ready_at, dep_index))
+    return FabricSimResult(
+        topology_name=topology.name,
+        pattern=schedule.pattern,
+        scheme=schedule.scheme,
+        world_size=schedule.world_size,
+        makespan_seconds=makespan - start_time,
+        occupancies=tuple(occupancies),
+        completed_transfers=len(end_of),
+        survivors=tuple(rank_map),
+    )
+
+
+def run_collective(
+    topology: FabricTopology,
+    pattern: str,
+    total_elements: int,
+    scheme: str = "32bit",
+    bucket_size: int | None = None,
+    faults: tuple[LinkFault, ...] = (),
+    step: int = 0,
+) -> FabricSimResult:
+    """Simulate one allreduce, degrading gracefully on link loss.
+
+    A permanent link failure that partitions the fabric evicts the
+    unreachable ranks — emitting one
+    :class:`~repro.runtime.resilience.TopologyChange` per lost rank,
+    the same record the live engines' recovery loop produces — then
+    re-compiles the collective over the survivors (with their host
+    grouping) and resumes at the failure time, exactly mirroring the
+    resilience loop's reshard-and-continue semantics.
+    """
+    live = tuple(range(topology.world_size))
+
+    def _compile(ranks: tuple[int, ...]) -> CollectiveSchedule:
+        physical = set(ranks)
+        nodes = tuple(
+            members
+            for host in topology.hosts
+            if (members := tuple(
+                i
+                for i, r in enumerate(ranks)
+                if topology.host_of[r] == host and r in physical
+            ))
+        )
+        return compile_collective(
+            pattern,
+            len(ranks),
+            total_elements,
+            scheme=scheme,
+            bucket_size=bucket_size,
+            nodes=nodes,
+        )
+
+    changes: list[TopologyChange] = []
+    dropped = 0
+    prior_occupancies: list[LinkOccupancy] = []
+    start = 0.0
+    schedule = _compile(live)
+    while True:
+        try:
+            result = simulate_schedule(
+                topology,
+                schedule,
+                faults=faults,
+                start_time=start,
+                rank_map=live,
+            )
+        except _Partition as cut:
+            reachable = set(
+                topology.reachable_ranks(avoid=cut.dead)
+            )
+            survivors = tuple(r for r in live if r in reachable)
+            lost = tuple(r for r in live if r not in reachable)
+            if not lost or not survivors:  # pragma: no cover - degenerate
+                raise RuntimeError(
+                    f"partition at {cut.at_s:.6f}s with no evictable "
+                    "rank"
+                ) from None
+            remaining = list(survivors)
+            for rank in lost:
+                changes.append(
+                    TopologyChange(
+                        step=step,
+                        rank=rank,
+                        kind="link",
+                        survivors=tuple(remaining),
+                    )
+                )
+            dropped += len(schedule.transfers) - cut.done_count
+            prior_occupancies.extend(cut.completed)
+            live = survivors
+            start = cut.at_s
+            schedule = _compile(live)
+            continue
+        return FabricSimResult(
+            topology_name=result.topology_name,
+            pattern=pattern,
+            scheme=scheme,
+            world_size=topology.world_size,
+            makespan_seconds=start + result.makespan_seconds,
+            occupancies=tuple(prior_occupancies) + result.occupancies,
+            completed_transfers=result.completed_transfers,
+            dropped_transfers=dropped,
+            topology_changes=tuple(changes),
+            survivors=live,
+        )

@@ -1,0 +1,79 @@
+"""Chrome-trace export of per-link fabric occupancy.
+
+Mirrors :mod:`repro.telemetry.export`'s trace-event format, but tracks
+are *links* instead of ranks: one ``tid`` per directed link (sorted by
+name, so trunks group together in the viewer), one complete ``"X"``
+event per transfer-hop occupancy, and ``thread_name`` metadata naming
+each link with its class.  Load the file in ``chrome://tracing`` or
+Perfetto to read queueing delay straight off the gaps between slices.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .simulate import FabricSimResult
+
+__all__ = ["fabric_chrome_trace", "write_fabric_trace"]
+
+
+def fabric_chrome_trace(result: FabricSimResult) -> dict:
+    """Render a fabric simulation as a Chrome trace-event document."""
+    links = sorted({o.link for o in result.occupancies})
+    tid_of = {link: tid for tid, link in enumerate(links)}
+    cls_of = {o.link: o.link_class for o in result.occupancies}
+    busy = result.link_busy_seconds()
+    events: list[dict] = []
+    for link in links:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid_of[link],
+                "args": {
+                    "name": (
+                        f"{link[0]}->{link[1]} [{cls_of[link]}]"
+                    )
+                },
+            }
+        )
+    for occ in result.occupancies:
+        events.append(
+            {
+                "name": f"{occ.op} #{occ.transfer}",
+                "cat": occ.link_class,
+                "ph": "X",
+                "ts": occ.start_s * 1e6,
+                "dur": occ.busy_seconds * 1e6,
+                "pid": 0,
+                "tid": tid_of[occ.link],
+                "args": {"nbytes": occ.nbytes},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "topology": result.topology_name,
+            "pattern": result.pattern,
+            "scheme": result.scheme,
+            "world_size": result.world_size,
+            "makespan_seconds": result.makespan_seconds,
+            "dropped_transfers": result.dropped_transfers,
+            "topology_changes": [
+                c.to_dict() for c in result.topology_changes
+            ],
+            "link_busy_seconds": {
+                f"{src}->{dst}": seconds
+                for (src, dst), seconds in sorted(busy.items())
+            },
+        },
+    }
+
+
+def write_fabric_trace(result: FabricSimResult, path: str) -> None:
+    """Write :func:`fabric_chrome_trace` output as JSON to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(fabric_chrome_trace(result), fh, indent=1)
+        fh.write("\n")

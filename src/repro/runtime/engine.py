@@ -55,6 +55,7 @@ import numpy as np
 from ..data.loader import split_among_ranks
 from ..nn.module import Module
 from ..telemetry.tracer import COORDINATOR
+from ..units import gbps_to_bytes_per_second
 from .barrier import BarrierTimeout, StepBarrier
 from .buckets import BucketReadiness, GradientBucket, build_buckets
 from .faults import (
@@ -130,7 +131,7 @@ class ExecutionEngine(abc.ABC):
         self._link_bytes_per_s = (
             None
             if config.link_gbps is None or config.world_size < 2
-            else config.link_gbps * 1e9 / 8.0
+            else gbps_to_bytes_per_second(config.link_gbps)
         )
         # one rank's encoded upload per bucket, from the scheme's own
         # wire format (passthrough and layer selectivity included)

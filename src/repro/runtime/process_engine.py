@@ -62,6 +62,7 @@ from multiprocessing import connection as mp_connection
 import numpy as np
 
 from ..telemetry.tracer import COORDINATOR, NULL_TRACER, TraceEvent, Tracer
+from ..units import gbps_to_bytes_per_second
 from .engine import ExecutionEngine
 from .faults import FaultPlan, InjectedCrash, WorkerFailure, WorkerFailureError
 from .resilience import AttemptFailure
@@ -234,7 +235,7 @@ def _serve(
     link_rate = (
         None
         if config.link_gbps is None or config.world_size < 2
-        else config.link_gbps * 1e9 / 8.0
+        else gbps_to_bytes_per_second(config.link_gbps)
     )
     tracer = Tracer() if trace_enabled else NULL_TRACER
     generators = collect_module_rngs(worker.model)

@@ -149,8 +149,9 @@ class TopologyChange:
     Attributes:
         step: global step index at which the eviction took effect.
         rank: the evicted rank.
-        kind: failure kind that exhausted the rank's retries
-            ("crash" or "timeout").
+        kind: failure kind that forced the rank out: "crash" or
+            "timeout" from the live engines' retry loop, "link" from
+            the fabric simulator's partition-inducing link failures.
         survivors: live ranks after the eviction, ascending.
         retries: retry attempts spent on the failing step before the
             eviction.

@@ -8,11 +8,12 @@ Figure 10 (MPI) and Figure 11 (NCCL) samples/second tables:
 
 * ``k80_samples_per_second`` per network — read directly from the
   1-GPU column of Figure 10 (compute only; no communication at K=1);
-* ``mpi_bus_gbps=3.0`` at the 4-GPU reference with exponent ``0.62`` —
-  fits the 32-bit AlexNet MPI column (328 → 273 → 192 samples/s for
-  4/8/16 GPUs), i.e. an aggregate host-staged bus whose bandwidth
-  grows sub-linearly as GPUs are added;
-* ``nccl_link_gbps=6.0`` — fits 32-bit AlexNet/VGG19 NCCL at 8 GPUs;
+* ``mpi_bus_gbps=24.0`` (Gbit/s = 3.0 GB/s) at the 4-GPU reference
+  with exponent ``0.62`` — fits the 32-bit AlexNet MPI column (328 →
+  273 → 192 samples/s for 4/8/16 GPUs), i.e. an aggregate host-staged
+  bus whose bandwidth grows sub-linearly as GPUs are added;
+* ``nccl_link_gbps=48.0`` (Gbit/s = 6.0 GB/s) — fits 32-bit
+  AlexNet/VGG19 NCCL at 8 GPUs;
 * ``mpi_matrix_latency_s=7.5e-6`` — fits the many-matrix networks
   (ResNet110's 446 gradient matrices make its 16-GPU MPI throughput
   *drop* below its 8-GPU value, as in the paper);

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..units import gbps_to_bytes_per_second
+
 __all__ = ["GpuSpec", "MachineSpec", "MACHINES", "get_machine"]
 
 
@@ -61,7 +63,10 @@ P100 = GpuSpec(
 class MachineSpec:
     """One machine configuration from the paper's Figure 2.
 
-    Link constants are *effective* values fit against Figures 10/11:
+    Link constants are *effective* values fit against Figures 10/11,
+    quoted in Gbit/s (converted exactly once through
+    :func:`repro.units.gbps_to_bytes_per_second`, like every other
+    link rate in the repository):
 
     * MPI is modelled as a host-staged shared bus whose aggregate
       bandwidth grows sub-linearly with the number of GPUs:
@@ -89,11 +94,11 @@ class MachineSpec:
     def mpi_bus_bandwidth(self, world_size: int) -> float:
         """Aggregate MPI bus bandwidth in bytes/second at ``world_size``."""
         scale = (world_size / 4.0) ** self.mpi_bus_exponent
-        return self.mpi_bus_gbps * 1e9 * scale
+        return gbps_to_bytes_per_second(self.mpi_bus_gbps) * scale
 
     def nccl_link_bandwidth(self) -> float:
         """Per-rank NCCL ring bandwidth in bytes/second."""
-        return self.nccl_link_gbps * 1e9
+        return gbps_to_bytes_per_second(self.nccl_link_gbps)
 
     def mpi_sync_seconds(self, world_size: int) -> float:
         """Straggler/synchronization overhead growing past 4 GPUs."""
@@ -110,11 +115,11 @@ class MachineSpec:
 
 _EC2_COMMON = {
     "gpu": K80,
-    "mpi_bus_gbps": 3.0,
+    "mpi_bus_gbps": 24.0,
     "mpi_bus_exponent": 0.62,
     "mpi_matrix_latency_s": 7.5e-6,
     "mpi_sync_per_gpu_s": 5.0e-3,
-    "nccl_link_gbps": 6.0,
+    "nccl_link_gbps": 48.0,
     "nccl_matrix_latency_s": 4.0e-4,
     "nccl_max_gpus": 8,
     "nccl_quant_speedup": 0.25,
@@ -148,11 +153,11 @@ MACHINES: dict[str, MachineSpec] = {
         max_gpus=8,
         price_per_hour=50.0,  # Nimbix hourly price quoted in Figure 2
         cpu_cores=32,
-        mpi_bus_gbps=2.5,
+        mpi_bus_gbps=20.0,
         mpi_bus_exponent=0.62,
         mpi_matrix_latency_s=6.0e-6,
         mpi_sync_per_gpu_s=4.0e-3,
-        nccl_link_gbps=4.0,
+        nccl_link_gbps=32.0,
         nccl_matrix_latency_s=3.0e-4,
         nccl_max_gpus=8,
         nccl_quant_speedup=0.25,

@@ -24,6 +24,11 @@ from .extrapolation import (
     extrapolation_curve,
     print_extrapolation,
 )
+from .fabric import (
+    FabricSweepPoint,
+    fabric_sweep,
+    print_fabric_sweep,
+)
 from .insights import Insight, evaluate_insights, print_insights
 from .layer_sensitivity import (
     SensitivityResult,
@@ -64,6 +69,9 @@ __all__ = [
     "dummy_alexnet",
     "extrapolation_curve",
     "print_extrapolation",
+    "FabricSweepPoint",
+    "fabric_sweep",
+    "print_fabric_sweep",
     "Insight",
     "evaluate_insights",
     "print_insights",

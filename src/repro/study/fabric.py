@@ -1,0 +1,146 @@
+"""Fabric study: collective makespans at datacenter scale.
+
+The paper measures up to 16 GPUs on one machine; this study extends
+the question — "which low-precision collective wins?" — to K=64..1024
+ranks on a simulated leaf-spine fabric, where the answer depends on
+payload, scheme, and oversubscription rather than on a single bus:
+
+* ring amortizes bandwidth but pays O(K) latency rounds, so it loses
+  its crown as K grows and the per-chunk payload shrinks;
+* tree and butterfly pay O(log K) rounds of full/halved payloads;
+* hierarchical keeps bulk traffic on intra-node links and sends one
+  leader per host across the oversubscribed trunks — the regime where
+  aggressive quantization pays the most.
+
+Every point is one event-driven simulation with per-link FIFO
+queueing (:func:`repro.fabric.simulate.run_collective`), so trunk
+contention and incast are priced in, not modelled away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import viz
+from ..fabric.schedule import PATTERN_NAMES
+from ..fabric.simulate import run_collective
+from ..fabric.topology import leaf_spine
+from .report import print_table
+
+__all__ = [
+    "SWEEP_WORLD_SIZES",
+    "SWEEP_SCHEMES",
+    "FabricSweepPoint",
+    "fabric_sweep",
+    "print_fabric_sweep",
+]
+
+#: default rank counts of the simulation-only sweep
+SWEEP_WORLD_SIZES = (64, 128, 256, 512, 1024)
+#: default schemes: full precision, a mid QSGD point, and 1-bit
+SWEEP_SCHEMES = ("32bit", "qsgd4", "1bit")
+#: gradient elements per collective (AlexNet-scale payload)
+SWEEP_ELEMENTS = 2_000_000
+
+
+@dataclass(frozen=True)
+class FabricSweepPoint:
+    """One simulated (pattern, scheme, K) cell of the sweep."""
+
+    pattern: str
+    scheme: str
+    world_size: int
+    makespan_seconds: float
+    total_wire_bytes: int
+    transfers: int
+    max_link_utilization: float
+
+
+def fabric_sweep(
+    world_sizes: tuple[int, ...] = SWEEP_WORLD_SIZES,
+    patterns: tuple[str, ...] = PATTERN_NAMES,
+    schemes: tuple[str, ...] = SWEEP_SCHEMES,
+    total_elements: int = SWEEP_ELEMENTS,
+    oversubscription: float = 3.0,
+) -> list[FabricSweepPoint]:
+    """Simulate every (pattern, scheme, K) cell on a leaf-spine Clos."""
+    points: list[FabricSweepPoint] = []
+    for world_size in world_sizes:
+        topology = leaf_spine(
+            world_size, oversubscription=oversubscription
+        )
+        for scheme in schemes:
+            for pattern in patterns:
+                result = run_collective(
+                    topology, pattern, total_elements, scheme=scheme
+                )
+                busiest = result.busiest_links(1)
+                points.append(
+                    FabricSweepPoint(
+                        pattern=pattern,
+                        scheme=scheme,
+                        world_size=world_size,
+                        makespan_seconds=result.makespan_seconds,
+                        total_wire_bytes=result.total_wire_bytes,
+                        transfers=result.completed_transfers,
+                        max_link_utilization=(
+                            busiest[0][1] if busiest else 0.0
+                        ),
+                    )
+                )
+    return points
+
+
+def print_fabric_sweep(
+    world_sizes: tuple[int, ...] = SWEEP_WORLD_SIZES,
+    schemes: tuple[str, ...] = SWEEP_SCHEMES,
+    total_elements: int = SWEEP_ELEMENTS,
+    chart_scheme: str = "qsgd4",
+) -> list[FabricSweepPoint]:
+    """Print the sweep table plus the pattern-crossover chart."""
+    points = fabric_sweep(
+        world_sizes=world_sizes,
+        schemes=schemes,
+        total_elements=total_elements,
+    )
+    rows = [
+        [
+            point.world_size,
+            point.pattern,
+            point.scheme,
+            f"{point.makespan_seconds * 1e3:9.3f}",
+            f"{point.total_wire_bytes / 1e6:9.1f}",
+            point.transfers,
+            f"{point.max_link_utilization:6.1%}",
+        ]
+        for point in points
+    ]
+    print_table(
+        ["K", "Pattern", "Scheme", "ms", "Wire MB", "Transfers",
+         "Hot link"],
+        rows,
+        title=(
+            f"Fabric sweep: leaf-spine Clos, "
+            f"{total_elements / 1e6:.1f}M gradient elements"
+        ),
+    )
+    series = {
+        pattern: [
+            next(
+                p.makespan_seconds * 1e3
+                for p in points
+                if p.pattern == pattern
+                and p.scheme == chart_scheme
+                and p.world_size == k
+            )
+            for k in world_sizes
+        ]
+        for pattern in PATTERN_NAMES
+    }
+    print()
+    print(
+        f"makespan (ms) vs K={list(world_sizes)} at {chart_scheme} — "
+        "the ring/tree crossover the selector exploits:"
+    )
+    print(viz.line_chart(series, y_label="ms per allreduce"))
+    return points

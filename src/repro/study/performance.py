@@ -100,7 +100,13 @@ def epoch_bars(figure: str) -> list[EpochBar]:
 
 def print_epoch_bars(figure: str) -> list[EpochBar]:
     """Print one of Figures 6-9 as a table; return the bars."""
-    machine, exchange, _, _ = FIGURE_SETUPS[figure]
+    try:
+        machine, exchange, _, _ = FIGURE_SETUPS[figure]
+    except KeyError:
+        raise ValueError(
+            f"unknown figure {figure!r}; expected one of "
+            f"{sorted(FIGURE_SETUPS)}"
+        ) from None
     bars = epoch_bars(figure)
     rows = [
         [

@@ -14,6 +14,7 @@ from typing import Callable
 from .accuracy import FIG5_EXPERIMENTS, run_accuracy_experiment
 from .cost import print_cost_accuracy
 from .extrapolation import print_extrapolation
+from .fabric import print_fabric_sweep
 from .performance import FIGURE_SETUPS, print_epoch_bars
 from .scalability import SCALABILITY_SETUPS, print_scalability
 from .throughput import print_throughput_tables
@@ -85,6 +86,14 @@ def _build_registry() -> dict[str, Experiment]:
         "Figure 16 (right)",
         "speedup vs model-size/compute ratio (dummy models)",
         print_extrapolation,
+    )
+    registry["fabric-sweep"] = Experiment(
+        "fabric-sweep",
+        "extension (fabric)",
+        "collective makespans at K=64..256 on a leaf-spine Clos",
+        # the quick registry cell stops at K=256; the benchmark suite
+        # runs the full 64..1024 sweep
+        lambda: print_fabric_sweep(world_sizes=(64, 128, 256)),
     )
     return registry
 

@@ -97,7 +97,13 @@ def scalability_series(figure: str) -> list[ScalabilitySeries]:
 
 def print_scalability(figure: str) -> list[ScalabilitySeries]:
     """Print one of Figures 12-15 as labelled series; return them."""
-    family, exchange, _, _ = SCALABILITY_SETUPS[figure]
+    try:
+        family, exchange, _, _ = SCALABILITY_SETUPS[figure]
+    except KeyError:
+        raise ValueError(
+            f"unknown figure {figure!r}; expected one of "
+            f"{sorted(SCALABILITY_SETUPS)}"
+        ) from None
     series = scalability_series(figure)
     print(
         f"\n{figure}: scalability on {family} over {exchange.upper()} "

@@ -27,7 +27,20 @@ from ..simulator.machine import get_machine
 from ..simulator.timeline import pipeline_timeline
 from .export import PhaseBreakdown
 
-__all__ = ["RatioRow", "CrossValidation", "cross_validate"]
+__all__ = [
+    "DEFAULT_FRACTION_GAP_TOLERANCE",
+    "RatioRow",
+    "CrossValidation",
+    "cross_validate",
+]
+
+#: default pass/fail gate on phase-share agreement: the largest
+#: |measured - simulated| phase fraction a run may show and still count
+#: as cross-validated.  Live runs train tiny synthetic models while the
+#: simulator costs paper-scale cells, so shares shift with model size;
+#: 0.35 is wide enough for that scale gap yet tight enough to catch a
+#: model that mis-attributes a phase entirely (gap ~ 1.0).
+DEFAULT_FRACTION_GAP_TOLERANCE = 0.35
 
 #: how measured span names map onto the simulator's three cost terms
 _MEASURED_GROUPS = {
@@ -69,6 +82,19 @@ class CrossValidation:
     predicted_makespan_seconds: float
     rows: tuple[RatioRow, ...]
 
+    @property
+    def max_fraction_gap(self) -> float:
+        """Largest |measured - simulated| phase share across rows."""
+        return max(
+            (abs(row.fraction_gap) for row in self.rows), default=0.0
+        )
+
+    def passes(
+        self, tolerance: float = DEFAULT_FRACTION_GAP_TOLERANCE
+    ) -> bool:
+        """Whether every phase share agrees within ``tolerance``."""
+        return self.max_fraction_gap <= tolerance
+
     def report(self) -> str:
         """Side-by-side ratio table, one line per phase."""
         lines = [
@@ -86,6 +112,10 @@ class CrossValidation:
         lines.append(
             f"  predicted exchange makespan: "
             f"{self.predicted_makespan_seconds:.4f} s/iteration"
+        )
+        lines.append(
+            f"  max phase-share gap: {self.max_fraction_gap:.1%} "
+            f"(tolerance {DEFAULT_FRACTION_GAP_TOLERANCE:.0%})"
         )
         return "\n".join(lines)
 

@@ -1,0 +1,57 @@
+"""Bandwidth unit conversions shared across runtime and simulators.
+
+Link rates are quoted in Gbit/s everywhere in this repository —
+``TrainingConfig.link_gbps``, the machine models' calibrated bus/link
+constants, and the fabric topology's link classes.  Wire time is
+computed in bytes/second.  Before this module, the runtime pacing code
+and :mod:`repro.simulator.costmodel`'s machine models each performed
+the Gbit/s -> bytes/s conversion inline (and disagreed about it: the
+machine constants were silently gigaBYTES/s); every conversion now
+goes through :func:`gbps_to_bytes_per_second` so the factor is defined
+exactly once and pinned by a regression test.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BITS_PER_BYTE",
+    "GIGA",
+    "gbps_to_bytes_per_second",
+    "bytes_per_second_to_gbps",
+    "transfer_seconds",
+]
+
+#: bits per byte (the factor the two inline conversions disagreed on)
+BITS_PER_BYTE = 8
+#: one giga (decimal, as in networking: 1 Gbit/s = 1e9 bit/s)
+GIGA = 1e9
+
+
+def gbps_to_bytes_per_second(gbps: float) -> float:
+    """Convert a link rate in Gbit/s to bytes/second.
+
+    1 Gbit/s == 1e9 / 8 == 125e6 bytes/s.
+    """
+    if gbps < 0:
+        raise ValueError(f"link rate must be >= 0 Gbit/s, got {gbps}")
+    return gbps * GIGA / BITS_PER_BYTE
+
+
+def bytes_per_second_to_gbps(bytes_per_second: float) -> float:
+    """Convert bytes/second back to Gbit/s (inverse of the above)."""
+    if bytes_per_second < 0:
+        raise ValueError(
+            f"rate must be >= 0 bytes/s, got {bytes_per_second}"
+        )
+    return bytes_per_second * BITS_PER_BYTE / GIGA
+
+
+def transfer_seconds(
+    nbytes: int | float, gbps: float, latency_s: float = 0.0
+) -> float:
+    """Seconds to push ``nbytes`` over a ``gbps`` link after ``latency_s``."""
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+    if gbps <= 0:
+        raise ValueError(f"link rate must be > 0 Gbit/s, got {gbps}")
+    return latency_s + nbytes / gbps_to_bytes_per_second(gbps)

@@ -19,6 +19,22 @@ class TestValidation:
         with pytest.raises(ValueError, match="unknown exchange"):
             TrainingConfig(exchange="carrier-pigeon")
 
+    def test_unknown_exchange_error_lists_choices(self):
+        from repro.comm import EXCHANGE_NAMES
+
+        with pytest.raises(ValueError) as err:
+            TrainingConfig(exchange="carrier-pigeon")
+        for name in EXCHANGE_NAMES:
+            assert name in str(err.value)
+
+    def test_unknown_engine_error_lists_choices(self):
+        from repro.runtime.engine import ENGINE_NAMES
+
+        with pytest.raises(ValueError) as err:
+            TrainingConfig(engine="quantum")
+        for name in ENGINE_NAMES:
+            assert name in str(err.value)
+
     def test_world_size_positive(self):
         with pytest.raises(ValueError):
             TrainingConfig(world_size=0)

@@ -1,0 +1,173 @@
+"""Collective schedule compilation and byte-exact accounting."""
+
+import pytest
+
+from repro.fabric import (
+    PATTERN_NAMES,
+    compile_collective,
+    encoded_chunk_bytes,
+    leaf_spine,
+    schedule_for,
+    verify_allreduce,
+)
+from repro.fabric.schedule import Transfer
+from repro.quantization import make_quantizer
+
+
+class TestCompile:
+    @pytest.mark.parametrize("pattern", PATTERN_NAMES)
+    @pytest.mark.parametrize("world_size", [1, 2, 4, 8])
+    def test_all_patterns_verify(self, pattern, world_size):
+        schedule = compile_collective(pattern, world_size, 10_000,
+                                      "qsgd4")
+        verify_allreduce(schedule)
+
+    def test_world_of_one_is_empty(self):
+        schedule = compile_collective("ring", 1, 100)
+        assert schedule.transfers == ()
+        verify_allreduce(schedule)
+
+    def test_unknown_pattern_raises_value_error_listing_choices(self):
+        with pytest.raises(ValueError) as err:
+            compile_collective("gossip", 4, 100)
+        for name in PATTERN_NAMES:
+            assert name in str(err.value)
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            compile_collective("ring", 0, 100)
+        with pytest.raises(ValueError):
+            compile_collective("ring", 4, 0)
+
+    def test_ring_transfer_and_round_counts(self):
+        k = 8
+        schedule = compile_collective("ring", k, 10_000)
+        # K chunks x 2(K-1) hops each
+        assert len(schedule.transfers) == k * 2 * (k - 1)
+        assert schedule.rounds == 2 * (k - 1)
+
+    def test_tree_is_logarithmic(self):
+        schedule = compile_collective("tree", 8, 10_000)
+        assert len(schedule.transfers) == 2 * 7
+        assert schedule.rounds == 2 * 3  # 2 ceil(log2 8)
+
+    def test_deps_point_backwards(self):
+        for pattern in PATTERN_NAMES:
+            schedule = compile_collective(pattern, 6, 5_000, "qsgd8")
+            for t in schedule.transfers:
+                assert all(d < t.index for d in t.deps)
+
+    def test_ring_first_hops_have_no_deps(self):
+        # the sender's own contribution needs no prior receive: chunks
+        # must pipeline freely or the ring serializes
+        schedule = compile_collective("ring", 4, 1_000)
+        first_hops = [t for t in schedule.transfers if t.round == 0]
+        assert len(first_hops) == 4
+        assert all(t.deps == () for t in first_hops)
+
+
+class TestByteAccounting:
+    def test_chunk_bytes_use_encoded_wire_format(self):
+        codec = make_quantizer("qsgd4")
+        chunks = encoded_chunk_bytes(10_000, 4, codec)
+        ranges = [(0, 2500), (2500, 5000), (5000, 7500), (7500, 10000)]
+        assert chunks == tuple(
+            codec.encoded_nbytes((hi - lo, 1)) for lo, hi in ranges
+        )
+
+    def test_transfer_bytes_sum_chunk_bytes(self):
+        schedule = compile_collective("butterfly", 8, 9_999, "1bit")
+        for t in schedule.transfers:
+            assert t.nbytes == sum(schedule.chunk_bytes[t.lo:t.hi])
+
+    def test_quantization_shrinks_the_wire(self):
+        full = compile_collective("ring", 8, 100_000, "32bit")
+        q4 = compile_collective("ring", 8, 100_000, "qsgd4")
+        one = compile_collective("ring", 8, 100_000, "1bit")
+        assert q4.total_wire_bytes < full.total_wire_bytes / 4
+        assert one.total_wire_bytes < q4.total_wire_bytes
+
+    def test_payload_bytes_matches_full_gradient(self):
+        codec = make_quantizer("qsgd8")
+        schedule = compile_collective("tree", 4, 8_000, "qsgd8")
+        assert schedule.payload_bytes == sum(
+            codec.encoded_nbytes((2000, 1)) for _ in range(4)
+        )
+
+
+class TestHierarchical:
+    def test_schedule_for_groups_by_host(self):
+        topology = leaf_spine(16, gpus_per_host=4, hosts_per_leaf=2,
+                              spines=2)
+        schedule = schedule_for("hierarchical", topology, 20_000,
+                                "qsgd4")
+        verify_allreduce(schedule)
+        # inter-node traffic is leader-to-leader only
+        leaders = {0, 4, 8, 12}
+        for t in schedule.transfers:
+            if topology.host_of[t.src] != topology.host_of[t.dst]:
+                assert t.src in leaders and t.dst in leaders
+
+    def test_single_member_nodes(self):
+        schedule = compile_collective(
+            "hierarchical", 3, 1_000, nodes=((0,), (1,), (2,))
+        )
+        verify_allreduce(schedule)
+
+
+class TestVerifierCatchesBadSchedules:
+    def test_missing_contribution_detected(self):
+        good = compile_collective("tree", 4, 1_000)
+        bad = good.__class__(
+            pattern=good.pattern,
+            world_size=good.world_size,
+            total_elements=good.total_elements,
+            scheme=good.scheme,
+            chunk_bytes=good.chunk_bytes,
+            transfers=good.transfers[:-1],  # drop a broadcast leg
+        )
+        with pytest.raises(ValueError):
+            verify_allreduce(bad)
+
+    def test_double_reduce_detected(self):
+        good = compile_collective("tree", 2, 1_000)
+        dup = good.transfers[0]
+        extra = Transfer(
+            index=len(good.transfers),
+            src=dup.src,
+            dst=dup.dst,
+            lo=dup.lo,
+            hi=dup.hi,
+            nbytes=dup.nbytes,
+            op="reduce",
+            deps=(),
+            round=99,
+        )
+        bad = good.__class__(
+            pattern=good.pattern,
+            world_size=good.world_size,
+            total_elements=good.total_elements,
+            scheme=good.scheme,
+            chunk_bytes=good.chunk_bytes,
+            transfers=good.transfers + (extra,),
+        )
+        with pytest.raises(ValueError, match="more than once"):
+            verify_allreduce(bad)
+
+    def test_wrong_nbytes_detected(self):
+        good = compile_collective("tree", 2, 1_000)
+        t = good.transfers[0]
+        lying = Transfer(
+            index=t.index, src=t.src, dst=t.dst, lo=t.lo, hi=t.hi,
+            nbytes=t.nbytes + 1, op=t.op, deps=t.deps, round=t.round,
+        )
+        bad = good.__class__(
+            pattern=good.pattern,
+            world_size=good.world_size,
+            total_elements=good.total_elements,
+            scheme=good.scheme,
+            chunk_bytes=good.chunk_bytes,
+            transfers=(lying,) + good.transfers[1:],
+        )
+        with pytest.raises(ValueError, match="bytes"):
+            verify_allreduce(bad)

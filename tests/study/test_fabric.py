@@ -1,0 +1,54 @@
+"""Tests for the large-K fabric sweep study."""
+
+from repro.fabric import PATTERN_NAMES
+from repro.study import fabric_sweep, print_fabric_sweep
+from repro.study.fabric import SWEEP_SCHEMES, SWEEP_WORLD_SIZES
+
+
+class TestFabricSweep:
+    def test_grid_is_complete(self):
+        points = fabric_sweep(
+            world_sizes=(8, 16), total_elements=50_000
+        )
+        cells = {
+            (p.world_size, p.pattern, p.scheme) for p in points
+        }
+        assert cells == {
+            (k, pattern, scheme)
+            for k in (8, 16)
+            for pattern in PATTERN_NAMES
+            for scheme in SWEEP_SCHEMES
+        }
+        for point in points:
+            assert point.makespan_seconds > 0
+            assert point.total_wire_bytes > 0
+            assert point.transfers > 0
+            assert 0.0 <= point.max_link_utilization <= 1.0 + 1e-9
+
+    def test_quantization_cuts_wire_bytes_at_scale(self):
+        points = fabric_sweep(
+            world_sizes=(16,),
+            patterns=("ring",),
+            total_elements=500_000,
+        )
+        by_scheme = {p.scheme: p for p in points}
+        assert by_scheme["qsgd4"].total_wire_bytes < (
+            by_scheme["32bit"].total_wire_bytes / 4
+        )
+        assert by_scheme["1bit"].total_wire_bytes < (
+            by_scheme["qsgd4"].total_wire_bytes
+        )
+
+    def test_default_sweep_reaches_k1024(self):
+        assert SWEEP_WORLD_SIZES[0] == 64
+        assert SWEEP_WORLD_SIZES[-1] == 1024
+
+    def test_print_sweep_emits_table_and_chart(self, capsys):
+        points = print_fabric_sweep(
+            world_sizes=(8, 16), total_elements=20_000
+        )
+        out = capsys.readouterr().out
+        assert "Fabric sweep" in out
+        for pattern in PATTERN_NAMES:
+            assert pattern in out
+        assert len(points) == 2 * len(PATTERN_NAMES) * len(SWEEP_SCHEMES)

@@ -25,6 +25,17 @@ class TestEpochBars:
         with pytest.raises(ValueError):
             epoch_bars("fig99")
 
+    def test_unknown_figure_error_lists_choices(self):
+        from repro.study.performance import (
+            FIGURE_SETUPS,
+            print_epoch_bars,
+        )
+
+        with pytest.raises(ValueError) as err:
+            print_epoch_bars("fig99")
+        for figure in FIGURE_SETUPS:
+            assert figure in str(err.value)
+
     def test_fig6_quantization_shrinks_comm_share(self):
         bars = {
             (b.network, b.scheme): b for b in epoch_bars("fig6")

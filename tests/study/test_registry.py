@@ -10,6 +10,7 @@ EXPECTED_IDS = {
     "fig10", "fig11",
     "fig12", "fig13", "fig14", "fig15",
     "fig16-left", "fig16-right",
+    "fabric-sweep",
 }
 
 
@@ -20,7 +21,10 @@ class TestRegistry:
     def test_experiments_carry_descriptions(self):
         for experiment in EXPERIMENTS.values():
             assert experiment.description
-            assert experiment.paper_artefact.startswith("Figure")
+            # paper figures plus beyond-the-paper extension studies
+            assert experiment.paper_artefact.startswith(
+                ("Figure", "extension")
+            )
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(ValueError, match="unknown experiment"):

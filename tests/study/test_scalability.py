@@ -29,6 +29,14 @@ class TestSeries:
         with pytest.raises(ValueError):
             scalability_series("fig99")
 
+    def test_unknown_figure_error_lists_choices(self):
+        from repro.study.scalability import print_scalability
+
+        with pytest.raises(ValueError) as err:
+            print_scalability("fig99")
+        for figure in SCALABILITY_SETUPS:
+            assert figure in str(err.value)
+
     def test_baseline_is_one(self):
         s = series_map("fig12")[("AlexNet", "32bit")]
         assert s.scalability[0] == 1.0

@@ -80,3 +80,25 @@ def test_mpi_makespan_uses_discrete_event_timeline():
     assert nccl.predicted_makespan_seconds == pytest.approx(
         nccl.simulated.quantize_seconds + nccl.simulated.comm_seconds
     )
+
+
+def test_gap_gate_and_tolerance_report():
+    from repro.telemetry.crossval import DEFAULT_FRACTION_GAP_TOLERANCE
+
+    breakdown = PhaseBreakdown(
+        label="synthetic", wall_seconds=1.0, phase_seconds={"compute": 1.0}
+    )
+    validation = cross_validate(
+        breakdown, scheme="qsgd4", exchange="nccl", world_size=8
+    )
+    assert validation.max_fraction_gap == max(
+        abs(row.fraction_gap) for row in validation.rows
+    )
+    assert validation.passes(tolerance=1.0)
+    assert not validation.passes(
+        tolerance=validation.max_fraction_gap / 2
+    )
+    assert validation.passes() == (
+        validation.max_fraction_gap <= DEFAULT_FRACTION_GAP_TOLERANCE
+    )
+    assert "max phase-share gap" in validation.report()

@@ -262,3 +262,75 @@ class TestTrace:
         code = main(["trace", "--scheme", "qsgd"])
         assert code == 2
         assert "requires --bits" in capsys.readouterr().err
+
+
+class TestFabricCommand:
+    def test_single_cell_reports_makespan(self, capsys):
+        assert main([
+            "fabric", "--ranks", "16", "--pattern", "ring",
+            "--elements", "200000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ring/qsgd4" in out
+        assert "ms makespan" in out
+        assert "hot link" in out
+
+    def test_auto_select_prints_candidates(self, capsys):
+        assert main([
+            "fabric", "--ranks", "16", "--elements", "1000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "auto-selected" in out
+        assert "candidates:" in out
+
+    def test_network_sizes_the_payload(self, capsys):
+        assert main([
+            "fabric", "--ranks", "16", "--pattern", "tree",
+            "--network", "AlexNet",
+        ]) == 0
+        assert "ms makespan" in capsys.readouterr().out
+
+    def test_fault_injection_reports_degradation(self, capsys):
+        assert main([
+            "fabric", "--ranks", "16", "--pattern", "ring",
+            "--elements", "100000", "--fail-link", "host1:leaf0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "DEGRADED" in out
+        assert "evicted (link)" in out
+
+    def test_trace_written(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "fabric.json"
+        assert main([
+            "fabric", "--ranks", "8", "--pattern", "tree",
+            "--elements", "1000", "--trace", str(path),
+        ]) == 0
+        assert "trace written" in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        assert doc["otherData"]["pattern"] == "tree"
+
+    def test_bad_fail_link_format(self, capsys):
+        assert main(["fabric", "--fail-link", "leaf0spine1"]) == 2
+        assert "SRC:DST" in capsys.readouterr().err
+
+    def test_recover_at_requires_fail_link(self, capsys):
+        assert main(["fabric", "--recover-at", "0.5"]) == 2
+        assert "--recover-at requires --fail-link" in (
+            capsys.readouterr().err
+        )
+
+    def test_sweep_covers_every_pattern(self, capsys):
+        assert main([
+            "fabric", "--sweep", "--sweep-ranks", "8", "16",
+        ]) == 0
+        out = capsys.readouterr().out
+        for pattern in ("ring", "tree", "butterfly", "hierarchical"):
+            assert pattern in out
+
+    def test_crossval_gate_passes(self, capsys):
+        assert main(["fabric", "--crossval"]) == 0
+        out = capsys.readouterr().out
+        assert "fabric crossval: PASS" in out
+        assert "max phase-share gap" in out

@@ -1,0 +1,86 @@
+"""Regression tests pinning the shared Gbit/s <-> bytes/s conversion.
+
+Before :mod:`repro.units`, the runtime's ``link_gbps`` pacing and the
+simulator's machine models each converted bandwidth units inline and
+disagreed by a factor of 8 about what "gbps" meant.  These tests pin
+the one true factor and the calibrated machine bandwidths so neither
+side can drift again.
+"""
+
+import pytest
+
+from repro.simulator.machine import MACHINES
+from repro.units import (
+    BITS_PER_BYTE,
+    bytes_per_second_to_gbps,
+    gbps_to_bytes_per_second,
+    transfer_seconds,
+)
+
+
+def test_factor_is_pinned():
+    # 1 Gbit/s is exactly 125 MB/s — the factor both the runtime pacing
+    # and the simulator's machine models must share
+    assert BITS_PER_BYTE == 8
+    assert gbps_to_bytes_per_second(1.0) == pytest.approx(125e6)
+    assert gbps_to_bytes_per_second(8.0) == pytest.approx(1e9)
+    assert gbps_to_bytes_per_second(0.0) == 0.0
+
+
+def test_roundtrip():
+    for gbps in (0.5, 1.0, 6.0, 48.0, 400.0):
+        assert bytes_per_second_to_gbps(
+            gbps_to_bytes_per_second(gbps)
+        ) == pytest.approx(gbps)
+
+
+def test_negative_rates_rejected():
+    with pytest.raises(ValueError):
+        gbps_to_bytes_per_second(-1.0)
+    with pytest.raises(ValueError):
+        bytes_per_second_to_gbps(-1.0)
+    with pytest.raises(ValueError):
+        transfer_seconds(-1, 1.0)
+    with pytest.raises(ValueError):
+        transfer_seconds(1, 0.0)
+
+
+def test_transfer_seconds():
+    # 125 MB over 1 Gbit/s = 1 s, plus latency
+    assert transfer_seconds(125_000_000, 1.0) == pytest.approx(1.0)
+    assert transfer_seconds(0, 1.0, latency_s=2e-6) == pytest.approx(2e-6)
+    assert transfer_seconds(125_000_000, 1.0, latency_s=0.5) == (
+        pytest.approx(1.5)
+    )
+
+
+def test_machine_bandwidths_unchanged_by_unit_unification():
+    # the calibrated *effective* bandwidths, in bytes/s, must equal the
+    # pre-refactor values (constants were rescaled x8 when the implicit
+    # GB/s unit became an explicit Gbit/s)
+    ec2 = MACHINES["p2.8xlarge"]
+    assert ec2.mpi_bus_bandwidth(4) == pytest.approx(3.0e9)
+    assert ec2.nccl_link_bandwidth() == pytest.approx(6.0e9)
+    dgx = MACHINES["dgx1"]
+    assert dgx.mpi_bus_bandwidth(4) == pytest.approx(2.5e9)
+    assert dgx.nccl_link_bandwidth() == pytest.approx(4.0e9)
+
+
+def test_runtime_pacing_uses_shared_helper():
+    # the engine's per-rank link rate is derived through repro.units
+    from repro.core import TrainingConfig
+    from repro.nn import Dense, Sequential
+    from repro.runtime import make_engine
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    model = Sequential(Dense(4, 2, "fc", rng))
+    config = TrainingConfig(world_size=2, batch_size=4, link_gbps=2.0)
+    engine = make_engine(model, config, lambda *a: (0.0, None))
+    try:
+        assert engine._link_bytes_per_s == pytest.approx(
+            gbps_to_bytes_per_second(2.0)
+        )
+    finally:
+        if hasattr(engine, "shutdown"):
+            engine.shutdown()
