@@ -30,6 +30,15 @@ of the disabled (``NULL_TRACER``) span sites the hot path now crosses
 is measured directly and projected onto one workspace step; the run
 fails if that projection exceeds 2% of the measured step time.
 
+The run happens under one *kernel backend* (``--backend`` forces
+``numba``/``cext``/``numpy``; the default is the registry's
+auto-selection, see :mod:`repro.quantization.kernels`).  Two extra
+report sections compare backends directly: ``backends`` re-times the
+workspace mode under every backend available in the environment, and
+``kernel_micro`` times the four hot kernels (bucketize, quantize,
+pack/unpack, fused decode-accumulate) in isolation on the dominant
+fc1 layer.
+
 The JSON report is written to ``BENCH_hotpath.json``.  With ``--gate
 BASELINE.json`` the script exits non-zero when the workspace mode's
 steps/sec regresses more than ``--gate-tolerance`` (default 20%) below
@@ -51,6 +60,9 @@ import numpy as np
 
 from repro.core.algorithm import SynchronousStep
 from repro.core.config import TrainingConfig
+from repro.quantization import EncodeWorkspace, bitpack, kernels
+from repro.quantization.bucketing import bucket_plan
+from repro.quantization.qsgd import Qsgd
 from repro.telemetry import NULL_TRACER
 
 #: AlexNet-like layer inventory (rows, cols) — conv kernels flattened
@@ -138,6 +150,116 @@ def measure_mode(workspace: bool, steps: int, warmup: int) -> dict:
     }
 
 
+def measure_backends(steps: int, warmup: int) -> dict:
+    """Workspace-mode throughput under every available kernel backend."""
+    rows = {}
+    for name in kernels.available_backends():
+        with kernels.use_backend(name):
+            rows[name] = measure_mode(True, steps, warmup)
+        print(
+            f"backend {name:7s} {rows[name]['steps_per_sec']:8.2f} steps/s"
+        )
+    return rows
+
+
+def measure_kernel_micro(repeats: int) -> dict:
+    """Per-kernel timings on the dominant fc1 layer, per backend.
+
+    Times the hot kernels in isolation — the fused quantize+pack and
+    unpack+decode-accumulate the step actually runs, plus the unfused
+    bucketize / quantize / pack / unpack / decode-accumulate stages —
+    using the same workspace buffers the training step uses, so the
+    numbers decompose the per-step cost directly.
+    """
+    codec = Qsgd(4)
+    shape = PARAM_SHAPES["fc1"]
+    grad = np.random.default_rng(0).normal(size=shape).astype(np.float32)
+    bucket_size = codec.effective_bucket(grad.size)
+    plan = bucket_plan(grad.size, bucket_size)
+    lanes = (plan.n_buckets, bucket_size)
+
+    def timed(fn) -> float:
+        fn()  # warm (compile/allocate) outside the timed region
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            fn()
+        return 1e3 * (time.perf_counter() - t0) / repeats
+
+    sections = {}
+    for name in kernels.available_backends():
+        with kernels.use_backend(name):
+            backend = kernels.active()
+            ws = EncodeWorkspace()
+            buckets = ws.array("qsgd.buckets", lanes)
+            scales = ws.array("qsgd.scales", plan.n_buckets)
+            rand = np.random.default_rng(1).random(lanes)
+            codes = ws.array("qsgd.codes", lanes, np.uint32)
+            words = np.empty(
+                bitpack.packed_words(plan.padded, codec.bits), np.uint32
+            )
+            acc = ws.zeros("sumdec.bucket_acc", lanes)
+            out = np.empty(shape, dtype=np.float32)
+
+            backend.bucketize(grad, buckets)
+            backend.absmax_scales(buckets, scales, ws)
+            backend.quantize_sign(
+                buckets, scales, codec.bits, rand, codes, ws
+            )
+            flat_codes = codes.reshape(-1)
+
+            sections[name] = {
+                # the fused paths the training step actually runs
+                "quantize_pack_ms": timed(
+                    lambda: backend.quantize_sign_packed(
+                        buckets, scales, codec.bits, rand, words, ws
+                    )
+                ),
+                "unpack_decode_acc_ms": timed(
+                    lambda: backend.dequantize_sign_packed(
+                        words, scales, codec.bits, acc, True, ws
+                    )
+                ),
+            }
+            sections[name] |= {
+                "bucketize_ms": timed(
+                    lambda: backend.bucketize(grad, buckets)
+                ),
+                "quantize_ms": timed(
+                    lambda: (
+                        backend.absmax_scales(buckets, scales, ws),
+                        backend.quantize_sign(
+                            buckets, scales, codec.bits, rand, codes, ws
+                        ),
+                    )
+                ),
+                "pack_ms": timed(
+                    lambda: bitpack.pack_into(
+                        flat_codes, codec.bits, words,
+                        workspace=ws, check=False,
+                    )
+                ),
+                "unpack_ms": timed(
+                    lambda: bitpack.unpack_into(
+                        words, plan.padded, codec.bits, workspace=ws
+                    )
+                ),
+                "decode_acc_ms": timed(
+                    lambda: backend.dequantize_sign(
+                        codes, scales, codec.bits, acc, True, ws
+                    )
+                ),
+                "unbucketize_ms": timed(
+                    lambda: backend.unbucketize(acc, shape, out, False)
+                ),
+            }
+            line = "  ".join(
+                f"{k.removesuffix('_ms')} {v:6.3f}ms"
+                for k, v in sections[name].items()
+            )
+            print(f"kernels {name:7s} {line}")
+    return sections
+
+
 def measure_null_tracer_overhead(step_seconds: float) -> dict:
     """Projected share of one step spent in disabled tracing sites.
 
@@ -176,6 +298,13 @@ def main(argv: list[str] | None = None) -> int:
         help="CI smoke mode: fewer steps (15 timed, 3 warmup)",
     )
     parser.add_argument(
+        "--backend",
+        choices=kernels.BACKEND_ORDER,
+        default=None,
+        help="force a kernel backend for the whole run "
+        "(default: registry auto-selection)",
+    )
+    parser.add_argument(
         "--output",
         default="BENCH_hotpath.json",
         help="where to write the JSON report",
@@ -196,6 +325,10 @@ def main(argv: list[str] | None = None) -> int:
     steps = 15 if args.quick else args.steps
     warmup = 3 if args.quick else args.warmup
 
+    if args.backend is not None:
+        kernels.set_backend(args.backend)
+    print(f"kernel backend: {kernels.backend_name()}")
+
     results = {}
     for label, use_ws in (("workspace", True), ("allocating", False)):
         results[label] = measure_mode(use_ws, steps, warmup)
@@ -210,6 +343,9 @@ def main(argv: list[str] | None = None) -> int:
         1, ws["alloc_bytes_per_step"]
     )
     print(f"speedup     {speedup:8.2f}x   alloc drop {alloc_drop:,.1f}x")
+
+    backend_rows = measure_backends(steps, warmup)
+    micro = measure_kernel_micro(repeats=20 if args.quick else 100)
 
     tracer_overhead = measure_null_tracer_overhead(
         ws["step_ms"] / 1e3
@@ -232,9 +368,12 @@ def main(argv: list[str] | None = None) -> int:
         "quick": args.quick,
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "kernel_backend": kernels.backend_name(),
         "results": results,
         "speedup_vs_allocating": speedup,
         "alloc_drop_vs_allocating": alloc_drop,
+        "backends": backend_rows,
+        "kernel_micro": micro,
         "null_tracer": tracer_overhead,
     }
     with open(args.output, "w") as fh:

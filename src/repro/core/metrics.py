@@ -51,12 +51,19 @@ class History:
             (:class:`~repro.runtime.resilience.TopologyChange`); unlike
             ``failures`` these do *not* stop the run — training
             continued on the survivors.
+        kernel_backend: name of the quantization kernel backend that
+            was active during the run ("numba", "cext" or "numpy"),
+            recorded by the trainer for provenance.  Deliberately
+            excluded from :meth:`digest`: equal digests from runs whose
+            ``kernel_backend`` differs is exactly the cross-backend
+            bit-identity evidence the kernels CI job checks for.
     """
 
     label: str
     epochs: list[EpochMetrics] = field(default_factory=list)
     failures: list["WorkerFailure"] = field(default_factory=list)
     topology_changes: list["TopologyChange"] = field(default_factory=list)
+    kernel_backend: str | None = None
 
     def append(self, metrics: EpochMetrics) -> None:
         self.epochs.append(metrics)
@@ -122,10 +129,13 @@ class History:
         via ``float.hex`` (exact, no formatting loss) plus the integer
         comm-byte counts — and deliberately excludes wall-clock and
         traced phase times, which legitimately differ between runs of
-        the same trajectory.  Two runs producing the same digest took
+        the same trajectory, and run metadata such as
+        :attr:`kernel_backend`, so digest equality across backends is
+        meaningful.  Two runs producing the same digest took
         bit-identical per-epoch measurements; the resume CI job
         compares an interrupted-then-resumed run against an
-        uninterrupted one this way.
+        uninterrupted one this way, and the kernels CI job compares a
+        compiled-backend run against the numpy reference.
         """
         h = hashlib.sha256()
         h.update(self.label.encode())
@@ -151,6 +161,8 @@ class History:
                 for m in self.epochs
             ],
         }
+        if self.kernel_backend is not None:
+            record["kernel_backend"] = self.kernel_backend
         if self.failures:
             record["failures"] = [f.to_dict() for f in self.failures]
         if self.topology_changes:
@@ -165,7 +177,10 @@ class History:
         from ..runtime.faults import WorkerFailure
         from ..runtime.resilience import TopologyChange
 
-        history = cls(label=record["label"])
+        history = cls(
+            label=record["label"],
+            kernel_backend=record.get("kernel_backend"),
+        )
         for row in record["epochs"]:
             history.append(EpochMetrics(**row))
         for row in record.get("failures", ()):

@@ -24,6 +24,7 @@ from ..data.loader import iterate_minibatches
 from ..nn.loss import softmax_cross_entropy
 from ..nn.module import Module
 from ..optim import exponential_decay
+from ..quantization import kernels
 from ..runtime.engine import make_engine
 from ..runtime.faults import WorkerFailureError
 from .checkpoint import CheckpointPolicy, TrainingCheckpoint, save_checkpoint
@@ -164,7 +165,10 @@ class ParallelTrainer:
         resumed run's history is bit-identical to the uninterrupted
         run's.
         """
-        history = History(label=self.config.label)
+        history = History(
+            label=self.config.label,
+            kernel_backend=kernels.backend_name(),
+        )
         start_epoch = 0
         skip_batches = 0
         carry_losses: list[float] = []

@@ -23,6 +23,7 @@ from .bucketing import (
     to_buckets,
     to_buckets_into,
 )
+from . import kernels
 from .fullprec import FullPrecision
 from .onebit import OneBitSgd
 from .onebit_reshaped import OneBitSgdReshaped
@@ -56,6 +57,7 @@ __all__ = [
     "DEFAULT_BUCKET_SIZES",
     "SCHEME_NAMES",
     "make_quantizer",
+    "kernels",
 ]
 
 #: scheme names in the order the paper's figures list them

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Mapping
 
 import numpy as np
@@ -61,9 +62,14 @@ class EncodedTensor:
         """Number of scalar gradient entries the message carries."""
         return int(np.prod(self.shape)) if self.shape else 1
 
-    @property
+    @cached_property
     def nbytes(self) -> int:
-        """Exact wire size of the message in bytes."""
+        """Exact wire size of the message in bytes.
+
+        Cached per message (writes around the frozen-dataclass guard):
+        the exchange layer re-reads it for traffic accounting several
+        times per message, and the payload sections never change size.
+        """
         return MESSAGE_HEADER_BYTES + sum(
             arr.nbytes for arr in self.payload.values()
         )
@@ -225,7 +231,11 @@ class BucketSumDecoder(SumDecoder):
     ``unbucket(sum_r values_r) == sum_r unbucket(values_r)`` exactly,
     bit for bit, because each element still accumulates the same
     float32 operands in the same order.  The codec must provide
-    ``_decode_values(message, workspace) -> (n_buckets, bucket_size)``.
+    ``_decode_values(message, workspace) -> (n_buckets, bucket_size)``;
+    codecs that additionally provide ``_decode_acc_into(message, acc,
+    workspace)`` get the fused decode-accumulate path, which adds
+    decoded values straight into the bucket accumulator without
+    materializing them (same operands, same order, so bit-identical).
     """
 
     def __init__(
@@ -240,6 +250,10 @@ class BucketSumDecoder(SumDecoder):
         self._acc = None  # allocated lazily: geometry comes from msg 0
 
     def add(self, message: EncodedTensor) -> None:
+        fused = getattr(self.codec, "_decode_acc_into", None)
+        if fused is not None:
+            self._acc = fused(message, self._acc, self.workspace)
+            return
         values = self.codec._decode_values(message, self.workspace)
         if self._acc is None:
             if self.workspace is None:
@@ -248,6 +262,12 @@ class BucketSumDecoder(SumDecoder):
                 self._acc = self.workspace.zeros(
                     "sumdec.bucket_acc", values.shape
                 )
+        elif self._acc.shape != values.shape:
+            raise ValueError(
+                f"message bucket geometry {values.shape} does not match "
+                f"the accumulator {self._acc.shape}; all messages in one "
+                f"exchange must share the same bucket layout"
+            )
         self._acc += values
 
     def result(self) -> np.ndarray:

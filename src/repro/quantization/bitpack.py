@@ -13,18 +13,20 @@ Widths that do not divide 32 are rounded up to the next divisor of 32
 alignment behaviour of the CNTK kernels, which only ever emit
 power-of-two slot widths, and keeps unpacking branch-free.
 
-Hot-path forms: :func:`pack_into` and :func:`unpack_into` write into
-caller-provided buffers and draw their lane scratch from an
-:class:`~repro.quantization.workspace.EncodeWorkspace`, so steady-state
-packing performs no allocations.  Slot widths, lane shift tables, and
-lane masks are precomputed once at import instead of being re-derived
-per call.
+Hot-path forms: :func:`pack_into` and :func:`unpack_into` validate the
+request and dispatch the lane arithmetic to the active kernel backend
+(:mod:`repro.quantization.kernels`): compiled loops under numba or the
+C extension, the vectorized numpy reference otherwise — all
+bit-identical by test.  Lane scratch comes from the caller's
+:class:`~repro.quantization.workspace.EncodeWorkspace`, so
+steady-state packing performs no allocations with any backend.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from . import kernels
 from .workspace import EncodeWorkspace
 
 __all__ = [
@@ -46,18 +48,6 @@ _SLOT_FOR_WIDTH = (0,) + tuple(
 )
 #: slot width -> codes per 32-bit word
 _LANES_FOR_SLOT = {slot: _WORD_BITS // slot for slot in _DIVISORS_OF_32}
-#: slot width -> uint32 shift table for the lanes of one word
-_SHIFTS_FOR_SLOT = {
-    slot: (np.arange(_WORD_BITS // slot, dtype=np.uint32) * slot).astype(
-        np.uint32
-    )
-    for slot in _DIVISORS_OF_32
-}
-#: slot width -> lane mask
-_MASK_FOR_SLOT = {
-    slot: np.uint32((1 << slot) - 1) if slot < 32 else np.uint32(0xFFFFFFFF)
-    for slot in _DIVISORS_OF_32
-}
 
 
 def slot_width(width: int) -> int:
@@ -79,14 +69,6 @@ def packed_words(count: int, width: int) -> int:
     return -(-count // per_word)  # ceil division
 
 
-def _lane_scratch(
-    n_words: int, per_word: int, workspace: EncodeWorkspace | None, tag: str
-) -> np.ndarray:
-    if workspace is None:
-        return np.empty((n_words, per_word), dtype=np.uint32)
-    return workspace.array(tag, (n_words, per_word), np.uint32)
-
-
 def pack_into(
     codes: np.ndarray,
     width: int,
@@ -100,7 +82,7 @@ def pack_into(
         codes: 1-D array of integers, each in ``[0, 2**width)``.
         width: nominal code width in bits.
         out: uint32 buffer of length ``packed_words(len(codes), width)``.
-        workspace: arena for the lane scratch (allocates when ``None``).
+        workspace: arena for any lane scratch (allocates when ``None``).
         check: validate the code range.  Encoders whose codes are
             in-range by construction pass ``False`` to skip the scan.
     """
@@ -113,36 +95,13 @@ def pack_into(
         if codes.min() < 0 or codes.max() >= limit:
             raise ValueError(f"codes out of range for width {width}")
 
-    per_word = _LANES_FOR_SLOT[slot]
     n_words = packed_words(codes.size, width)
     if out.shape != (n_words,) or out.dtype != np.uint32:
         raise ValueError(
             f"out must be uint32 of shape ({n_words},), got "
             f"{out.dtype} {out.shape}"
         )
-    if codes.size == n_words * per_word and codes.dtype == np.uint32:
-        # transposed lane layout: each lane's shift writes a contiguous
-        # row, and the OR-reduce runs down axis 0 over long contiguous
-        # rows, which NumPy vectorizes (~3x faster than the axis-1
-        # reduce over per-word groups).  OR is commutative, so the
-        # packed words are bit-identical either way.
-        lanes = _lane_scratch(
-            per_word, n_words, workspace, "bitpack.packT"
-        )
-        np.left_shift(
-            codes.reshape(n_words, per_word).T,
-            _SHIFTS_FOR_SLOT[slot][:, None],
-            out=lanes,
-        )
-        np.bitwise_or.reduce(lanes, axis=0, out=out)
-        return out
-    lanes = _lane_scratch(n_words, per_word, workspace, "bitpack.pack")
-    flat = lanes.reshape(-1)
-    flat[: codes.size] = codes
-    flat[codes.size:] = 0
-    np.left_shift(lanes, _SHIFTS_FOR_SLOT[slot], out=lanes)
-    np.bitwise_or.reduce(lanes, axis=1, out=out)
-    return out
+    return kernels.active().pack(codes, slot, out, workspace)
 
 
 def unpack_into(
@@ -163,21 +122,13 @@ def unpack_into(
     if words.ndim != 1:
         raise ValueError(f"words must be 1-D, got shape {words.shape}")
     slot = slot_width(width)
-    per_word = _LANES_FOR_SLOT[slot]
     expected = packed_words(count, width)
     if words.size != expected:
         raise ValueError(
             f"expected {expected} words for {count} codes of width {width}, "
             f"got {words.size}"
         )
-    lanes = _lane_scratch(words.size, per_word, workspace, "bitpack.unpack")
-    np.right_shift(words[:, None], _SHIFTS_FOR_SLOT[slot], out=lanes)
-    np.bitwise_and(lanes, _MASK_FOR_SLOT[slot], out=lanes)
-    view = lanes.reshape(-1)[:count]
-    if out is None:
-        return view
-    out[...] = view
-    return out
+    return kernels.active().unpack(words, count, slot, workspace, out)
 
 
 def pack(codes: np.ndarray, width: int) -> np.ndarray:

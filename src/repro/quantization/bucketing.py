@@ -18,6 +18,8 @@ from typing import NamedTuple
 
 import numpy as np
 
+from . import kernels
+
 __all__ = [
     "bucket_count",
     "bucket_plan",
@@ -76,18 +78,14 @@ def to_buckets_into(
     """Write the padded bucket matrix of ``grad`` into ``out``.
 
     ``out`` must be a C-contiguous float32 ``(n_buckets, bucket_size)``
-    buffer.  The column-major flatten is performed as a strided copy
-    directly into ``out`` (the F-order ravel of ``grad`` equals the
-    C-order ravel of its reversed-axes transpose), so no intermediate
-    arrays are materialized.
+    buffer.  The column-major flatten is a pure permutation copy (the
+    F-order ravel of ``grad`` equals the C-order ravel of its
+    reversed-axes transpose), dispatched to the active kernel backend:
+    a tiled transpose under the compiled backends, a strided numpy
+    copy otherwise.  No intermediate arrays are materialized.
     """
     grad = np.asarray(grad)
-    n = grad.size
-    flat = out.reshape(-1)
-    if n:
-        flat[:n].reshape(grad.shape[::-1])[...] = grad.T
-    flat[n:] = 0.0
-    return out
+    return kernels.active().bucketize(grad, out)
 
 
 def from_buckets(
@@ -113,15 +111,9 @@ def from_buckets_into(
     summing (same operand order, same float32 arithmetic).
 
     ``buckets`` must be C-contiguous; ``out`` may be any (possibly
-    strided) float32 view of the destination.
+    strided) float32 view of the destination.  The permutation is
+    dispatched to the active kernel backend (a pure copy, so there is
+    no arithmetic to keep bit-identical; the accumulate path adds the
+    same operands in the same order under every backend).
     """
-    n = int(np.prod(shape)) if shape else 1
-    # same elements as writing `buckets` into `out.T`, but oriented so
-    # the contiguous operand is the destination (strided reads are
-    # roughly 2x cheaper than strided read-modify-writes)
-    src = buckets.reshape(-1)[:n].reshape(shape[::-1]).T
-    if accumulate:
-        np.add(out, src, out=out)
-    else:
-        out[...] = src
-    return out
+    return kernels.active().unbucketize(buckets, shape, out, accumulate)

@@ -1,0 +1,138 @@
+"""Kernel backend registry for the quantization hot path.
+
+The four hottest kernels of the encode/exchange path — bitpack
+pack/unpack, QSGD stochastic encode, QSGD decode, and the fused
+decode-accumulate behind :class:`~repro.quantization.base.
+BucketSumDecoder` — are provided by interchangeable *backends* with
+identical signatures and byte-for-byte identical output:
+
+``numba``
+    ``@njit(cache=True)``-compiled loop kernels (:mod:`._numba`).
+    Available when the optional ``numba`` dependency is installed
+    (``pip install repro[kernels]``).
+``cext``
+    ``_kernels.c`` compiled on first use with the system C compiler
+    and called through ctypes (:mod:`._cext`).  Available when a
+    working ``cc`` is on PATH.
+``numpy``
+    The pure-numpy reference (:mod:`._numpy`); always available.
+    This backend defines the bit pattern the other two must match.
+
+Selection happens once, on first use: the ``REPRO_KERNELS``
+environment variable (``numba``, ``cext`` or ``numpy``) forces a
+backend — raising immediately if the forced backend cannot load — and
+without it the registry auto-selects the first available of
+``numba`` → ``cext`` → ``numpy``, falling through gracefully when a
+compiled backend is absent.  Callers dispatch per call via
+:func:`active`, so the test suite can pin backends with
+:func:`use_backend` without re-importing anything.
+
+Bit-identity across backends is enforced by
+``tests/quantization/test_kernels.py`` over the full
+scheme×bits×bucket×shape grid, including the RNG-consuming stochastic
+rounding: the uniform draws are made by the caller with the run's
+:class:`numpy.random.Generator` and passed *into* the kernels, so
+every backend consumes the identical stream.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+from contextlib import contextmanager
+
+__all__ = [
+    "active",
+    "backend_name",
+    "available_backends",
+    "set_backend",
+    "use_backend",
+    "BACKEND_ORDER",
+]
+
+#: auto-selection preference, fastest first
+BACKEND_ORDER = ("numba", "cext", "numpy")
+
+_active = None
+_load_errors: dict[str, Exception] = {}
+
+
+def _try_load(name: str):
+    try:
+        return importlib.import_module(f"._{name}", __name__)
+    except Exception as exc:  # missing dep / no compiler / build failure
+        _load_errors[name] = exc
+        return None
+
+
+def _select():
+    forced = os.environ.get("REPRO_KERNELS", "").strip().lower()
+    if forced:
+        if forced not in BACKEND_ORDER:
+            raise ValueError(
+                f"REPRO_KERNELS={forced!r}: unknown backend "
+                f"(choose from {', '.join(BACKEND_ORDER)})"
+            )
+        module = _try_load(forced)
+        if module is None:
+            raise RuntimeError(
+                f"REPRO_KERNELS={forced!r} requested but the backend "
+                f"failed to load: {_load_errors[forced]!r}"
+            )
+        return module
+    for name in BACKEND_ORDER:
+        module = _try_load(name)
+        if module is not None:
+            return module
+    raise AssertionError("unreachable: the numpy backend always imports")
+
+
+def active():
+    """The selected backend module (selects on first call, then cached)."""
+    global _active
+    if _active is None:
+        _active = _select()
+    return _active
+
+
+def backend_name() -> str:
+    """Name of the active backend: ``"numba"``, ``"cext"`` or ``"numpy"``."""
+    return active().name
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backends that load in this environment (probes each once)."""
+    return tuple(n for n in BACKEND_ORDER if _try_load(n) is not None)
+
+
+def set_backend(name: str) -> str:
+    """Force ``name`` as the active backend; returns the previous name.
+
+    Test/bench hook: raises if the backend cannot load.  Prefer
+    :func:`use_backend` for scoped switches.
+    """
+    global _active
+    if name not in BACKEND_ORDER:
+        raise ValueError(
+            f"unknown kernel backend {name!r} "
+            f"(choose from {', '.join(BACKEND_ORDER)})"
+        )
+    module = _try_load(name)
+    if module is None:
+        raise RuntimeError(
+            f"kernel backend {name!r} is not available here: "
+            f"{_load_errors[name]!r}"
+        )
+    previous = backend_name()
+    _active = module
+    return previous
+
+
+@contextmanager
+def use_backend(name: str):
+    """Context manager pinning the active backend within a ``with`` block."""
+    previous = set_backend(name)
+    try:
+        yield active()
+    finally:
+        set_backend(previous)

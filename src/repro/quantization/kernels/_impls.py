@@ -1,0 +1,193 @@
+"""Scalar loop kernels: the source numba compiles.
+
+These functions are written once and used two ways: the numba backend
+wraps them in ``numba.njit(cache=True)``, and the test suite runs them
+*uncompiled* on tiny shapes so the loop logic is exercised even where
+numba is not installed.  To make both modes produce bit-identical
+float32 results, every float constant is an explicit ``np.float32`` and
+every narrowing is an explicit cast:
+
+* On numpy scalar operands (uncompiled mode), float32 arithmetic stays
+  float32 under NEP 50 promotion; a bare Python literal like ``1.0``
+  would also stay float32, but under numba a Python float literal is a
+  float64 and would silently promote the whole expression.  Explicit
+  ``np.float32`` constants pin both modes to the same arithmetic.
+* ``np.int32(x)`` truncates toward zero in both modes; it equals floor
+  only for non-negative ``x``, so the grid variant (whose positions can
+  round slightly below zero under l2 scaling) corrects it to a true
+  floor.
+* Stochastic rounding compares the float64 draw against the float32
+  probability promoted to float64, exactly as the numpy reference's
+  ``rand < prob`` does.
+
+Keep these loops in lockstep with ``_kernels.c`` — they are the same
+algorithms in the same operation order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_F0 = np.float32(0.0)
+_F1 = np.float32(1.0)
+_F2 = np.float32(2.0)
+_U1 = np.uint32(1)
+
+
+def transpose_f32(src, dst):
+    """``dst[c * rows + r] = src[r, c]``: F-order flatten of 2-D ``src``."""
+    rows, cols = src.shape
+    for r in range(rows):
+        for c in range(cols):
+            dst[c * rows + r] = src[r, c]
+
+
+def untranspose_f32(flat, out):
+    """``out[r, c] = flat[c * rows + r]``: inverse of :func:`transpose_f32`."""
+    rows, cols = out.shape
+    for r in range(rows):
+        for c in range(cols):
+            out[r, c] = flat[c * rows + r]
+
+
+def absmax_rows(buckets, scales):
+    """``scales[b] = max |buckets[b, :]|`` (order-independent)."""
+    n_buckets, bucket_size = buckets.shape
+    for b in range(n_buckets):
+        m = _F0
+        for j in range(bucket_size):
+            v = buckets[b, j]
+            av = -v if v < _F0 else v
+            if av > m:
+                m = av
+        scales[b] = m
+
+
+def quant_sign(buckets, scales, bits, rand, codes):
+    """Sign-variant QSGD: ``(level << 1) | signbit`` per element."""
+    n_buckets, bucket_size = buckets.shape
+    s = np.int32((1 << (bits - 1)) - 1)
+    sf = np.float32(s)
+    for b in range(n_buckets):
+        scale = scales[b]
+        if scale == _F0:
+            for j in range(bucket_size):
+                codes[b, j] = 0
+            continue
+        for j in range(bucket_size):
+            v = buckets[b, j]
+            av = -v if v < _F0 else v
+            ratio = av / scale
+            if ratio > _F1:
+                ratio = _F1
+            ratio = ratio * sf
+            low = np.int32(ratio)
+            prob = ratio - np.float32(low)
+            level = low + np.int32(rand[b, j] < np.float64(prob))
+            if level > s:
+                level = s
+            codes[b, j] = (np.uint32(level) << _U1) | np.uint32(v < _F0)
+
+
+def quant_grid(buckets, scales, bits, rand, codes):
+    """Grid-variant QSGD: stochastic index into the level endpoints."""
+    n_buckets, bucket_size = buckets.shape
+    top = np.int32((1 << bits) - 1)
+    topf = np.float32(top)
+    for b in range(n_buckets):
+        scale = scales[b]
+        step = _F2 * scale
+        step = step / topf
+        # step can underflow to zero for subnormal scales; the numpy
+        # reference substitutes 1.0 for non-positive steps
+        safe = step if step > _F0 else _F1
+        if scale == _F0:
+            for j in range(bucket_size):
+                codes[b, j] = 0
+            continue
+        for j in range(bucket_size):
+            pos = buckets[b, j] + scale
+            pos = pos / safe
+            low = np.int32(pos)
+            if pos < np.float32(low):
+                low = low - np.int32(1)
+            prob = pos - np.float32(low)
+            idx = low + np.int32(rand[b, j] < np.float64(prob))
+            if idx < 0:
+                idx = np.int32(0)
+            if idx > top:
+                idx = top
+            codes[b, j] = np.uint32(idx)
+
+
+def pack_words(codes, count, slot, words, n_words):
+    """``words[w] = OR_l codes[w*per_word + l] << (l * slot)``."""
+    per_word = 32 // slot
+    full = count // per_word
+    for w in range(full):
+        base = w * per_word
+        acc = np.uint32(0)
+        for l in range(per_word):  # noqa: E741
+            acc = acc | (codes[base + l] << np.uint32(l * slot))
+        words[w] = acc
+    if full < n_words:
+        base = full * per_word
+        tail = count - base
+        acc = np.uint32(0)
+        for l in range(tail):  # noqa: E741
+            acc = acc | (codes[base + l] << np.uint32(l * slot))
+        words[full] = acc
+
+
+def unpack_words(words, n_words, slot, codes):
+    """Inverse of :func:`pack_words`; writes every lane of every word."""
+    per_word = 32 // slot
+    mask = np.uint32((1 << slot) - 1) if slot < 32 else np.uint32(0xFFFFFFFF)
+    for w in range(n_words):
+        word = words[w]
+        base = w * per_word
+        for l in range(per_word):  # noqa: E741
+            codes[base + l] = (word >> np.uint32(l * slot)) & mask
+
+
+def dequant_sign(codes, scales, bits, out, accumulate):
+    """``((1 - 2*signbit) * level) / s * scale``; set or accumulate."""
+    n_buckets, bucket_size = codes.shape
+    sf = np.float32((1 << (bits - 1)) - 1)
+    for b in range(n_buckets):
+        scale = scales[b]
+        for j in range(bucket_size):
+            code = codes[b, j]
+            level = np.float32(code >> _U1)
+            v = _F1 - _F2 * np.float32(code & _U1)
+            v = v * level
+            v = v / sf
+            v = v * scale
+            if accumulate:
+                out[b, j] = out[b, j] + v
+            else:
+                out[b, j] = v
+
+
+def dequant_grid(codes, scales, bits, out, accumulate):
+    """``code * step - scale`` (zero buckets decode to +0); set or add."""
+    n_buckets, bucket_size = codes.shape
+    topf = np.float32((1 << bits) - 1)
+    for b in range(n_buckets):
+        scale = scales[b]
+        step = _F2 * scale
+        step = step / topf
+        if scale == _F0:
+            for j in range(bucket_size):
+                if accumulate:
+                    out[b, j] = out[b, j] + _F0
+                else:
+                    out[b, j] = _F0
+            continue
+        for j in range(bucket_size):
+            v = np.float32(codes[b, j]) * step
+            v = v - scale
+            if accumulate:
+                out[b, j] = out[b, j] + v
+            else:
+                out[b, j] = v

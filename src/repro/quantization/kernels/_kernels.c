@@ -1,0 +1,565 @@
+/* Compiled hot-path kernels for the quantization package.
+ *
+ * Built at import time by `repro.quantization.kernels._cext` with
+ *
+ *   cc -O3 -march=native -ffp-contract=off -fno-math-errno
+ *      -fno-trapping-math -shared -fPIC
+ *
+ * Bit-identity with the numpy reference backend is the contract every
+ * function here must honour, so the float32 arithmetic mirrors the
+ * numpy op sequence exactly:
+ *
+ *  - `-ffp-contract=off` is mandatory: fusing `acc += v * scale` into
+ *    an FMA would skip the intermediate rounding numpy performs.
+ *  - Stochastic rounding compares the pre-drawn float64 uniform draw
+ *    against the float32 probability promoted to double, exactly as
+ *    numpy's `rand < prob` does.  The draws are passed in, never
+ *    generated here, so compiled and reference backends consume the
+ *    same RNG stream.
+ *  - `(int32_t)x` truncation replaces floorf only where the operand is
+ *    provably non-negative (sign-variant ratios); the grid variant can
+ *    see slightly negative positions under l2 scaling, so it corrects
+ *    the truncation to a true floor.  Both forms vectorize where the
+ *    libm calls do not.
+ *  - l2-norm scale *reduction* is not implemented here on purpose:
+ *    numpy's pairwise summation order is part of the reference bit
+ *    pattern, so the python wrapper computes l2 scales with numpy and
+ *    passes them in.  The infinity norm is order-independent.
+ */
+
+#include <stdint.h>
+
+/* ------------------------------------------------------------------ */
+/* Bucket permutation: F-order flatten of a C-contiguous matrix        */
+/* ------------------------------------------------------------------ */
+
+#if defined(__AVX__)
+#include <immintrin.h>
+
+/* 8x8 float transpose of one register block */
+static inline void
+transpose_block8(const float *s, int64_t scols, float *d, int64_t dcols)
+{
+    __m256 x0 = _mm256_loadu_ps(s + 0 * scols);
+    __m256 x1 = _mm256_loadu_ps(s + 1 * scols);
+    __m256 x2 = _mm256_loadu_ps(s + 2 * scols);
+    __m256 x3 = _mm256_loadu_ps(s + 3 * scols);
+    __m256 x4 = _mm256_loadu_ps(s + 4 * scols);
+    __m256 x5 = _mm256_loadu_ps(s + 5 * scols);
+    __m256 x6 = _mm256_loadu_ps(s + 6 * scols);
+    __m256 x7 = _mm256_loadu_ps(s + 7 * scols);
+    __m256 t0 = _mm256_unpacklo_ps(x0, x1);
+    __m256 t1 = _mm256_unpackhi_ps(x0, x1);
+    __m256 t2 = _mm256_unpacklo_ps(x2, x3);
+    __m256 t3 = _mm256_unpackhi_ps(x2, x3);
+    __m256 t4 = _mm256_unpacklo_ps(x4, x5);
+    __m256 t5 = _mm256_unpackhi_ps(x4, x5);
+    __m256 t6 = _mm256_unpacklo_ps(x6, x7);
+    __m256 t7 = _mm256_unpackhi_ps(x6, x7);
+    __m256 u0 = _mm256_shuffle_ps(t0, t2, 0x44);
+    __m256 u1 = _mm256_shuffle_ps(t0, t2, 0xEE);
+    __m256 u2 = _mm256_shuffle_ps(t1, t3, 0x44);
+    __m256 u3 = _mm256_shuffle_ps(t1, t3, 0xEE);
+    __m256 u4 = _mm256_shuffle_ps(t4, t6, 0x44);
+    __m256 u5 = _mm256_shuffle_ps(t4, t6, 0xEE);
+    __m256 u6 = _mm256_shuffle_ps(t5, t7, 0x44);
+    __m256 u7 = _mm256_shuffle_ps(t5, t7, 0xEE);
+    _mm256_storeu_ps(d + 0 * dcols, _mm256_permute2f128_ps(u0, u4, 0x20));
+    _mm256_storeu_ps(d + 1 * dcols, _mm256_permute2f128_ps(u1, u5, 0x20));
+    _mm256_storeu_ps(d + 2 * dcols, _mm256_permute2f128_ps(u2, u6, 0x20));
+    _mm256_storeu_ps(d + 3 * dcols, _mm256_permute2f128_ps(u3, u7, 0x20));
+    _mm256_storeu_ps(d + 4 * dcols, _mm256_permute2f128_ps(u0, u4, 0x31));
+    _mm256_storeu_ps(d + 5 * dcols, _mm256_permute2f128_ps(u1, u5, 0x31));
+    _mm256_storeu_ps(d + 6 * dcols, _mm256_permute2f128_ps(u2, u6, 0x31));
+    _mm256_storeu_ps(d + 7 * dcols, _mm256_permute2f128_ps(u3, u7, 0x31));
+}
+#endif
+
+/* dst[c * rows + r] = src[r * cols + c]: dst is the (cols, rows)
+ * transpose of the C-contiguous (rows, cols) src.  A pure permutation
+ * copy, so there is no arithmetic to keep bit-identical.  Tiled so
+ * both streams stay cache-resident; the AVX path transposes 8x8
+ * register blocks inside each tile. */
+void repro_transpose_f32(const float *restrict src, int64_t rows,
+                         int64_t cols, float *restrict dst)
+{
+    const int64_t TILE = 64;
+    for (int64_t r0 = 0; r0 < rows; r0 += TILE) {
+        int64_t r1 = r0 + TILE < rows ? r0 + TILE : rows;
+        for (int64_t c0 = 0; c0 < cols; c0 += TILE) {
+            int64_t c1 = c0 + TILE < cols ? c0 + TILE : cols;
+            int64_t r = r0, c;
+#if defined(__AVX__)
+            for (; r + 8 <= r1; r += 8) {
+                for (c = c0; c + 8 <= c1; c += 8)
+                    transpose_block8(src + r * cols + c, cols,
+                                     dst + c * rows + r, rows);
+                for (; c < c1; c++)
+                    for (int64_t rr = r; rr < r + 8; rr++)
+                        dst[c * rows + rr] = src[rr * cols + c];
+            }
+#endif
+            for (; r < r1; r++)
+                for (c = c0; c < c1; c++)
+                    dst[c * rows + r] = src[r * cols + c];
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Per-bucket infinity norm                                            */
+/* ------------------------------------------------------------------ */
+
+/* scales[b] = max_j |buckets[b, j]| over contiguous rows.  Max and
+ * abs are order-independent, so any vectorization is bit-safe — but
+ * gcc will not auto-vectorize a conditional float max reduction, so
+ * the AVX path does it by hand: abs is a sign-bit mask (exact) and
+ * the lane-wise max commutes with the final horizontal fold. */
+void repro_absmax_rows(const float *restrict buckets, int64_t n_buckets,
+                       int64_t bucket_size, float *restrict scales)
+{
+    for (int64_t b = 0; b < n_buckets; b++) {
+        const float *row = buckets + b * bucket_size;
+        float m = 0.0f;
+        int64_t j = 0;
+#if defined(__AVX__)
+        if (bucket_size >= 8) {
+            const __m256 absmask =
+                _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFFFFFF));
+            __m256 vm = _mm256_setzero_ps();
+            for (; j + 8 <= bucket_size; j += 8)
+                vm = _mm256_max_ps(
+                    vm, _mm256_and_ps(_mm256_loadu_ps(row + j), absmask));
+            float lanes[8];
+            _mm256_storeu_ps(lanes, vm);
+            for (int k = 0; k < 8; k++)
+                m = lanes[k] > m ? lanes[k] : m;
+        }
+#endif
+        for (; j < bucket_size; j++) {
+            float av = row[j] < 0.0f ? -row[j] : row[j];
+            m = av > m ? av : m;
+        }
+        scales[b] = m;
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* QSGD stochastic quantization (codes from buckets + scales + draws)  */
+/* ------------------------------------------------------------------ */
+
+/* Sign variant: code = (level << 1) | signbit with level the
+ * stochastic rounding of clip(|v|/scale, 0, 1) * s.  Mirrors
+ * Qsgd._encode_sign op for op; `ratio` stays non-negative so
+ * truncation is floor. */
+void repro_quant_sign(const float *restrict buckets,
+                      const float *restrict scales, int64_t n_buckets,
+                      int64_t bucket_size, int64_t bits,
+                      const double *restrict rand,
+                      uint32_t *restrict codes)
+{
+    const int32_t s = (1 << (bits - 1)) - 1;
+    const float sf = (float)s;
+    for (int64_t b = 0; b < n_buckets; b++) {
+        const float scale = scales[b];
+        const float safe = scale > 0.0f ? scale : 1.0f;
+        const float *pb = buckets + b * bucket_size;
+        const double *pr = rand + b * bucket_size;
+        uint32_t *pc = codes + b * bucket_size;
+        if (scale == 0.0f) {
+            for (int64_t j = 0; j < bucket_size; j++)
+                pc[j] = 0u;
+            continue;
+        }
+        for (int64_t j = 0; j < bucket_size; j++) {
+            float v = pb[j];
+            float av = v < 0.0f ? -v : v;
+            float ratio = av / safe;
+            ratio = ratio > 1.0f ? 1.0f : ratio;
+            ratio = ratio * sf;
+            int32_t low = (int32_t)ratio;
+            float prob = ratio - (float)low;
+            int32_t level = low + (pr[j] < (double)prob);
+            level = level > s ? s : level;
+            pc[j] = ((uint32_t)level << 1) | (uint32_t)(v < 0.0f);
+        }
+    }
+}
+
+/* Grid variant: code indexes the 2^bits endpoints of [-scale, scale].
+ * `position` can round slightly below zero under l2 scaling, so the
+ * truncation is corrected to a true floor before the clip. */
+void repro_quant_grid(const float *restrict buckets,
+                      const float *restrict scales, int64_t n_buckets,
+                      int64_t bucket_size, int64_t bits,
+                      const double *restrict rand,
+                      uint32_t *restrict codes)
+{
+    const int32_t top = (1 << bits) - 1;
+    const float topf = (float)top;
+    for (int64_t b = 0; b < n_buckets; b++) {
+        const float scale = scales[b];
+        float step = 2.0f * scale;
+        step = step / topf;
+        const float safe = step > 0.0f ? step : 1.0f;
+        const float *pb = buckets + b * bucket_size;
+        const double *pr = rand + b * bucket_size;
+        uint32_t *pc = codes + b * bucket_size;
+        if (scale == 0.0f) {
+            for (int64_t j = 0; j < bucket_size; j++)
+                pc[j] = 0u;
+            continue;
+        }
+        for (int64_t j = 0; j < bucket_size; j++) {
+            float pos = pb[j] + scale;
+            pos = pos / safe;
+            int32_t low = (int32_t)pos;
+            low -= pos < (float)low;
+            float prob = pos - (float)low;
+            int32_t idx = low + (pr[j] < (double)prob);
+            idx = idx < 0 ? 0 : idx;
+            idx = idx > top ? top : idx;
+            pc[j] = (uint32_t)idx;
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Bit packing (little-endian lanes inside uint32 words)               */
+/* ------------------------------------------------------------------ */
+
+/* words[w] = OR_l codes[w * per_word + l] << (l * slot).  OR order is
+ * irrelevant to the result, matching the numpy lane reduce. */
+void repro_pack(const uint32_t *restrict codes, int64_t count,
+                int64_t slot, uint32_t *restrict words, int64_t n_words)
+{
+    const int64_t per_word = 32 / slot;
+    const int64_t full = count / per_word;
+    for (int64_t w = 0; w < full; w++) {
+        const uint32_t *pc = codes + w * per_word;
+        uint32_t acc = 0u;
+        for (int64_t l = 0; l < per_word; l++)
+            acc |= pc[l] << (uint32_t)(l * slot);
+        words[w] = acc;
+    }
+    if (full < n_words) {
+        const uint32_t *pc = codes + full * per_word;
+        const int64_t tail = count - full * per_word;
+        uint32_t acc = 0u;
+        for (int64_t l = 0; l < tail; l++)
+            acc |= pc[l] << (uint32_t)(l * slot);
+        words[full] = acc;
+    }
+}
+
+/* codes[w * per_word + l] = (words[w] >> (l * slot)) & mask; writes
+ * every lane of every word (n_words * per_word codes), exactly like
+ * the numpy lane scratch the caller takes a view of. */
+void repro_unpack(const uint32_t *restrict words, int64_t n_words,
+                  int64_t slot, uint32_t *restrict codes)
+{
+    const int64_t per_word = 32 / slot;
+    const uint32_t mask =
+        slot < 32 ? (uint32_t)((1u << slot) - 1u) : 0xFFFFFFFFu;
+    for (int64_t l = 0; l < per_word; l++) {
+        const uint32_t sh = (uint32_t)(l * slot);
+        uint32_t *pc = codes + l;
+        for (int64_t w = 0; w < n_words; w++)
+            pc[w * per_word] = (words[w] >> sh) & mask;
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* QSGD decode (+ fused accumulate) in the contiguous bucket layout    */
+/* ------------------------------------------------------------------ */
+
+/* Sign variant: v = ((1 - 2 * signbit) * level) / s * scale, the
+ * exact numpy op order.  With accumulate the add happens against the
+ * caller's running sum, giving BucketSumDecoder its fused
+ * decode-accumulate without materializing per-rank tensors. */
+#define DEQUANT_SIGN_BODY(STORE)                                       \
+    const int32_t s = (1 << (bits - 1)) - 1;                           \
+    const float sf = (float)s;                                         \
+    for (int64_t b = 0; b < n_buckets; b++) {                          \
+        const float scale = scales[b];                                 \
+        const uint32_t *pc = codes + b * bucket_size;                  \
+        float *po = out + b * bucket_size;                             \
+        for (int64_t j = 0; j < bucket_size; j++) {                    \
+            uint32_t code = pc[j];                                     \
+            float level = (float)(code >> 1);                          \
+            float v = 1.0f - 2.0f * (float)(code & 1u);                \
+            v = v * level;                                             \
+            v = v / sf;                                                \
+            v = v * scale;                                             \
+            STORE;                                                     \
+        }                                                              \
+    }
+
+void repro_dequant_sign(const uint32_t *restrict codes,
+                        const float *restrict scales, int64_t n_buckets,
+                        int64_t bucket_size, int64_t bits,
+                        float *restrict out)
+{
+    DEQUANT_SIGN_BODY(po[j] = v)
+}
+
+void repro_dequant_sign_acc(const uint32_t *restrict codes,
+                            const float *restrict scales,
+                            int64_t n_buckets, int64_t bucket_size,
+                            int64_t bits, float *restrict out)
+{
+    DEQUANT_SIGN_BODY(po[j] += v)
+}
+
+/* Grid variant: v = code * step - scale with step = 2 * scale / top;
+ * zero-scale buckets decode to exact +0.0 like the numpy zero mask. */
+#define DEQUANT_GRID_BODY(STORE_V, STORE_Z)                            \
+    const float topf = (float)((1 << bits) - 1);                       \
+    for (int64_t b = 0; b < n_buckets; b++) {                          \
+        const float scale = scales[b];                                 \
+        float step = 2.0f * scale;                                     \
+        step = step / topf;                                            \
+        const uint32_t *pc = codes + b * bucket_size;                  \
+        float *po = out + b * bucket_size;                             \
+        if (scale == 0.0f) {                                           \
+            for (int64_t j = 0; j < bucket_size; j++) {                \
+                STORE_Z;                                               \
+            }                                                          \
+            continue;                                                  \
+        }                                                              \
+        for (int64_t j = 0; j < bucket_size; j++) {                    \
+            float v = (float)pc[j] * step;                             \
+            v = v - scale;                                             \
+            STORE_V;                                                   \
+        }                                                              \
+    }
+
+void repro_dequant_grid(const uint32_t *restrict codes,
+                        const float *restrict scales, int64_t n_buckets,
+                        int64_t bucket_size, int64_t bits,
+                        float *restrict out)
+{
+    DEQUANT_GRID_BODY(po[j] = v, po[j] = 0.0f)
+}
+
+void repro_dequant_grid_acc(const uint32_t *restrict codes,
+                            const float *restrict scales,
+                            int64_t n_buckets, int64_t bucket_size,
+                            int64_t bits, float *restrict out)
+{
+    DEQUANT_GRID_BODY(po[j] += v, po[j] += 0.0f)
+}
+
+/* ------------------------------------------------------------------ */
+/* Fused quantize+pack / unpack+dequantize                             */
+/* ------------------------------------------------------------------ */
+
+/* The QSGD code plane is wire-intermediate only: the encoder packs it
+ * immediately, the decoder unpacks it immediately.  The fused kernels
+ * stage codes through a small stack tile that stays in L1 instead of
+ * round-tripping the full uint32 plane (4 bytes/element each way)
+ * through memory.  The arithmetic is the *same instructions in the
+ * same order* as the unfused kernels above — only the staging buffer
+ * changes — so the packed words and decoded floats are bit-identical.
+ *
+ * Callers guarantee `bucket_size % per_word == 0` (true for every
+ * tuned bucket size; the python wrappers fall back to the composed
+ * kernels otherwise), so each bucket starts on a word boundary.  The
+ * tile length is a multiple of every per_word in {1,2,4,8,16,32}. */
+#define REPRO_FUSE_TILE 512
+
+#define QUANT_PACK_FRAME(QUANT_STMT)                                   \
+    const int64_t per_word = 32 / slot;                                \
+    uint32_t tile[REPRO_FUSE_TILE];                                    \
+    for (int64_t b = 0; b < n_buckets; b++) {                          \
+        const float scale = scales[b];                                 \
+        const float *pb = buckets + b * bucket_size;                   \
+        const double *pr = rand + b * bucket_size;                     \
+        uint32_t *pw = words + (b * bucket_size) / per_word;           \
+        if (scale == 0.0f) {                                           \
+            /* zero codes pack to zero words */                        \
+            for (int64_t w = 0; w < bucket_size / per_word; w++)       \
+                pw[w] = 0u;                                            \
+            continue;                                                  \
+        }                                                              \
+        BUCKET_PREP;                                                   \
+        for (int64_t j0 = 0; j0 < bucket_size; j0 += REPRO_FUSE_TILE) {\
+            const int64_t chunk = bucket_size - j0 < REPRO_FUSE_TILE   \
+                                      ? bucket_size - j0               \
+                                      : REPRO_FUSE_TILE;               \
+            for (int64_t j = 0; j < chunk; j++) {                      \
+                QUANT_STMT;                                            \
+            }                                                          \
+            uint32_t *cw = pw + j0 / per_word;                         \
+            for (int64_t w = 0; w < chunk / per_word; w++) {           \
+                const uint32_t *pc = tile + w * per_word;              \
+                uint32_t acc = 0u;                                     \
+                for (int64_t l = 0; l < per_word; l++)                 \
+                    acc |= pc[l] << (uint32_t)(l * slot);              \
+                cw[w] = acc;                                           \
+            }                                                          \
+        }                                                              \
+    }
+
+void repro_quant_sign_pack(const float *restrict buckets,
+                           const float *restrict scales,
+                           int64_t n_buckets, int64_t bucket_size,
+                           int64_t bits, int64_t slot,
+                           const double *restrict rand,
+                           uint32_t *restrict words)
+{
+    const int32_t s = (1 << (bits - 1)) - 1;
+    const float sf = (float)s;
+#define BUCKET_PREP const float safe = scale > 0.0f ? scale : 1.0f
+    QUANT_PACK_FRAME({
+        float v = pb[j0 + j];
+        float av = v < 0.0f ? -v : v;
+        float ratio = av / safe;
+        ratio = ratio > 1.0f ? 1.0f : ratio;
+        ratio = ratio * sf;
+        int32_t low = (int32_t)ratio;
+        float prob = ratio - (float)low;
+        int32_t level = low + (pr[j0 + j] < (double)prob);
+        level = level > s ? s : level;
+        tile[j] = ((uint32_t)level << 1) | (uint32_t)(v < 0.0f);
+    })
+#undef BUCKET_PREP
+}
+
+void repro_quant_grid_pack(const float *restrict buckets,
+                           const float *restrict scales,
+                           int64_t n_buckets, int64_t bucket_size,
+                           int64_t bits, int64_t slot,
+                           const double *restrict rand,
+                           uint32_t *restrict words)
+{
+    const int32_t top = (1 << bits) - 1;
+    const float topf = (float)top;
+#define BUCKET_PREP                                                    \
+    float step = 2.0f * scale;                                         \
+    step = step / topf;                                                \
+    const float safe = step > 0.0f ? step : 1.0f
+    QUANT_PACK_FRAME({
+        float pos = pb[j0 + j] + scale;
+        pos = pos / safe;
+        int32_t low = (int32_t)pos;
+        low -= pos < (float)low;
+        float prob = pos - (float)low;
+        int32_t idx = low + (pr[j0 + j] < (double)prob);
+        idx = idx < 0 ? 0 : idx;
+        idx = idx > top ? top : idx;
+        tile[j] = (uint32_t)idx;
+    })
+#undef BUCKET_PREP
+}
+
+/* Unpack one word-aligned chunk of a bucket into the tile, exactly
+ * like repro_unpack's per-lane passes (the tile is the lane scratch). */
+#define UNPACK_CHUNK                                                   \
+    do {                                                               \
+        const uint32_t *cw = pw + j0 / per_word;                       \
+        const int64_t cwords = chunk / per_word;                       \
+        for (int64_t l = 0; l < per_word; l++) {                       \
+            const uint32_t sh = (uint32_t)(l * slot);                  \
+            uint32_t *pc = tile + l;                                   \
+            for (int64_t w = 0; w < cwords; w++)                       \
+                pc[w * per_word] = (cw[w] >> sh) & mask;               \
+        }                                                              \
+    } while (0)
+
+#define WORDS_DEQUANT_SIGN_BODY(STORE)                                 \
+    const int32_t s = (1 << (bits - 1)) - 1;                           \
+    const float sf = (float)s;                                         \
+    const int64_t per_word = 32 / slot;                                \
+    const uint32_t mask =                                              \
+        slot < 32 ? (uint32_t)((1u << slot) - 1u) : 0xFFFFFFFFu;       \
+    uint32_t tile[REPRO_FUSE_TILE];                                    \
+    for (int64_t b = 0; b < n_buckets; b++) {                          \
+        const float scale = scales[b];                                 \
+        const uint32_t *pw = words + (b * bucket_size) / per_word;     \
+        float *po = out + b * bucket_size;                             \
+        for (int64_t j0 = 0; j0 < bucket_size; j0 += REPRO_FUSE_TILE) {\
+            const int64_t chunk = bucket_size - j0 < REPRO_FUSE_TILE   \
+                                      ? bucket_size - j0               \
+                                      : REPRO_FUSE_TILE;               \
+            UNPACK_CHUNK;                                              \
+            for (int64_t j = 0; j < chunk; j++) {                      \
+                uint32_t code = tile[j];                               \
+                float level = (float)(code >> 1);                      \
+                float v = 1.0f - 2.0f * (float)(code & 1u);            \
+                v = v * level;                                         \
+                v = v / sf;                                            \
+                v = v * scale;                                         \
+                STORE;                                                 \
+            }                                                          \
+        }                                                              \
+    }
+
+void repro_words_dequant_sign(const uint32_t *restrict words,
+                              const float *restrict scales,
+                              int64_t n_buckets, int64_t bucket_size,
+                              int64_t bits, int64_t slot,
+                              float *restrict out)
+{
+    WORDS_DEQUANT_SIGN_BODY(po[j0 + j] = v)
+}
+
+void repro_words_dequant_sign_acc(const uint32_t *restrict words,
+                                  const float *restrict scales,
+                                  int64_t n_buckets, int64_t bucket_size,
+                                  int64_t bits, int64_t slot,
+                                  float *restrict out)
+{
+    WORDS_DEQUANT_SIGN_BODY(po[j0 + j] += v)
+}
+
+/* Grid variant: zero-scale buckets skip the unpack entirely — the
+ * reference zero mask overwrites whatever the codes decode to. */
+#define WORDS_DEQUANT_GRID_BODY(STORE_V, STORE_Z)                      \
+    const float topf = (float)((1 << bits) - 1);                       \
+    const int64_t per_word = 32 / slot;                                \
+    const uint32_t mask =                                              \
+        slot < 32 ? (uint32_t)((1u << slot) - 1u) : 0xFFFFFFFFu;       \
+    uint32_t tile[REPRO_FUSE_TILE];                                    \
+    for (int64_t b = 0; b < n_buckets; b++) {                          \
+        const float scale = scales[b];                                 \
+        float step = 2.0f * scale;                                     \
+        step = step / topf;                                            \
+        const uint32_t *pw = words + (b * bucket_size) / per_word;     \
+        float *po = out + b * bucket_size;                             \
+        if (scale == 0.0f) {                                           \
+            for (int64_t j = 0; j < bucket_size; j++) {                \
+                STORE_Z;                                               \
+            }                                                          \
+            continue;                                                  \
+        }                                                              \
+        for (int64_t j0 = 0; j0 < bucket_size; j0 += REPRO_FUSE_TILE) {\
+            const int64_t chunk = bucket_size - j0 < REPRO_FUSE_TILE   \
+                                      ? bucket_size - j0               \
+                                      : REPRO_FUSE_TILE;               \
+            UNPACK_CHUNK;                                              \
+            for (int64_t j = 0; j < chunk; j++) {                      \
+                float v = (float)tile[j] * step;                       \
+                v = v - scale;                                         \
+                STORE_V;                                               \
+            }                                                          \
+        }                                                              \
+    }
+
+void repro_words_dequant_grid(const uint32_t *restrict words,
+                              const float *restrict scales,
+                              int64_t n_buckets, int64_t bucket_size,
+                              int64_t bits, int64_t slot,
+                              float *restrict out)
+{
+    WORDS_DEQUANT_GRID_BODY(po[j0 + j] = v, po[j] = 0.0f)
+}
+
+void repro_words_dequant_grid_acc(const uint32_t *restrict words,
+                                  const float *restrict scales,
+                                  int64_t n_buckets, int64_t bucket_size,
+                                  int64_t bits, int64_t slot,
+                                  float *restrict out)
+{
+    WORDS_DEQUANT_GRID_BODY(po[j0 + j] += v, po[j] += 0.0f)
+}

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from . import bitpack
+from . import bitpack, kernels
 from .base import BucketSumDecoder, EncodedTensor, Quantizer, SumDecoder
 from .bucketing import bucket_plan, from_buckets_into, to_buckets_into
 from .workspace import EncodeWorkspace
@@ -104,33 +104,45 @@ class Qsgd(Quantizer):
         bucket_size = self.effective_bucket(grad.size)
         plan = bucket_plan(grad.size, bucket_size)
         lanes = (plan.n_buckets, bucket_size)
+        kern = kernels.active()
 
         buckets = ws.array("qsgd.buckets", lanes)
         to_buckets_into(grad, bucket_size, buckets)
-        work = ws.array("qsgd.work", lanes)
         scales = ws.array("qsgd.scales", plan.n_buckets)
         if self.norm == "inf":
-            np.abs(buckets, out=work)
-            work.max(axis=1, out=scales)
-            abs_buckets = work  # |buckets|, reusable by the sign path
+            abs_buckets = kern.absmax_scales(buckets, scales, ws)
         else:
+            # l2 scales are computed with numpy under *every* backend:
+            # the pairwise summation order of the axis-1 reduce is part
+            # of the reference bit pattern, so it is not re-implemented
+            # in the compiled kernels (see kernels._numpy)
+            work = ws.array("qsgd.work", lanes)
             np.square(buckets, out=work)
             work.sum(axis=1, out=scales)
             np.sqrt(scales, out=scales)
             abs_buckets = None
 
-        if self.variant == "sign":
-            codes = self._encode_sign(buckets, scales, rng, ws, abs_buckets)
-        else:
-            codes = self._encode_grid(buckets, scales, rng, ws)
-
+        # the stochastic-rounding draws are made here, with the run's
+        # generator, and passed into the kernel: every backend consumes
+        # the identical RNG stream, which is what makes trajectories
+        # backend-independent
+        rand = ws.array("qsgd.rand", lanes, np.float64)
+        rng.random(out=rand)
+        # fused quantize+pack: the code plane is wire-intermediate only,
+        # so codes are emitted straight into the packed words without a
+        # round trip through a full uint32 scratch plane
         words = ws.array(
             "qsgd.words", bitpack.packed_words(plan.padded, self.bits),
             np.uint32,
         )
-        bitpack.pack_into(
-            codes.reshape(-1), self.bits, words, workspace=ws, check=False
-        )
+        if self.variant == "sign":
+            kern.quantize_sign_packed(
+                buckets, scales, self.bits, rand, words, ws, abs_buckets
+            )
+        else:
+            kern.quantize_grid_packed(
+                buckets, scales, self.bits, rand, words, ws
+            )
         return EncodedTensor(
             scheme=self.name,
             shape=grad.shape,
@@ -141,97 +153,6 @@ class Qsgd(Quantizer):
                 "variant": self.variant,
             },
         )
-
-    def _safe_scales(
-        self, scales: np.ndarray, ws: EncodeWorkspace
-    ) -> np.ndarray:
-        """``where(scales > 0, scales, 1.0)`` without temporaries."""
-        positive = ws.array("qsgd.posmask", scales.shape, bool)
-        np.greater(scales, 0.0, out=positive)
-        safe = ws.array("qsgd.safe", scales.shape)
-        safe.fill(1.0)
-        np.copyto(safe, scales, where=positive)
-        return safe
-
-    def _encode_sign(
-        self,
-        buckets: np.ndarray,
-        scales: np.ndarray,
-        rng: np.random.Generator,
-        ws: EncodeWorkspace,
-        abs_buckets: np.ndarray | None = None,
-    ) -> np.ndarray:
-        s = (1 << (self.bits - 1)) - 1
-        lanes = buckets.shape
-        safe = self._safe_scales(scales, ws)
-        # ratio = clip(|buckets| / safe, 0, 1) * s, computed in place
-        if abs_buckets is not None:
-            ratio = abs_buckets  # caller already materialized |buckets|
-        else:
-            ratio = ws.array("qsgd.ratio", lanes)
-            np.abs(buckets, out=ratio)
-        np.divide(ratio, safe[:, None], out=ratio)
-        np.clip(ratio, 0.0, 1.0, out=ratio)
-        np.multiply(ratio, s, out=ratio)
-        low = ws.array("qsgd.low", lanes)
-        np.floor(ratio, out=low)
-        prob = ratio  # ratio is dead after this: reuse as prob buffer
-        np.subtract(ratio, low, out=prob)
-        rand = ws.array("qsgd.rand", lanes, np.float64)
-        rng.random(out=rand)
-        rounded = ws.array("qsgd.round", lanes, bool)
-        np.less(rand, prob, out=rounded)
-        level = low
-        np.add(low, rounded, out=level)
-        np.minimum(level, s, out=level)
-        codes = ws.array("qsgd.codes", lanes, np.uint32)
-        codes[...] = level
-        negative = rounded  # bool scratch, reused
-        np.less(buckets, 0.0, out=negative)
-        np.left_shift(codes, 1, out=codes)
-        np.bitwise_or(codes, negative, out=codes)
-        zero = ws.array("qsgd.zeromask", scales.shape, bool)
-        np.equal(scales, 0.0, out=zero)
-        codes[zero, :] = 0
-        return codes
-
-    def _encode_grid(
-        self,
-        buckets: np.ndarray,
-        scales: np.ndarray,
-        rng: np.random.Generator,
-        ws: EncodeWorkspace,
-    ) -> np.ndarray:
-        n_levels = 1 << self.bits
-        lanes = buckets.shape
-        step = ws.array("qsgd.step", scales.shape)
-        np.multiply(2.0, scales, out=step)
-        np.divide(step, n_levels - 1, out=step)
-        positive = ws.array("qsgd.posmask", scales.shape, bool)
-        np.greater(step, 0.0, out=positive)
-        safe_step = ws.array("qsgd.safe", scales.shape)
-        safe_step.fill(1.0)
-        np.copyto(safe_step, step, where=positive)
-        position = ws.array("qsgd.ratio", lanes)
-        np.add(buckets, scales[:, None], out=position)
-        np.divide(position, safe_step[:, None], out=position)
-        low = ws.array("qsgd.low", lanes)
-        np.floor(position, out=low)
-        prob = position
-        np.subtract(position, low, out=prob)
-        rand = ws.array("qsgd.rand", lanes, np.float64)
-        rng.random(out=rand)
-        rounded = ws.array("qsgd.round", lanes, bool)
-        np.less(rand, prob, out=rounded)
-        index = low
-        np.add(low, rounded, out=index)
-        np.clip(index, 0, n_levels - 1, out=index)
-        codes = ws.array("qsgd.codes", lanes, np.uint32)
-        codes[...] = index
-        zero = ws.array("qsgd.zeromask", scales.shape, bool)
-        np.equal(scales, 0.0, out=zero)
-        codes[zero, :] = 0
-        return codes
 
     # -- decode ---------------------------------------------------------
     def decode(self, message: EncodedTensor) -> np.ndarray:
@@ -263,46 +184,80 @@ class Qsgd(Quantizer):
     ) -> np.ndarray:
         """Decoded bucket matrix, before the bucket-order permutation."""
         ws = workspace if workspace is not None else EncodeWorkspace()
+        bits, variant, scales, lanes = self._decode_meta(message)
+        words = self._check_words(message.payload["words"], lanes, bits)
+        values = ws.array("qsgd.dec.values", lanes)
+        kern = kernels.active()
+        if variant == "sign":
+            kern.dequantize_sign_packed(words, scales, bits, values, False, ws)
+        else:
+            kern.dequantize_grid_packed(words, scales, bits, values, False, ws)
+        return values
+
+    def _decode_acc_into(
+        self,
+        message: EncodedTensor,
+        acc: np.ndarray | None,
+        workspace: EncodeWorkspace | None = None,
+    ) -> np.ndarray:
+        """Fused decode-accumulate into the bucket-layout accumulator.
+
+        Called by :class:`~repro.quantization.base.BucketSumDecoder`:
+        decoded values are added straight into ``acc`` (allocated zeroed
+        when ``None``) without materializing the decoded tensor, saving
+        one full pass over the bucket matrix per peer.  Bit-identical to
+        ``acc += _decode_values(message)`` — same operands, same order.
+        """
+        ws = workspace if workspace is not None else EncodeWorkspace()
+        bits, variant, scales, lanes = self._decode_meta(message)
+        if acc is None:
+            acc = (
+                ws.zeros("sumdec.bucket_acc", lanes)
+                if workspace is not None
+                else np.zeros(lanes, dtype=np.float32)
+            )
+        elif acc.shape != lanes:
+            raise ValueError(
+                f"accumulator shape {acc.shape} does not match the "
+                f"message bucket geometry {lanes}"
+            )
+        words = self._check_words(message.payload["words"], lanes, bits)
+        kern = kernels.active()
+        if variant == "sign":
+            kern.dequantize_sign_packed(words, scales, bits, acc, True, ws)
+        else:
+            kern.dequantize_grid_packed(words, scales, bits, acc, True, ws)
+        return acc
+
+    @staticmethod
+    def _decode_meta(
+        message: EncodedTensor,
+    ) -> tuple[int, str, np.ndarray, tuple[int, int]]:
+        """Parse the wire metadata shared by the decode paths."""
         bits = int(message.meta["bits"])
         bucket_size = int(message.meta["bucket_size"])
         variant = str(message.meta["variant"])
         scales = np.asarray(message.payload["scales"], dtype=np.float32)
-        n_buckets = scales.shape[0]
-        lanes = (n_buckets, bucket_size)
-        codes = bitpack.unpack_into(
-            message.payload["words"],
-            n_buckets * bucket_size,
-            width=bits,
-            workspace=ws,
-        ).reshape(lanes)
+        return bits, variant, scales, (scales.shape[0], bucket_size)
 
-        values = ws.array("qsgd.dec.values", lanes)
-        if variant == "sign":
-            s = (1 << (bits - 1)) - 1
-            ints = ws.array("qsgd.dec.ints", lanes, np.uint32)
-            level = ws.array("qsgd.dec.level", lanes)
-            np.right_shift(codes, 1, out=ints)
-            level[...] = ints
-            np.bitwise_and(codes, 1, out=ints)
-            values[...] = ints
-            # sign = 1 - 2 * signbit; buckets = sign * level / s * scale
-            np.multiply(2.0, values, out=values)
-            np.subtract(1.0, values, out=values)
-            np.multiply(values, level, out=values)
-            np.divide(values, s, out=values)
-            np.multiply(values, scales[:, None], out=values)
-        else:
-            n_levels = 1 << bits
-            step = ws.array("qsgd.dec.step", scales.shape)
-            np.multiply(2.0, scales, out=step)
-            np.divide(step, n_levels - 1, out=step)
-            values[...] = codes
-            np.multiply(values, step[:, None], out=values)
-            np.subtract(values, scales[:, None], out=values)
-            zero = ws.array("qsgd.dec.zeromask", scales.shape, bool)
-            np.equal(scales, 0.0, out=zero)
-            values[zero, :] = 0.0
-        return values
+    @staticmethod
+    def _check_words(
+        words: np.ndarray, lanes: tuple[int, int], bits: int
+    ) -> np.ndarray:
+        """Validate the packed payload against the bucket geometry.
+
+        The fused unpack+dequantize kernels index ``words`` by geometry
+        instead of going through :func:`bitpack.unpack_into`, so its
+        size check moves here.
+        """
+        words = np.ascontiguousarray(words, dtype=np.uint32)
+        expected = bitpack.packed_words(lanes[0] * lanes[1], bits)
+        if words.ndim != 1 or words.size != expected:
+            raise ValueError(
+                f"expected {expected} packed words for bucket geometry "
+                f"{lanes} at {bits} bits, got shape {words.shape}"
+            )
+        return words
 
     def encoded_nbytes(self, shape: tuple[int, ...]) -> int:
         from .base import MESSAGE_HEADER_BYTES

@@ -43,6 +43,7 @@ class EncodeWorkspace:
 
     def __init__(self) -> None:
         self._buffers: dict[tuple, np.ndarray] = {}
+        self._dtypes: dict[str | tuple, np.dtype] = {}
         self.hits = 0
         self.misses = 0
 
@@ -64,10 +65,39 @@ class EncodeWorkspace:
 
         Distinct concurrent uses must use distinct tags — the same tag
         with the same shape and dtype always returns the same storage.
+        Re-requesting a tag with a *different shape* is legal by design
+        (one tag caches one buffer per shape, e.g. per parameter
+        matrix); re-requesting a tag with a different *dtype* is almost
+        certainly a bug (two unrelated uses colliding on one tag) and
+        raises.  Shapes must be tuples of non-negative integers —
+        floats, bools and negative dims raise immediately instead of
+        surfacing as a confusing numpy error deep in a kernel.
+
+        Validation runs on the allocation path only: a cache hit means
+        the identical (tag, shape, dtype) triple already passed it when
+        the buffer was inserted, so the steady-state hot path pays one
+        dict lookup, nothing more.
         """
-        if isinstance(shape, int):
-            shape = (shape,)
-        key = (tag, shape, np.dtype(dtype).char)
+        dtype = np.dtype(dtype)
+        # numpy integer dims hash and compare equal to plain ints, so
+        # the raw-key probe hits the canonical entry without normalizing
+        key = (tag, shape, dtype.char)
+        buf = self._buffers.get(key)
+        if buf is not None:
+            self.hits += 1
+            return buf
+
+        shape = self._check_shape(shape)
+        seen = self._dtypes.get(tag)
+        if seen is None:
+            self._dtypes[tag] = dtype
+        elif seen != dtype:
+            raise ValueError(
+                f"workspace tag {tag!r} was first requested with dtype "
+                f"{seen}, now with {dtype}: distinct concurrent uses "
+                f"must use distinct tags"
+            )
+        key = (tag, shape, dtype.char)
         buf = self._buffers.get(key)
         if buf is None:
             buf = np.empty(shape, dtype=dtype)
@@ -88,8 +118,35 @@ class EncodeWorkspace:
         buf.fill(0)
         return buf
 
+    @staticmethod
+    def _check_shape(
+        shape: tuple[int, ...] | int,
+    ) -> tuple[int, ...]:
+        """Normalize ``shape`` to a tuple of plain non-negative ints."""
+        if isinstance(shape, (int, np.integer)) and not isinstance(
+            shape, (bool, np.bool_)
+        ):
+            shape = (shape,)
+        dims = []
+        for dim in shape:
+            if isinstance(dim, (bool, np.bool_)) or not isinstance(
+                dim, (int, np.integer)
+            ):
+                raise TypeError(
+                    f"workspace shape dims must be integers, got "
+                    f"{dim!r} in {tuple(shape)!r}"
+                )
+            if dim < 0:
+                raise ValueError(
+                    f"workspace shape dims must be >= 0, got "
+                    f"{int(dim)} in {tuple(shape)!r}"
+                )
+            dims.append(int(dim))
+        return tuple(dims)
+
     def clear(self) -> None:
         """Drop every cached buffer (and the hit/miss counters)."""
         self._buffers.clear()
+        self._dtypes.clear()
         self.hits = 0
         self.misses = 0

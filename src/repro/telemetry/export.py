@@ -73,10 +73,17 @@ def chrome_trace(tracer: Tracer) -> dict:
                 "tid": tid(event.track),
             }
         )
+    from ..quantization import kernels
+
     return {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",
-        "otherData": {"counters": tracer.counters.to_dict()},
+        "otherData": {
+            # provenance: which quantization kernel backend produced the
+            # encode/decode spans in this trace
+            "kernel_backend": kernels.backend_name(),
+            "counters": tracer.counters.to_dict(),
+        },
     }
 
 

@@ -154,9 +154,17 @@ class Counters:
             return self._retries_by.get(rank, 0)
 
     def to_dict(self) -> dict:
-        """JSON-friendly snapshot of every counter."""
+        """JSON-friendly snapshot of every counter.
+
+        The snapshot is stamped with the quantization kernel backend
+        active at snapshot time so exported traces attribute their
+        encode/decode timings to the backend that produced them.
+        """
+        from ..quantization import kernels
+
         with self._lock:
             return {
+                "kernel_backend": kernels.backend_name(),
                 "wire_bytes_total": sum(self._sent_by.values()),
                 "bytes_sent": dict(self._sent_by),
                 "bytes_received": dict(self._received_by),

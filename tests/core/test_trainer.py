@@ -7,6 +7,7 @@ from repro.core import ParallelTrainer, TrainingConfig
 from repro.data import make_image_dataset, make_sequence_dataset
 from repro.models import speech_lstm, tiny_alexnet
 from repro.nn import Dense, Sequential
+from repro.quantization import kernels
 
 
 @pytest.fixture(scope="module")
@@ -40,6 +41,9 @@ class TestTrainingImproves:
         )
         assert history.final_test_accuracy > 0.5
         assert len(history.epochs) == 5
+        # provenance stamp: which kernel backend produced this run
+        assert history.kernel_backend == kernels.backend_name()
+        assert history.to_dict()["kernel_backend"] == kernels.backend_name()
 
     @pytest.mark.parametrize("scheme", ["qsgd4", "1bit*"])
     def test_quantized_learns(self, image_dataset, scheme):

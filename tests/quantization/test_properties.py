@@ -10,7 +10,10 @@ non-multiple-of-bucket lengths) real layers never produce but the
 format must survive.
 """
 
+import os
+
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -18,8 +21,23 @@ from repro.quantization import (
     SCHEME_NAMES,
     ErrorFeedback,
     bitpack,
+    kernels,
     make_quantizer,
 )
+
+# Every law below must hold under every kernel backend — the compiled
+# QSGD/bitpack kernels included (notably the error-feedback telescoping
+# identity, which compounds per-step decode results across a stream).
+# The whole module runs once per available backend; a REPRO_KERNELS pin
+# (as in the numpy-only CI jobs) restricts the run to that backend.
+_FORCED = os.environ.get("REPRO_KERNELS", "").strip().lower()
+BACKENDS = (_FORCED,) if _FORCED else kernels.available_backends()
+
+
+@pytest.fixture(scope="module", params=BACKENDS, autouse=True)
+def kernel_backend(request):
+    with kernels.use_backend(request.param):
+        yield request.param
 
 ALL_SCHEMES = st.sampled_from(SCHEME_NAMES)
 QSGD_SCHEMES = st.sampled_from(["qsgd16", "qsgd8", "qsgd4", "qsgd2"])

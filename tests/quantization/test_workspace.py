@@ -48,11 +48,33 @@ class TestArena:
         assert a is not b
         assert len(ws) == 2
 
-    def test_distinct_dtypes_do_not_collide(self):
+    def test_dtype_reuse_under_one_tag_raises(self):
         ws = EncodeWorkspace()
-        a = ws.array("t", (8,), np.float32)
-        b = ws.array("t", (8,), np.uint32)
-        assert a.dtype != b.dtype
+        ws.array("t", (8,), np.float32)
+        with pytest.raises(ValueError, match="dtype"):
+            ws.array("t", (8,), np.uint32)
+
+    def test_clear_forgets_tag_dtypes(self):
+        ws = EncodeWorkspace()
+        ws.array("t", (8,), np.float32)
+        ws.clear()
+        buf = ws.array("t", (8,), np.uint32)
+        assert buf.dtype == np.uint32
+
+    def test_malformed_shapes_raise_clear_errors(self):
+        ws = EncodeWorkspace()
+        with pytest.raises(TypeError, match="integers"):
+            ws.array("t", (4, 2.0))
+        with pytest.raises(TypeError, match="integers"):
+            ws.array("t", (True, 3))
+        with pytest.raises(ValueError, match=">= 0"):
+            ws.array("t", (4, -1))
+
+    def test_numpy_integer_dims_are_normalized(self):
+        ws = EncodeWorkspace()
+        a = ws.array("t", (np.int64(4), np.int32(5)))
+        b = ws.array("t", (4, 5))
+        assert a is b
 
     def test_zeros_refills_every_request(self):
         ws = EncodeWorkspace()

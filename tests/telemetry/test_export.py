@@ -58,6 +58,16 @@ class TestChromeTrace:
         doc = chrome_trace(traced_tracer())
         assert doc["otherData"]["counters"]["wire_bytes_total"] == 42
 
+    def test_kernel_backend_stamped(self):
+        from repro.quantization import kernels
+
+        doc = chrome_trace(traced_tracer())
+        assert doc["otherData"]["kernel_backend"] == kernels.backend_name()
+        assert (
+            doc["otherData"]["counters"]["kernel_backend"]
+            == kernels.backend_name()
+        )
+
     def test_write_is_valid_json(self, tmp_path):
         path = tmp_path / "trace.json"
         write_chrome_trace(traced_tracer(), str(path))

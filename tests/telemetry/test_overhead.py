@@ -138,8 +138,10 @@ def _steady_state_alloc_per_step(steps: int = 10) -> float:
 
 def test_null_traced_hot_path_allocation_stays_at_baseline():
     # the workspace hot path's only steady-state allocations are the
-    # pre-existing LinkTraffic transfer records (~KBs/step, vs ~MBs on
-    # the allocating path); disabled tracing must not add to them —
-    # a span object per encode/decode would show up immediately here
+    # pre-existing LinkTraffic transfer records plus, under the
+    # compiled kernel backends, transient ctypes argument objects
+    # (~KBs/step, vs ~MBs on the allocating path); disabled tracing
+    # must not add to them — a span object per encode/decode per rank
+    # would add tens of KB/step and show up immediately here
     per_step = _steady_state_alloc_per_step()
-    assert per_step < 16_384, f"{per_step:.0f} B/step allocated"
+    assert per_step < 32_768, f"{per_step:.0f} B/step allocated"
