@@ -1,0 +1,119 @@
+"""Submit training jobs to a running `repro serve` daemon — stdlib only.
+
+Start a daemon in one terminal:
+
+    python -m repro serve --root /tmp/serve-demo --port 8080
+
+then run this client in another:
+
+    python examples/serve_submit.py [--base http://127.0.0.1:8080]
+
+The client submits a full-precision and a QSGD 4-bit job, polls both
+to completion while tailing the live NDJSON metrics stream of one of
+them, prints the final digests, and demonstrates cancellation on a
+third, long job.  Only urllib / json from the standard library are
+used, so the snippet transplants into any environment that can reach
+the daemon's port.
+"""
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+BASE_SPEC = {
+    "model": "alexnet",
+    "exchange": "mpi",
+    "world_size": 2,
+    "batch_size": 32,
+    "epochs": 3,
+    "lr": 0.01,
+    "classes": 4,
+    "image_size": 8,
+    "train_samples": 96,
+    "test_samples": 48,
+}
+
+TERMINAL = {"succeeded", "failed", "cancelled", "evicted"}
+
+
+def request(base, path, payload=None, method=None):
+    data = None if payload is None else json.dumps(payload).encode()
+    call = urllib.request.Request(
+        base + path, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(call, timeout=30) as response:
+        return json.loads(response.read() or b"{}")
+
+
+def submit(base, spec, priority=0):
+    record = request(base, "/jobs", {"spec": spec, "priority": priority})
+    print(f"submitted {record['job_id']} "
+          f"(scheme={spec['scheme']}, priority={priority})")
+    return record["job_id"]
+
+
+def wait(base, job_id):
+    while True:
+        record = request(base, f"/jobs/{job_id}")
+        if record["state"] in TERMINAL:
+            return record
+        time.sleep(0.2)
+
+
+def tail_metrics(base, job_id):
+    """Stream the job's NDJSON metrics until it reaches a terminal state."""
+    url = base + f"/jobs/{job_id}/metrics?follow=1"
+    with urllib.request.urlopen(url, timeout=300) as stream:
+        for raw in stream:
+            event = json.loads(raw)
+            if event.get("type") == "epoch":
+                print(f"  [{job_id}] epoch {event['epoch']}: "
+                      f"test_acc={event['test_accuracy']:.3f} "
+                      f"comm_bytes={event['comm_bytes']}")
+            elif event.get("type") == "phase_totals":
+                print(f"  [{job_id}] phase totals: {event}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--base", default="http://127.0.0.1:8080")
+    args = parser.parse_args()
+    base = args.base.rstrip("/")
+
+    try:
+        health = request(base, "/healthz")
+    except (urllib.error.URLError, OSError):
+        print(f"no daemon at {base} — start one with:\n"
+              f"    python -m repro serve --root /tmp/serve-demo "
+              f"--port 8080")
+        return 1
+    print(f"daemon up: pool={health['max_ranks']} ranks, "
+          f"queue={health['queue']}, scheduler={health['scheduler']}")
+
+    full = submit(base, {**BASE_SPEC, "scheme": "32bit"}, priority=1)
+    quant = submit(base, {**BASE_SPEC, "scheme": "qsgd4"}, priority=5)
+
+    print(f"tailing metrics for {quant} (higher priority, runs first):")
+    tail_metrics(base, quant)
+
+    for job_id in (full, quant):
+        record = wait(base, job_id)
+        result = record["result"] or {}
+        print(f"{job_id}: {record['state']} "
+              f"digest={result.get('digest', '?')[:16]} "
+              f"final_acc={result.get('final_test_accuracy')}")
+
+    victim = submit(base, {**BASE_SPEC, "scheme": "qsgd2", "epochs": 50})
+    time.sleep(0.5)
+    request(base, f"/jobs/{victim}/cancel", method="POST")
+    record = wait(base, victim)
+    print(f"{victim}: {record['state']} (cancelled mid-training)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,11 @@ Commands:
   (event-driven per-link queueing), optionally injecting link faults,
   exporting a per-link Chrome trace, sweeping K, or gating the K=4
   anchor against a measured process-engine run (``--crossval``);
+* ``serve`` — run the training-as-a-service daemon: a persistent job
+  queue with priorities, a REST/JSON API
+  (submit/status/cancel/list/stream-metrics), admission control onto a
+  bounded runner-process pool, and crash-resume of in-flight jobs on
+  restart (``--drain`` exits once every job is terminal);
 * ``insights`` — re-derive the paper's five summary answers;
 * ``calibration`` — compare simulated throughput to the published
   Figure 10/11 tables cell by cell;
@@ -49,6 +54,8 @@ from .models import MODEL_BUILDERS, build_model
 from .models.specs import NETWORKS
 from .quantization import SCHEME_NAMES
 from .runtime import ENGINE_NAMES
+from .serve.queue import QUEUE_NAMES
+from .serve.scheduler import SCHEDULER_NAMES
 from .simulator import MACHINES
 from .study import EXPERIMENTS, print_table, run_experiment, throughput_table
 from .study.compression import print_compression_report
@@ -500,6 +507,49 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from .serve import ServeDaemon
+
+    try:
+        daemon = ServeDaemon(
+            args.root,
+            max_ranks=args.max_ranks,
+            queue=args.queue,
+            scheduler=args.scheduler,
+            host=args.host,
+            port=args.port,
+            poll_interval=args.poll_interval,
+            max_restarts=args.max_restarts,
+            grace_s=args.grace,
+        )
+    except ValueError as exc:
+        print(f"repro serve: error: {exc}", file=sys.stderr)
+        return 2
+
+    def on_signal(_signum, _frame) -> None:  # pragma: no cover - signal
+        daemon.request_stop()
+
+    signal.signal(signal.SIGTERM, on_signal)
+    signal.signal(signal.SIGINT, on_signal)
+    host, port = daemon.start_api()
+    counts = daemon.store.counts()
+    print(
+        f"serving on http://{host}:{port} (root={args.root}, "
+        f"max_ranks={args.max_ranks}, queue={daemon.queue.name}, "
+        f"scheduler={daemon.scheduler.name}); "
+        f"rescanned {sum(counts.values())} job(s): {counts or '{}'}",
+        flush=True,
+    )
+    try:
+        daemon.serve_forever(drain=args.drain)
+    finally:
+        daemon.close()
+    print("serve: shut down cleanly", flush=True)
+    return 0
+
+
 def _cmd_insights(_args: argparse.Namespace) -> int:
     insights = print_insights()
     return 0 if all(i.holds for i in insights) else 1
@@ -821,6 +871,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fabric.add_argument("--seed", type=int, default=0)
     fabric.set_defaults(handler=_cmd_fabric)
+    serve = sub.add_parser(
+        "serve",
+        help="run the training-as-a-service daemon (job queue + "
+        "REST/JSON API + bounded runner pool + crash-resume)",
+    )
+    serve.add_argument(
+        "--root", required=True,
+        help="persistent store directory (job records, checkpoints, "
+        "metric streams); a restarted daemon rescans it and resumes",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="API port (0 = pick a free one, printed at startup)",
+    )
+    serve.add_argument(
+        "--max-ranks", type=int, default=4,
+        help="total concurrent ranks across all running jobs; each "
+        "job occupies its declared world_size",
+    )
+    serve.add_argument(
+        "--queue", default="priority", choices=QUEUE_NAMES,
+        help="dispatch order: 'priority' (higher first, FIFO "
+        "tie-break) or 'fifo'",
+    )
+    serve.add_argument(
+        "--scheduler", default="first-fit", choices=SCHEDULER_NAMES,
+        help="admission control: 'first-fit' packs small jobs around "
+        "a wide waiting one, 'strict' never bypasses the queue head",
+    )
+    serve.add_argument(
+        "--poll-interval", type=float, default=0.05,
+        help="scheduler tick interval in seconds",
+    )
+    serve.add_argument(
+        "--max-restarts", type=int, default=3,
+        help="times a job whose runner dies without a result is "
+        "requeued to resume before being evicted",
+    )
+    serve.add_argument(
+        "--grace", type=float, default=5.0,
+        help="seconds between a cancellation SIGTERM and the SIGKILL",
+    )
+    serve.add_argument(
+        "--drain", action="store_true",
+        help="exit once every stored job is terminal (batch mode)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
     sub.add_parser(
         "insights", help="re-derive the paper's summary answers"
     ).set_defaults(handler=_cmd_insights)

@@ -4,17 +4,19 @@ from .algorithm import SynchronousStep
 from .checkpoint import (
     CheckpointPolicy,
     TrainingCheckpoint,
+    checkpoint_steps,
     latest_checkpoint,
     save_checkpoint,
 )
 from .config import IPC_NAMES, TrainingConfig
 from .metrics import EpochMetrics, History
-from .trainer import ParallelTrainer
+from .trainer import ParallelTrainer, TrainingInterrupted
 
 __all__ = [
     "SynchronousStep",
     "CheckpointPolicy",
     "TrainingCheckpoint",
+    "checkpoint_steps",
     "latest_checkpoint",
     "save_checkpoint",
     "TrainingConfig",
@@ -22,4 +24,5 @@ __all__ = [
     "EpochMetrics",
     "History",
     "ParallelTrainer",
+    "TrainingInterrupted",
 ]

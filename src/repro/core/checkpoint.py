@@ -35,6 +35,7 @@ from .metrics import History
 __all__ = [
     "CheckpointPolicy",
     "TrainingCheckpoint",
+    "checkpoint_steps",
     "latest_checkpoint",
     "save_checkpoint",
 ]
@@ -360,20 +361,37 @@ class TrainingCheckpoint:
         return cls(meta, arrays)
 
 
-def latest_checkpoint(directory: str | os.PathLike) -> Path | None:
-    """Highest-step ``ckpt-*.npz`` under ``directory`` (or ``None``)."""
+def checkpoint_steps(
+    directory: str | os.PathLike,
+) -> list[tuple[int, Path]]:
+    """Every ``ckpt-<step>.npz`` under ``directory``, ordered by step.
+
+    The ordering is *numeric* on the parsed step — never lexicographic
+    on the filename — so an unpadded ``ckpt-100.npz`` sorts after
+    ``ckpt-99.npz`` (lexicographically ``"ckpt-100" < "ckpt-99"``).
+    The trainer writes zero-padded names, where the two orders happen
+    to agree, but discovery must not depend on that: checkpoints
+    renamed or written by other tooling resume correctly too.  Both
+    ``latest_checkpoint`` (the ``repro resume`` directory path and the
+    serve daemon's per-job resume) and the retention pruning in
+    :func:`save_checkpoint` share this helper.
+    """
     directory = Path(directory)
     if not directory.is_dir():
-        return None
-    best: tuple[int, Path] | None = None
-    for entry in directory.iterdir():
-        match = _CKPT_NAME.match(entry.name)
-        if match is None:
-            continue
-        step = int(match.group(1))
-        if best is None or step > best[0]:
-            best = (step, entry)
-    return best[1] if best else None
+        return []
+    found = [
+        (int(match.group(1)), entry)
+        for entry in directory.iterdir()
+        if (match := _CKPT_NAME.match(entry.name))
+    ]
+    found.sort(key=lambda pair: pair[0])
+    return found
+
+
+def latest_checkpoint(directory: str | os.PathLike) -> Path | None:
+    """Highest-step ``ckpt-*.npz`` under ``directory`` (or ``None``)."""
+    found = checkpoint_steps(directory)
+    return found[-1][1] if found else None
 
 
 def save_checkpoint(
@@ -401,14 +419,6 @@ def save_checkpoint(
     directory = Path(policy.directory)
     path = ckpt.save(directory / f"ckpt-{ckpt.step:08d}.npz")
     if policy.keep is not None:
-        found = sorted(
-            (
-                (int(m.group(1)), entry)
-                for entry in directory.iterdir()
-                if (m := _CKPT_NAME.match(entry.name))
-            ),
-            key=lambda pair: pair[0],
-        )
-        for _, stale in found[: -policy.keep]:
+        for _, stale in checkpoint_steps(directory)[: -policy.keep]:
             stale.unlink()
     return path

@@ -31,10 +31,21 @@ from .checkpoint import CheckpointPolicy, TrainingCheckpoint, save_checkpoint
 from .config import TrainingConfig
 from .metrics import PHASE_NAMES, EpochMetrics, History
 
-__all__ = ["ParallelTrainer"]
+__all__ = ["ParallelTrainer", "TrainingInterrupted"]
 
 LossFn = Callable[[np.ndarray, np.ndarray], tuple[float, np.ndarray]]
 StepHook = Callable[[int, list[float], list[float]], None]
+EpochHook = Callable[["EpochMetrics", "History"], None]
+
+
+class TrainingInterrupted(Exception):
+    """Raised out of the training loop when ``should_stop`` fires.
+
+    A cooperative stop, not a failure: every completed step has been
+    applied (and checkpointed, if a policy is active), so the run can
+    be resumed bit-identically — or simply abandoned, as the serve
+    daemon does for cancelled jobs.
+    """
 
 
 class ParallelTrainer:
@@ -92,6 +103,7 @@ class ParallelTrainer:
         losses: list[float] | None = None,
         accuracies: list[float] | None = None,
         on_step: StepHook | None = None,
+        should_stop: Callable[[], bool] | None = None,
     ) -> tuple[float, float]:
         """One pass over the training set; returns (loss, accuracy).
 
@@ -102,7 +114,11 @@ class ParallelTrainer:
         metric lists (the skipped batches' metrics from the
         checkpoint), and ``on_step`` is called after every trained
         batch with ``(batches_done, losses, accuracies)`` — the
-        checkpoint hook.
+        checkpoint hook.  ``should_stop`` is polled between steps;
+        when it returns true the epoch raises
+        :class:`TrainingInterrupted` at the next step boundary (after
+        the checkpoint hook, so a stopped run is resumable from its
+        last completed step).
         """
         losses = [] if losses is None else losses
         accuracies = [] if accuracies is None else accuracies
@@ -113,6 +129,10 @@ class ParallelTrainer:
             batch_index += 1
             if batch_index <= start_batch:
                 continue
+            if should_stop is not None and should_stop():
+                raise TrainingInterrupted(
+                    f"stop requested before batch {batch_index}"
+                )
             loss, acc = self.train_step(batch_x, batch_y)
             losses.append(loss)
             accuracies.append(acc)
@@ -149,6 +169,8 @@ class ParallelTrainer:
         verbose: bool = False,
         checkpoint: CheckpointPolicy | None = None,
         resume_from: TrainingCheckpoint | str | os.PathLike | None = None,
+        on_epoch: EpochHook | None = None,
+        should_stop: Callable[[], bool] | None = None,
     ) -> History:
         """Train for ``epochs`` passes, recording per-epoch metrics.
 
@@ -164,6 +186,14 @@ class ParallelTrainer:
         the returned history includes the checkpointed epochs — a
         resumed run's history is bit-identical to the uninterrupted
         run's.
+
+        ``on_epoch`` is called after every completed epoch with
+        ``(metrics, history)``, once the boundary checkpoint (if any)
+        has been written — the serve daemon streams NDJSON metric
+        lines from it.  ``should_stop`` is polled between steps; when
+        it returns true, :class:`TrainingInterrupted` propagates to
+        the caller after the current step (and its checkpoint hook)
+        completes, so the stopped run stays resumable.
         """
         history = History(
             label=self.config.label,
@@ -234,6 +264,7 @@ class ParallelTrainer:
                     losses=losses,
                     accuracies=accuracies,
                     on_step=on_step,
+                    should_stop=should_stop,
                 )
             except WorkerFailureError as failure:
                 sync_topology()
@@ -241,6 +272,9 @@ class ParallelTrainer:
                 if verbose:
                     print(f"[{self.config.label}] stopped: {failure}")
                 break
+            except TrainingInterrupted:
+                sync_topology()
+                raise
             elapsed = time.perf_counter() - start
             if phase_before is not None:
                 phase_after = tracer.phase_seconds()
@@ -281,6 +315,8 @@ class ParallelTrainer:
                     ),
                     history=history,
                 )
+            if on_epoch is not None:
+                on_epoch(metrics, history)
             if verbose:
                 print(
                     f"[{self.config.label}] epoch {epoch:3d} "

@@ -1,0 +1,381 @@
+"""The serve daemon: queue → admission → runner pool → resume.
+
+One :class:`ServeDaemon` owns a :class:`~repro.serve.jobstore.JobStore`
+root, an HTTP API (see :mod:`repro.serve.api`), and a bounded pool of
+runner processes.  Its scheduling loop is a plain synchronous tick —
+:meth:`step` reaps finished runners, enforces cancellations/timeouts,
+and admits queued jobs into the free rank budget — which makes the
+whole daemon drivable deterministically from tests (construct it, call
+``step()``) as well as from the CLI loop (:meth:`serve_forever`).
+
+Crash story: all scheduling state lives in the store, so a SIGKILLed
+daemon loses nothing.  On construction the daemon rescans the store:
+jobs left ``running`` by the dead daemon have their orphaned runners
+killed (runners also exit on their own when they notice the daemon is
+gone), are finalized if the runner already wrote its result, and are
+otherwise requeued — the next admission resumes them from their last
+per-step checkpoint, bit-identically.  A job whose runner keeps dying
+without ever writing a result is *evicted* after ``max_restarts``
+requeues rather than crash-looping forever.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+
+from .jobspec import JobSpec
+from .jobstore import JobRecord, JobState, JobStore
+from .queue import make_queue
+from .scheduler import make_scheduler
+
+__all__ = ["ServeDaemon"]
+
+#: map from a runner result.json "state" to the job record state
+_RESULT_STATES = {
+    "succeeded": JobState.SUCCEEDED,
+    "failed": JobState.FAILED,
+    "cancelled": JobState.CANCELLED,
+}
+
+
+def _runner_pid_matches(pid: int, job_id: str) -> bool:
+    """Is ``pid`` alive *and* verifiably the runner of ``job_id``?
+
+    Guards the orphan cleanup against pid reuse: a recycled pid is
+    killed only when its command line (``/proc``, Linux) names the
+    runner module and this job.  When the command line cannot be read
+    the process is treated as not-ours and left alone — the runner's
+    own orphan watch makes it exit anyway.
+    """
+    try:
+        os.kill(pid, 0)
+    except (ProcessLookupError, PermissionError):
+        return False
+    try:
+        with open(f"/proc/{pid}/cmdline", "rb") as stream:
+            cmdline = stream.read()
+    except OSError:  # pragma: no cover - non-/proc platforms
+        return False
+    return b"repro.serve.runner" in cmdline and job_id.encode() in cmdline
+
+
+class ServeDaemon:
+    """Multi-tenant training scheduler over a persistent job store.
+
+    Attributes:
+        max_ranks: total concurrent-rank budget of the runner pool;
+            admission packs jobs' declared ``world_size`` into it.
+        max_restarts: requeues allowed for a runner that dies without
+            writing a result before the job is evicted.
+        grace_s: seconds between a cancellation SIGTERM and the
+            escalation SIGKILL.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        *,
+        max_ranks: int = 4,
+        queue: str = "priority",
+        scheduler: str = "first-fit",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        poll_interval: float = 0.05,
+        max_restarts: int = 3,
+        grace_s: float = 5.0,
+    ):
+        if max_ranks < 1:
+            raise ValueError(f"max_ranks must be >= 1, got {max_ranks}")
+        if max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be >= 0, got {max_restarts}"
+            )
+        self.max_ranks = max_ranks
+        self.queue = make_queue(queue)
+        self.scheduler = make_scheduler(scheduler)
+        self.host = host
+        self.port = port
+        self.poll_interval = poll_interval
+        self.max_restarts = max_restarts
+        self.grace_s = grace_s
+        self.store = JobStore(root)
+        self.started_at = time.time()
+        self._lock = threading.RLock()
+        self._children: dict[str, subprocess.Popen] = {}
+        self._term_sent: dict[str, float] = {}
+        self._stop = threading.Event()
+        self._server = None
+        self._server_thread = None
+        self.rescan()
+
+    # -- restart recovery -------------------------------------------------
+    def rescan(self) -> None:
+        """Reconcile the store after a (possibly violent) restart."""
+        self.store.sweep_tmp()
+        for record in self.store.list():
+            if record.terminal:
+                continue
+            if record.state == JobState.QUEUED:
+                if record.cancel_requested:
+                    self.store.update(
+                        record.job_id,
+                        state=JobState.CANCELLED,
+                        finished_at=time.time(),
+                    )
+                continue
+            # state == RUNNING under the dead daemon
+            if record.pid is not None and _runner_pid_matches(
+                record.pid, record.job_id
+            ):
+                try:
+                    os.kill(record.pid, 9)
+                except ProcessLookupError:  # pragma: no cover - raced
+                    pass
+                self._await_pid_gone(record.pid)
+            self._settle_dead_runner(record)
+
+    @staticmethod
+    def _await_pid_gone(pid: int, timeout: float = 10.0) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                os.kill(pid, 0)
+            except (ProcessLookupError, PermissionError):
+                return
+            time.sleep(0.01)
+
+    def _settle_dead_runner(
+        self, record: JobRecord, exit_code: int | None = None
+    ) -> None:
+        """A runner process is gone; decide the job's next state."""
+        result = self.store.read_result(record.job_id)
+        now = time.time()
+        if result is not None:
+            self.store.update(
+                record.job_id,
+                state=_RESULT_STATES.get(result.get("state"),
+                                         JobState.FAILED),
+                result=result,
+                pid=None,
+                finished_at=now,
+            )
+        elif record.cancel_requested:
+            self.store.update(
+                record.job_id,
+                state=JobState.CANCELLED,
+                pid=None,
+                finished_at=now,
+            )
+        elif record.error is not None:
+            # marked for eviction (timeout) before the kill
+            self.store.update(
+                record.job_id,
+                state=JobState.EVICTED,
+                pid=None,
+                finished_at=now,
+            )
+        elif record.restarts >= self.max_restarts:
+            suffix = (
+                "" if exit_code is None else f" (last exit {exit_code})"
+            )
+            self.store.update(
+                record.job_id,
+                state=JobState.EVICTED,
+                pid=None,
+                finished_at=now,
+                error=(
+                    f"runner died {record.restarts + 1} times without "
+                    f"writing a result{suffix}"
+                ),
+            )
+        else:
+            self.store.update(
+                record.job_id,
+                state=JobState.QUEUED,
+                pid=None,
+                restarts=record.restarts + 1,
+            )
+
+    # -- API-facing operations --------------------------------------------
+    def submit(self, spec: JobSpec | dict, priority: int = 0) -> JobRecord:
+        """Validate and enqueue one job (raises ``ValueError`` on bad
+        specs or a ``world_size`` that can never be admitted)."""
+        if not isinstance(spec, JobSpec):
+            spec = JobSpec.from_dict(spec)
+        if spec.world_size > self.max_ranks:
+            raise ValueError(
+                f"job world_size {spec.world_size} exceeds the pool's "
+                f"max_ranks {self.max_ranks}; it could never be admitted"
+            )
+        with self._lock:
+            return self.store.submit(spec, priority=priority)
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel one job; idempotent, raises ``KeyError`` if unknown.
+
+        Queued jobs go terminal immediately; running jobs get a
+        cooperative SIGTERM now and a SIGKILL after ``grace_s`` if the
+        runner has not stopped at a step boundary by then.
+        """
+        with self._lock:
+            record = self.store.get(job_id)
+            if record.terminal:
+                return record
+            if record.state == JobState.QUEUED:
+                return self.store.update(
+                    job_id,
+                    state=JobState.CANCELLED,
+                    cancel_requested=True,
+                    finished_at=time.time(),
+                )
+            record = self.store.update(job_id, cancel_requested=True)
+            child = self._children.get(job_id)
+            if child is not None and job_id not in self._term_sent:
+                child.terminate()
+                self._term_sent[job_id] = time.monotonic()
+            return record
+
+    def running_ranks(self) -> int:
+        return sum(
+            r.spec.world_size
+            for r in self.store.list(JobState.RUNNING)
+        )
+
+    # -- the scheduling tick ----------------------------------------------
+    def step(self) -> None:
+        """One scheduler tick: reap, enforce, admit."""
+        with self._lock:
+            self._reap()
+            self._enforce()
+            self._admit()
+
+    def _reap(self) -> None:
+        for job_id, child in list(self._children.items()):
+            exit_code = child.poll()
+            if exit_code is None:
+                continue
+            del self._children[job_id]
+            self._term_sent.pop(job_id, None)
+            self._settle_dead_runner(
+                self.store.get(job_id), exit_code=exit_code
+            )
+
+    def _enforce(self) -> None:
+        now = time.monotonic()
+        for job_id, child in list(self._children.items()):
+            record = self.store.get(job_id)
+            if record.cancel_requested:
+                sent = self._term_sent.get(job_id)
+                if sent is None:
+                    child.terminate()
+                    self._term_sent[job_id] = now
+                elif now - sent > self.grace_s:
+                    child.kill()
+            timeout = record.spec.timeout_s
+            if (
+                timeout is not None
+                and record.started_at is not None
+                and time.time() - record.started_at > timeout
+                and record.error is None
+            ):
+                self.store.update(
+                    job_id,
+                    error=f"evicted: exceeded timeout_s={timeout}",
+                )
+                child.kill()
+
+    def _admit(self) -> None:
+        free = self.max_ranks - self.running_ranks()
+        if free <= 0:
+            return
+        queued = [
+            r for r in self.store.list(JobState.QUEUED)
+            if not r.cancel_requested
+        ]
+        for record in self.scheduler.admit(self.queue.order(queued), free):
+            self._spawn(record)
+
+    def _spawn(self, record: JobRecord) -> None:
+        job_dir = self.store.job_dir(record.job_id)
+        env = dict(os.environ, REPRO_SERVE_DAEMON_PID=str(os.getpid()))
+        with open(self.store.log_path(record.job_id), "ab") as log:
+            child = subprocess.Popen(
+                [sys.executable, "-m", "repro.serve.runner", str(job_dir)],
+                stdout=log,
+                stderr=subprocess.STDOUT,
+                env=env,
+            )
+        self._children[record.job_id] = child
+        self.store.update(
+            record.job_id,
+            state=JobState.RUNNING,
+            pid=child.pid,
+            started_at=time.time(),
+        )
+
+    # -- long-running service ---------------------------------------------
+    def start_api(self) -> tuple[str, int]:
+        """Bind and start the HTTP API thread; returns (host, port)."""
+        from .api import make_server
+
+        if self._server is None:
+            self._server = make_server(self, self.host, self.port)
+            self._server_thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="serve-api",
+                daemon=True,
+            )
+            self._server_thread.start()
+        return self._server.server_address[:2]
+
+    @property
+    def address(self) -> tuple[str, int] | None:
+        return None if self._server is None else (
+            self._server.server_address[:2]
+        )
+
+    def request_stop(self) -> None:
+        self._stop.set()
+
+    def serve_forever(self, drain: bool = False) -> None:
+        """Run the scheduling loop until stopped.
+
+        With ``drain=True`` the loop exits once every job in the store
+        is terminal — the batch mode the load test and CI use.
+        """
+        self.start_api()
+        while not self._stop.is_set():
+            self.step()
+            if drain and all(r.terminal for r in self.store.list()):
+                return
+            self._stop.wait(self.poll_interval)
+
+    def close(self) -> None:
+        """Stop the API and kill+reap any still-running runners.
+
+        Killed runners are requeued by the settle path, so a later
+        daemon over the same root resumes them — closing is equivalent
+        to a crash that was tidied up.
+        """
+        with self._lock:
+            for child in self._children.values():
+                child.kill()
+            for child in self._children.values():
+                child.wait(timeout=10.0)
+            self._reap()
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server_thread.join(timeout=5.0)
+            self._server = None
+            self._server_thread = None
+
+    def __enter__(self) -> "ServeDaemon":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,152 @@
+"""What one training job runs: model, dataset, and training config.
+
+A :class:`JobSpec` is the unit of submission — the JSON body of
+``POST /jobs`` parses into one.  It mirrors the ``repro train`` CLI
+knobs (zoo model + synthetic dataset + :class:`TrainingConfig` cell)
+so anything trainable from the command line is submittable as a job.
+Specs are validated eagerly at submission (unknown fields, unknown
+model, non-positive sizes), while config-level errors that need the
+full :class:`TrainingConfig` construction (scheme/exchange names,
+batch-vs-world-size constraints) surface when the runner builds the
+trainer and turn the job ``failed`` with a traceback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+
+from ..core.config import TrainingConfig
+from ..data import make_image_dataset, make_sequence_dataset
+from ..models import MODEL_BUILDERS, build_model
+
+__all__ = ["JobSpec"]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One submittable training job.
+
+    Attributes:
+        model: zoo model name (``repro.models.MODEL_BUILDERS``).
+        scheme / exchange / engine: the study-grid cell to train
+            (validated by :class:`TrainingConfig` in the runner).
+        world_size: ranks this job occupies in the daemon's pool —
+            the admission-control currency.
+        epochs: total epochs to train (a resumed job continues to the
+            same total).
+        checkpoint_every_steps: per-step checkpoint cadence; 1 (the
+            default) makes the job resumable from any kill point.
+        trace: record a telemetry trace and export a per-job Chrome
+            trace next to the metrics stream.
+        timeout_s: wall-clock budget per attempt; the daemon evicts
+            the job when exceeded.  ``None`` = unbounded.
+        link_gbps: optional simulated link pacing, as in ``repro
+            train``.
+    """
+
+    model: str = "alexnet"
+    scheme: str = "32bit"
+    exchange: str = "mpi"
+    engine: str = "sequential"
+    world_size: int = 2
+    batch_size: int = 32
+    epochs: int = 2
+    lr: float = 0.01
+    seed: int = 0
+    model_seed: int = 1
+    classes: int = 4
+    image_size: int = 8
+    train_samples: int = 64
+    test_samples: int = 32
+    checkpoint_every_steps: int = 1
+    trace: bool = False
+    timeout_s: float | None = None
+    link_gbps: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.model not in MODEL_BUILDERS:
+            raise ValueError(
+                f"unknown model {self.model!r}; expected one of "
+                f"{sorted(MODEL_BUILDERS)}"
+            )
+        for name in ("world_size", "batch_size", "epochs",
+                     "checkpoint_every_steps", "train_samples"):
+            if int(getattr(self, name)) < 1:
+                raise ValueError(
+                    f"{name} must be >= 1, got {getattr(self, name)}"
+                )
+        if self.test_samples < 0:
+            raise ValueError(
+                f"test_samples must be >= 0, got {self.test_samples}"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(
+                f"timeout_s must be positive, got {self.timeout_s}"
+            )
+
+    # -- (de)serialization ------------------------------------------------
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "JobSpec":
+        """Parse a submitted spec, rejecting unknown fields by name."""
+        if not isinstance(record, dict):
+            raise ValueError(
+                f"spec must be a JSON object, got {type(record).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(record) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown spec fields: {', '.join(unknown)}; expected a "
+                f"subset of {sorted(known)}"
+            )
+        return cls(**record)
+
+    # -- materialization (runner side) ------------------------------------
+    def to_config(self, tracer=None) -> TrainingConfig:
+        """The :class:`TrainingConfig` cell this job trains."""
+        kwargs = {}
+        if tracer is not None:
+            kwargs["tracer"] = tracer
+        return TrainingConfig(
+            scheme=self.scheme,
+            exchange=self.exchange,
+            world_size=self.world_size,
+            batch_size=self.batch_size,
+            lr=self.lr,
+            seed=self.seed,
+            engine=self.engine,
+            link_gbps=self.link_gbps,
+            **kwargs,
+        )
+
+    def build_model(self):
+        """Fresh model replica seeded exactly like ``repro train``."""
+        if self.model == "lstm":
+            return build_model(self.model, num_classes=self.classes,
+                               seed=self.model_seed)
+        if self.model in ("alexnet", "vgg"):
+            return build_model(self.model, num_classes=self.classes,
+                               image_size=self.image_size,
+                               seed=self.model_seed)
+        return build_model(self.model, num_classes=self.classes,
+                           seed=self.model_seed)
+
+    def build_dataset(self):
+        """The job's synthetic dataset (seeded by the config seed)."""
+        if self.model == "lstm":
+            return make_sequence_dataset(
+                num_classes=self.classes,
+                train_samples=self.train_samples,
+                test_samples=self.test_samples,
+                seed=self.seed,
+            )
+        return make_image_dataset(
+            num_classes=self.classes,
+            train_samples=self.train_samples,
+            test_samples=self.test_samples,
+            image_size=self.image_size,
+            seed=self.seed,
+        )

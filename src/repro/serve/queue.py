@@ -1,0 +1,57 @@
+"""Dispatch-order policies for queued jobs.
+
+A queue policy is pure ordering: given the store's queued records it
+returns them in the order the scheduler should consider them.  State
+lives in the :class:`~repro.serve.jobstore.JobStore`, so queue order
+survives a daemon restart by construction — the rescan re-derives it
+from the persisted ``(priority, seq)`` pairs.
+"""
+
+from __future__ import annotations
+
+from .jobstore import JobRecord
+
+__all__ = ["QUEUE_NAMES", "make_queue", "PriorityQueue", "FifoQueue"]
+
+
+class PriorityQueue:
+    """Higher ``priority`` first; FIFO (submission ``seq``) tie-break."""
+
+    name = "priority"
+
+    def order(self, records: list[JobRecord]) -> list[JobRecord]:
+        return sorted(records, key=lambda r: (-r.priority, r.seq))
+
+
+class FifoQueue:
+    """Pure submission order; priorities are ignored."""
+
+    name = "fifo"
+
+    def order(self, records: list[JobRecord]) -> list[JobRecord]:
+        return sorted(records, key=lambda r: r.seq)
+
+
+_QUEUES = {
+    "priority": PriorityQueue,
+    "fifo": FifoQueue,
+}
+
+#: registered queue policies, in documentation order
+QUEUE_NAMES = ("priority", "fifo")
+
+
+def make_queue(name: str):
+    """Construct a queue policy by name.
+
+    Raises ``ValueError`` listing the valid choices for an unknown
+    name (never a raw ``KeyError``), like every other name registry in
+    the repository.
+    """
+    try:
+        queue_cls = _QUEUES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown queue {name!r}; expected one of {QUEUE_NAMES}"
+        ) from None
+    return queue_cls()

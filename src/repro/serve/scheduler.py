@@ -1,0 +1,89 @@
+"""Admission control: which queued jobs start, given free ranks.
+
+The daemon's pool is a budget of concurrent *ranks* (``--max-ranks``),
+not jobs — a ``world_size=4`` job costs four slots, so heterogeneous
+jobs pack like bin items.  A scheduler policy picks, from the queue
+policy's ordering, the jobs to admit into the currently free budget:
+
+* ``first-fit`` walks the whole ordering and admits every job that
+  fits, so small jobs pack around a wide head-of-line job that must
+  wait for capacity (best utilization; a wide job can be bypassed
+  indefinitely under a steady small-job stream).
+* ``strict`` stops at the first job that does not fit, preserving the
+  queue order exactly (no bypass; the pool may idle below capacity
+  while a wide job waits).
+"""
+
+from __future__ import annotations
+
+from .jobstore import JobRecord
+
+__all__ = [
+    "SCHEDULER_NAMES",
+    "make_scheduler",
+    "FirstFitScheduler",
+    "StrictScheduler",
+]
+
+
+class FirstFitScheduler:
+    """Admit every queued job, in order, that fits the free budget."""
+
+    name = "first-fit"
+
+    def admit(
+        self, ordered: list[JobRecord], free_ranks: int
+    ) -> list[JobRecord]:
+        admitted = []
+        for record in ordered:
+            need = record.spec.world_size
+            if need <= free_ranks:
+                admitted.append(record)
+                free_ranks -= need
+            if free_ranks <= 0:
+                break
+        return admitted
+
+
+class StrictScheduler:
+    """Admit in order until the first job that does not fit."""
+
+    name = "strict"
+
+    def admit(
+        self, ordered: list[JobRecord], free_ranks: int
+    ) -> list[JobRecord]:
+        admitted = []
+        for record in ordered:
+            need = record.spec.world_size
+            if need > free_ranks:
+                break
+            admitted.append(record)
+            free_ranks -= need
+        return admitted
+
+
+_SCHEDULERS = {
+    "first-fit": FirstFitScheduler,
+    "strict": StrictScheduler,
+}
+
+#: registered admission policies, in documentation order
+SCHEDULER_NAMES = ("first-fit", "strict")
+
+
+def make_scheduler(name: str):
+    """Construct an admission policy by name.
+
+    Raises ``ValueError`` listing the valid choices for an unknown
+    name (never a raw ``KeyError``), like every other name registry in
+    the repository.
+    """
+    try:
+        scheduler_cls = _SCHEDULERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; expected one of "
+            f"{SCHEDULER_NAMES}"
+        ) from None
+    return scheduler_cls()

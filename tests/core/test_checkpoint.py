@@ -121,6 +121,27 @@ class TestCheckpointFiles:
         found = latest_checkpoint(tmp_path)
         assert found is not None and found.name == "ckpt-00000012.npz"
 
+    def test_latest_checkpoint_sorts_numerically(self, tmp_path):
+        # regression: discovery must order by the parsed step, never
+        # by filename — lexicographically "ckpt-100" < "ckpt-99", so a
+        # byte-order pick would resume from step 99 and retrain (or
+        # double-train) everything past it
+        for name in ("ckpt-99.npz", "ckpt-100.npz", "ckpt-9.npz"):
+            (tmp_path / name).write_bytes(b"x")
+        assert max(tmp_path.iterdir()).name == "ckpt-99.npz"  # the trap
+        found = latest_checkpoint(tmp_path)
+        assert found is not None and found.name == "ckpt-100.npz"
+
+    def test_checkpoint_steps_orders_mixed_padding(self, tmp_path):
+        from repro.core import checkpoint_steps
+
+        for name in ("ckpt-00000099.npz", "ckpt-100.npz", "ckpt-2.npz"):
+            (tmp_path / name).write_bytes(b"x")
+        steps = checkpoint_steps(tmp_path)
+        assert [step for step, _ in steps] == [2, 99, 100]
+        assert steps[-1][1].name == "ckpt-100.npz"
+        assert checkpoint_steps(tmp_path / "missing") == []
+
     def test_load_rejects_future_format(self, dataset, tmp_path):
         with make_trainer() as trainer:
             fit(

@@ -1,0 +1,151 @@
+"""Job store: atomic writes, rescan, and state-transition persistence."""
+
+import json
+
+import pytest
+
+from repro.serve import (
+    TERMINAL_STATES,
+    JobRecord,
+    JobSpec,
+    JobState,
+    JobStore,
+    read_json,
+    write_json_atomic,
+)
+
+from .conftest import TINY_SPEC
+
+
+def make_store(tmp_path):
+    return JobStore(tmp_path / "root")
+
+
+class TestAtomicity:
+    def test_write_leaves_no_tmp_files(self, tmp_path):
+        store = make_store(tmp_path)
+        record = store.submit(JobSpec.from_dict(TINY_SPEC))
+        files = sorted(
+            p.name for p in store.job_dir(record.job_id).iterdir()
+        )
+        assert files == ["record.json"]
+
+    def test_torn_tmp_file_is_ignored_and_swept(self, tmp_path):
+        store = make_store(tmp_path)
+        record = store.submit(JobSpec.from_dict(TINY_SPEC))
+        # a writer SIGKILLed mid-write leaves a torn tmp next to the
+        # last good record; rescan must read the record and sweep the
+        # leftover
+        torn = store.job_dir(record.job_id) / ".record.json.tmp999"
+        torn.write_text('{"state": "half-writ')
+        rescanned = JobStore(store.root)
+        assert rescanned.get(record.job_id).state == JobState.QUEUED
+        assert rescanned.sweep_tmp() == 1
+        assert not torn.exists()
+
+    def test_torn_record_is_skipped_on_rescan(self, tmp_path):
+        store = make_store(tmp_path)
+        keep = store.submit(JobSpec.from_dict(TINY_SPEC))
+        broken = store.jobs_dir / "job-999999"
+        broken.mkdir()
+        (broken / "record.json").write_text('{"job_id": "job-9')
+        rescanned = JobStore(store.root)
+        assert [r.job_id for r in rescanned.list()] == [keep.job_id]
+
+    def test_read_json_missing_and_torn(self, tmp_path):
+        assert read_json(tmp_path / "absent.json") is None
+        torn = tmp_path / "torn.json"
+        torn.write_text("{")
+        assert read_json(torn) is None
+
+    def test_write_json_atomic_roundtrip(self, tmp_path):
+        path = write_json_atomic(tmp_path / "deep" / "result.json",
+                                 {"state": "succeeded", "digest": "abc"})
+        assert json.loads(path.read_text())["digest"] == "abc"
+
+
+class TestRescan:
+    def test_restart_rescan_preserves_order_and_seq(self, tmp_path):
+        store = make_store(tmp_path)
+        submitted = [
+            store.submit(JobSpec.from_dict(TINY_SPEC), priority=p)
+            for p in (0, 5, 1)
+        ]
+        rescanned = JobStore(store.root)
+        assert [r.job_id for r in rescanned.list()] == [
+            r.job_id for r in submitted
+        ]
+        assert [r.priority for r in rescanned.list()] == [0, 5, 1]
+        # the seq counter continues after the highest persisted seq,
+        # so post-restart submissions keep FIFO ordering
+        fresh = rescanned.submit(JobSpec.from_dict(TINY_SPEC))
+        assert fresh.seq == submitted[-1].seq + 1
+
+    def test_update_persists_across_reload(self, tmp_path):
+        store = make_store(tmp_path)
+        record = store.submit(JobSpec.from_dict(TINY_SPEC))
+        store.update(record.job_id, state=JobState.RUNNING, pid=4321)
+        rescanned = JobStore(store.root)
+        found = rescanned.get(record.job_id)
+        assert (found.state, found.pid) == (JobState.RUNNING, 4321)
+
+    def test_unknown_record_field_rejected(self, tmp_path):
+        store = make_store(tmp_path)
+        record = store.submit(JobSpec.from_dict(TINY_SPEC))
+        with pytest.raises(AttributeError, match="no field"):
+            store.update(record.job_id, bogus=1)
+
+
+class TestTransitions:
+    def test_cancelled_while_queued_vs_running(self, tmp_path):
+        store = make_store(tmp_path)
+        queued = store.submit(JobSpec.from_dict(TINY_SPEC))
+        running = store.submit(JobSpec.from_dict(TINY_SPEC))
+        store.update(running.job_id, state=JobState.RUNNING, pid=1234)
+        # queued -> cancelled is immediate and terminal
+        store.update(
+            queued.job_id,
+            state=JobState.CANCELLED,
+            cancel_requested=True,
+            finished_at=1.0,
+        )
+        # running -> cancel is a *request*; the job stays running (and
+        # occupies its ranks) until the runner stops
+        store.update(running.job_id, cancel_requested=True)
+        assert store.get(queued.job_id).terminal
+        live = store.get(running.job_id)
+        assert live.state == JobState.RUNNING and not live.terminal
+        assert live.cancel_requested
+
+    def test_terminal_states_are_exactly_the_documented_four(self):
+        assert TERMINAL_STATES == {
+            JobState.SUCCEEDED,
+            JobState.FAILED,
+            JobState.CANCELLED,
+            JobState.EVICTED,
+        }
+
+    def test_record_roundtrip(self, tmp_path):
+        store = make_store(tmp_path)
+        record = store.submit(JobSpec.from_dict(TINY_SPEC), priority=7)
+        clone = JobRecord.from_dict(record.to_dict())
+        assert clone == record
+
+    def test_counts(self, tmp_path):
+        store = make_store(tmp_path)
+        a = store.submit(JobSpec.from_dict(TINY_SPEC))
+        store.submit(JobSpec.from_dict(TINY_SPEC))
+        store.update(a.job_id, state=JobState.SUCCEEDED)
+        assert store.counts() == {"succeeded": 1, "queued": 1}
+
+    def test_spec_rejects_unknown_fields_by_name(self):
+        with pytest.raises(ValueError, match="unknown spec fields: gpus"):
+            JobSpec.from_dict({**TINY_SPEC, "gpus": 4})
+
+    def test_spec_validates_model_and_sizes(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            JobSpec.from_dict({**TINY_SPEC, "model": "gpt5"})
+        with pytest.raises(ValueError, match="epochs must be >= 1"):
+            JobSpec.from_dict({**TINY_SPEC, "epochs": 0})
+        with pytest.raises(ValueError, match="timeout_s must be positive"):
+            JobSpec.from_dict({**TINY_SPEC, "timeout_s": -1})

@@ -1,0 +1,80 @@
+"""Queue ordering, admission control, and registry error conventions."""
+
+import pytest
+
+from repro.serve import (
+    QUEUE_NAMES,
+    SCHEDULER_NAMES,
+    JobRecord,
+    JobSpec,
+    make_queue,
+    make_scheduler,
+)
+
+from .conftest import TINY_SPEC
+
+
+def job(seq, priority=0, world_size=1):
+    spec = JobSpec.from_dict({**TINY_SPEC, "world_size": world_size})
+    return JobRecord(job_id=f"job-{seq:06d}", seq=seq,
+                     priority=priority, spec=spec)
+
+
+class TestRegistries:
+    def test_queue_names_registered(self):
+        for name in QUEUE_NAMES:
+            assert make_queue(name).name == name
+
+    def test_scheduler_names_registered(self):
+        for name in SCHEDULER_NAMES:
+            assert make_scheduler(name).name == name
+
+    def test_unknown_queue_value_error_with_choices(self):
+        with pytest.raises(ValueError, match="unknown queue 'lifo'"):
+            make_queue("lifo")
+        with pytest.raises(ValueError, match=r"'priority', 'fifo'"):
+            make_queue("lifo")
+
+    def test_unknown_scheduler_value_error_with_choices(self):
+        with pytest.raises(ValueError, match="unknown scheduler 'edf'"):
+            make_scheduler("edf")
+        with pytest.raises(ValueError, match=r"'first-fit', 'strict'"):
+            make_scheduler("edf")
+
+
+class TestQueueOrder:
+    def test_priority_queue_orders_by_priority_then_fifo(self):
+        records = [job(0, 1), job(1, 5), job(2, 5), job(3, 0)]
+        ordered = make_queue("priority").order(records)
+        assert [r.seq for r in ordered] == [1, 2, 0, 3]
+
+    def test_fifo_queue_ignores_priority(self):
+        records = [job(2, 9), job(0, 0), job(1, 5)]
+        ordered = make_queue("fifo").order(records)
+        assert [r.seq for r in ordered] == [0, 1, 2]
+
+
+class TestAdmission:
+    def test_first_fit_packs_around_wide_head_of_line(self):
+        # head needs 4 ranks but only 2 are free: first-fit admits the
+        # small jobs behind it, strict admits nothing
+        records = [job(0, world_size=4), job(1), job(2), job(3)]
+        first_fit = make_scheduler("first-fit").admit(records, 2)
+        assert [r.seq for r in first_fit] == [1, 2]
+        strict = make_scheduler("strict").admit(records, 2)
+        assert strict == []
+
+    def test_budget_is_ranks_not_jobs(self):
+        records = [job(0, world_size=2), job(1, world_size=2), job(2)]
+        admitted = make_scheduler("first-fit").admit(records, 3)
+        assert [r.seq for r in admitted] == [0, 2]
+
+    def test_exact_fit_consumes_all_ranks(self):
+        records = [job(0, world_size=2), job(1, world_size=1)]
+        for name in SCHEDULER_NAMES:
+            admitted = make_scheduler(name).admit(records, 3)
+            assert [r.seq for r in admitted] == [0, 1]
+
+    def test_no_free_ranks_admits_nothing(self):
+        for name in SCHEDULER_NAMES:
+            assert make_scheduler(name).admit([job(0)], 0) == []

@@ -1,0 +1,191 @@
+"""Restart reconciliation in-process, runner entry point, serve CLI."""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import urllib.request
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.serve import JobSpec, JobState, JobStore, ServeDaemon
+from repro.serve.runner import main as runner_main
+
+from .conftest import SLOW_SPEC, TINY_SPEC, drive_to_terminal
+
+
+def seeded_store(tmp_path, spec=TINY_SPEC, **fields):
+    store = JobStore(tmp_path / "root")
+    record = store.submit(JobSpec.from_dict(spec))
+    if fields:
+        store.update(record.job_id, **fields)
+    return store, record.job_id
+
+
+class TestRescan:
+    def test_dead_pid_requeues_and_resumes(self, tmp_path):
+        # a pid that is long gone: settle must requeue, and the next
+        # admission runs the job to completion
+        probe = subprocess.Popen([sys.executable, "-c", "pass"])
+        probe.wait()
+        store, job_id = seeded_store(
+            tmp_path, state=JobState.RUNNING, pid=probe.pid, restarts=0
+        )
+        with ServeDaemon(store.root, max_ranks=2) as daemon:
+            record = daemon.store.get(job_id)
+            assert record.state == JobState.QUEUED
+            assert record.restarts == 1
+            final = drive_to_terminal(daemon, job_id)
+        assert final.state == JobState.SUCCEEDED
+
+    def test_recycled_pid_is_not_killed(self, tmp_path):
+        # our own (alive) pid recorded against the job: the cmdline
+        # check must recognise it is not a runner and leave it alone
+        store, job_id = seeded_store(
+            tmp_path, state=JobState.RUNNING, pid=os.getpid()
+        )
+        with ServeDaemon(store.root, max_ranks=2) as daemon:
+            assert daemon.store.get(job_id).state == JobState.QUEUED
+
+    def test_live_orphan_runner_is_killed_before_requeue(self, tmp_path):
+        store, job_id = seeded_store(tmp_path, SLOW_SPEC)
+        # double-fork so the runner is reparented to init, exactly like
+        # a runner whose daemon was SIGKILLed (and so the zombie is not
+        # ours to reap)
+        launcher = subprocess.run(
+            [sys.executable, "-c",
+             "import subprocess, sys\n"
+             "child = subprocess.Popen(\n"
+             "    [sys.executable, '-m', 'repro.serve.runner',\n"
+             "     sys.argv[1]],\n"
+             "    stdout=subprocess.DEVNULL,\n"
+             "    stderr=subprocess.STDOUT)\n"
+             "print(child.pid)",
+             str(store.job_dir(job_id))],
+            capture_output=True, text=True, check=True, timeout=30,
+        )
+        orphan_pid = int(launcher.stdout)
+        store.update(job_id, state=JobState.RUNNING, pid=orphan_pid)
+        try:
+            with ServeDaemon(store.root, max_ranks=2) as daemon:
+                # rescan SIGKILLed the verified orphan and requeued
+                with pytest.raises(ProcessLookupError):
+                    os.kill(orphan_pid, 0)
+                assert daemon.store.get(job_id).state == JobState.QUEUED
+        finally:
+            try:
+                os.kill(orphan_pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+
+    def test_exhausted_restarts_evict(self, tmp_path):
+        store, job_id = seeded_store(
+            tmp_path, state=JobState.RUNNING, pid=None, restarts=3
+        )
+        with ServeDaemon(store.root, max_ranks=2) as daemon:
+            record = daemon.store.get(job_id)
+        assert record.state == JobState.EVICTED
+        assert "without writing a result" in record.error
+
+    def test_cancel_requested_while_queued_finalised(self, tmp_path):
+        store, job_id = seeded_store(tmp_path, cancel_requested=True)
+        with ServeDaemon(store.root, max_ranks=2) as daemon:
+            assert daemon.store.get(job_id).state == JobState.CANCELLED
+
+    def test_existing_result_is_honoured_over_requeue(self, tmp_path):
+        store, job_id = seeded_store(
+            tmp_path, state=JobState.RUNNING, pid=None
+        )
+        from repro.serve import write_json_atomic
+
+        write_json_atomic(
+            store.result_path(job_id),
+            {"state": "succeeded", "digest": "cafe"},
+        )
+        with ServeDaemon(store.root, max_ranks=2) as daemon:
+            record = daemon.store.get(job_id)
+        assert record.state == JobState.SUCCEEDED
+        assert record.result["digest"] == "cafe"
+
+
+class TestRunnerMain:
+    @pytest.fixture(autouse=True)
+    def restore_sigterm(self):
+        previous = signal.getsignal(signal.SIGTERM)
+        yield
+        signal.signal(signal.SIGTERM, previous)
+
+    def test_main_trains_job_dir(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_DAEMON_PID", raising=False)
+        store, job_id = seeded_store(tmp_path)
+        assert runner_main([str(store.job_dir(job_id))]) == 0
+        assert store.read_result(job_id)["state"] == "succeeded"
+
+    def test_main_usage_error(self, capsys):
+        assert runner_main([]) == 2
+        assert "usage" in capsys.readouterr().err
+
+
+class TestServeCli:
+    @pytest.fixture(autouse=True)
+    def restore_signals(self):
+        previous = [
+            (signum, signal.getsignal(signum))
+            for signum in (signal.SIGTERM, signal.SIGINT)
+        ]
+        yield
+        for signum, handler in previous:
+            signal.signal(signum, handler)
+
+    def test_drain_runs_seeded_store_to_terminal(self, tmp_path, capsys):
+        store, job_id = seeded_store(tmp_path)
+        code = cli_main([
+            "serve", "--root", str(store.root), "--port", "0",
+            "--max-ranks", "2", "--poll-interval", "0.01", "--drain",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "serving on http://" in output
+        assert "shut down cleanly" in output
+        assert store.read_result(job_id)["state"] == "succeeded"
+
+    def test_bad_max_ranks_exits_2(self, tmp_path, capsys):
+        code = cli_main([
+            "serve", "--root", str(tmp_path / "root"), "--max-ranks", "0",
+        ])
+        assert code == 2
+        assert "max_ranks" in capsys.readouterr().err
+
+    def test_unknown_queue_rejected_by_argparse(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main([
+                "serve", "--root", str(tmp_path / "root"),
+                "--queue", "lifo",
+            ])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+
+class TestFollowStream:
+    def test_follow_streams_until_terminal(self, api):
+        daemon, base = api
+        record = daemon.submit(SLOW_SPEC)
+        lines = []
+        done = threading.Event()
+
+        def follow():
+            url = base + f"/jobs/{record.job_id}/metrics?follow=1"
+            with urllib.request.urlopen(url, timeout=120) as stream:
+                for raw in stream:
+                    lines.append(raw)
+            done.set()
+
+        thread = threading.Thread(target=follow, daemon=True)
+        thread.start()
+        drive_to_terminal(daemon, record.job_id)
+        assert done.wait(timeout=60), "follow stream never closed"
+        thread.join(timeout=10)
+        # every epoch line plus the phase totals arrived live
+        assert len(lines) == SLOW_SPEC["epochs"] + 1

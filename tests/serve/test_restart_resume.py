@@ -1,0 +1,152 @@
+"""Daemon crash recovery: SIGKILL mid-flight, restart, resume, digests.
+
+The acceptance bar for the serve subsystem: a daemon killed with
+SIGKILL while jobs are running must, on restart, finish every job with
+a ``History.digest()`` equal to the job's uninterrupted single-run
+counterpart, and at least one interrupted job must provably resume
+from an on-disk checkpoint rather than restart from scratch.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve import JobSpec, JobState, JobStore, TERMINAL_STATES
+from repro.serve.runner import run_job
+
+from .conftest import SLOW_SPEC, TINY_SPEC, http_json
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: (spec, priority) batch mixing sizes and priorities; the slow jobs
+#: are the ones the SIGKILL will interrupt mid-flight
+BATCH = [
+    (SLOW_SPEC, 5),
+    ({**SLOW_SPEC, "world_size": 2}, 1),
+    (TINY_SPEC, 0),
+    ({**TINY_SPEC, "world_size": 2}, 3),
+    (TINY_SPEC, 9),
+    (SLOW_SPEC, 0),
+]
+
+
+def reference_digest(spec, tmp_path, tag):
+    """Digest of an uninterrupted in-process run of ``spec``."""
+    store = JobStore(tmp_path / f"ref-{tag}")
+    record = store.submit(JobSpec.from_dict(spec))
+    assert run_job(store.job_dir(record.job_id)) == 0
+    return store.read_result(record.job_id)["digest"]
+
+
+def start_daemon(root, *extra):
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--root", str(root),
+         "--port", "0", "--max-ranks", "2",
+         "--poll-interval", "0.02", *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env={**os.environ, "PYTHONPATH": str(SRC)},
+    )
+    banner = process.stdout.readline()
+    assert "serving on http://" in banner, banner
+    port = int(banner.split("http://", 1)[1].split("/")[0]
+               .rsplit(":", 1)[1].split()[0].rstrip(")"))
+    return process, port
+
+
+def wait_for(predicate, timeout=60.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    pytest.fail(f"{message} not reached within {timeout}s")
+
+
+@pytest.mark.slow
+def test_sigkill_restart_resumes_bit_identically(tmp_path):
+    references = {}
+    for index, (spec, _) in enumerate(BATCH):
+        key = json.dumps(spec, sort_keys=True)
+        if key not in references:
+            references[key] = reference_digest(spec, tmp_path, index)
+
+    root = tmp_path / "root"
+    process, port = start_daemon(root)
+    base = f"http://127.0.0.1:{port}"
+    try:
+        job_ids = []
+        for spec, priority in BATCH:
+            code, body = http_json(
+                base + "/jobs", {"spec": spec, "priority": priority}
+            )
+            assert code == 201
+            job_ids.append(body["job_id"])
+
+        # observe the store read-only from this process: kill once a
+        # slow job is mid-flight with at least one checkpoint on disk
+        slow_ids = [
+            job_id for job_id, (spec, _) in zip(job_ids, BATCH)
+            if spec["epochs"] == SLOW_SPEC["epochs"]
+        ]
+
+        def slow_job_mid_flight():
+            store = JobStore(root)
+            for job_id in slow_ids:
+                record = store.get(job_id)
+                if record.state != JobState.RUNNING:
+                    continue
+                if any(store.checkpoint_dir(job_id).glob("ckpt-*.npz")):
+                    return True
+            return False
+
+        wait_for(slow_job_mid_flight, message="slow job mid-flight")
+        os.kill(process.pid, signal.SIGKILL)
+        process.wait(timeout=30)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)
+
+    # orphaned runners notice the dead daemon via getppid() and exit
+    # on their own, without writing a result
+    def no_runners_left():
+        return not any(
+            "repro.serve.runner" in path.read_bytes().decode(
+                errors="replace")
+            for path in Path("/proc").glob("[0-9]*/cmdline")
+            if path.is_file()
+        )
+
+    wait_for(no_runners_left, timeout=30, message="orphan runner exit")
+
+    # restart in drain mode: rescan requeues the interrupted jobs and
+    # the daemon exits once everything is terminal
+    drained, _ = start_daemon(root, "--drain")
+    output = drained.stdout.read()
+    assert drained.wait(timeout=300) == 0, output
+    assert "shut down cleanly" in output
+
+    store = JobStore(root)
+    records = {job_id: store.get(job_id) for job_id in job_ids}
+    assert all(r.state in TERMINAL_STATES for r in records.values())
+    assert all(
+        r.state == JobState.SUCCEEDED for r in records.values()
+    ), {job_id: (r.state, r.error) for job_id, r in records.items()}
+
+    for job_id, (spec, _) in zip(job_ids, BATCH):
+        expected = references[json.dumps(spec, sort_keys=True)]
+        assert records[job_id].result["digest"] == expected, job_id
+
+    resumed = [
+        job_id for job_id, record in records.items()
+        if record.result["resumed_from_step"] is not None
+        and record.result["resumed_from_step"] > 0
+    ]
+    assert resumed, "no job resumed from a checkpoint after the kill"
+    assert any(records[job_id].restarts >= 1 for job_id in resumed)
