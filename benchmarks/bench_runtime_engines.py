@@ -57,7 +57,8 @@ def _make_dataset():
     )
 
 
-def build_trainer(engine, world_size, link_gbps=None):
+def build_trainer(engine, world_size, link_gbps=None,
+                  aggregation_frequency=1):
     config = TrainingConfig(
         scheme="32bit",
         exchange="mpi",
@@ -67,6 +68,7 @@ def build_trainer(engine, world_size, link_gbps=None):
         seed=0,
         engine=engine,
         link_gbps=link_gbps,
+        aggregation_frequency=aggregation_frequency,
     )
     model = tiny_resnet(num_classes=NUM_CLASSES, seed=1)
     return ParallelTrainer(model, config)
@@ -126,6 +128,44 @@ def measure_gil_bound(dataset, world_size=4, repeats=3):
     )
 
 
+def measure_aggregation(dataset, world_size=4, frequencies=(1, 8),
+                        comm_fraction=4.0, repeats=3):
+    """Periodic synchronization on the comm-bound cell.
+
+    Runs the sequential engine (every rank's wire time on the critical
+    path — the regime aggregation is for) at each ``aggregation_
+    frequency`` over the same calibrated link, reporting steps/sec and
+    measured wire bytes per epoch.  With frequency N the exchange runs
+    once per N steps, so wire bytes drop by ~N (exactly N when the
+    epoch's step count divides N).
+    """
+    link = balanced_link_gbps(dataset, world_size, comm_fraction)
+    out = {"link_gbps": link}
+    for n in frequencies:
+        with build_trainer(
+            "sequential", world_size, link_gbps=link,
+            aggregation_frequency=n,
+        ) as trainer:
+            epoch_seconds(trainer, dataset)  # warm-up
+            traffic = trainer.step_engine.exchange.traffic
+            traffic.reset()
+            seconds = min(
+                epoch_seconds(trainer, dataset) for _ in range(repeats)
+            )
+            wire = traffic.total_bytes // repeats
+        out[f"n{n}_steps_per_sec"] = STEPS_PER_EPOCH / seconds
+        out[f"n{n}_wire_bytes"] = wire
+    base = frequencies[0]
+    for n in frequencies[1:]:
+        out[f"n{n}_wire_reduction"] = (
+            out[f"n{base}_wire_bytes"] / max(out[f"n{n}_wire_bytes"], 1)
+        )
+        out[f"n{n}_speedup"] = (
+            out[f"n{n}_steps_per_sec"] / out[f"n{base}_steps_per_sec"]
+        )
+    return out
+
+
 # -- pytest entry points ----------------------------------------------------
 
 try:
@@ -177,6 +217,24 @@ if pytest is not None:
         )
         assert result["process_speedup"] > 2.0
 
+    def test_aggregation_cuts_wire_traffic(benchmark, dataset):
+        """N=8 on the comm-bound cell: ~8x fewer wire bytes, faster."""
+        from conftest import run_once
+
+        result = run_once(
+            benchmark,
+            lambda: measure_aggregation(dataset, world_size=4),
+        )
+        print(
+            f"\naggregation, K=4 comm-bound: "
+            f"N=1 {result['n1_steps_per_sec']:.2f} steps/s, "
+            f"N=8 {result['n8_steps_per_sec']:.2f} steps/s "
+            f"({result['n8_speedup']:.2f}x, "
+            f"{result['n8_wire_reduction']:.1f}x fewer wire bytes)"
+        )
+        assert result["n8_wire_reduction"] >= 5.0
+        assert result["n8_speedup"] > 1.0
+
     def test_threaded_overhead_unpaced(benchmark, dataset):
         """Without a paced link the thread engine must not collapse."""
         from conftest import run_once
@@ -218,10 +276,23 @@ def main(argv=None):
         default="BENCH_engines.json",
         help="report path (default: BENCH_engines.json)",
     )
+    parser.add_argument(
+        "--aggregation",
+        type=int,
+        nargs="+",
+        default=[1, 8],
+        metavar="N",
+        help="aggregation frequencies to measure on the comm-bound "
+        "cell (first value is the baseline; default: 1 8)",
+    )
     args = parser.parse_args(argv)
     dataset = _make_dataset()
     repeats = 1 if args.quick else 3
     headline = measure_gil_bound(dataset, world_size=4, repeats=repeats)
+    aggregation = measure_aggregation(
+        dataset, world_size=4, frequencies=tuple(args.aggregation),
+        repeats=repeats,
+    )
     report = {
         "bench": "runtime_engines",
         "cell": {
@@ -246,7 +317,25 @@ def main(argv=None):
             }
             for engine in ENGINES
         },
+        "aggregation": {
+            "engine": "sequential",
+            "comm_fraction": 4.0,
+            "link_gbps": aggregation["link_gbps"],
+            "frequencies": {
+                str(n): {
+                    "steps_per_sec": aggregation[f"n{n}_steps_per_sec"],
+                    "wire_bytes_per_epoch": aggregation[f"n{n}_wire_bytes"],
+                }
+                for n in args.aggregation
+            },
+        },
     }
+    base = args.aggregation[0]
+    for n in args.aggregation[1:]:
+        report["aggregation"]["frequencies"][str(n)].update(
+            wire_reduction=aggregation[f"n{n}_wire_reduction"],
+            speedup_vs_base=aggregation[f"n{n}_speedup"],
+        )
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
@@ -256,9 +345,28 @@ def main(argv=None):
             f"{engine:>10}: {row['steps_per_sec']:.2f} steps/s "
             f"({row['speedup_vs_sequential']:.2f}x vs sequential)"
         )
+    for n in args.aggregation:
+        row = report["aggregation"]["frequencies"][str(n)]
+        extra = (
+            f" ({row['speedup_vs_base']:.2f}x, "
+            f"{row['wire_reduction']:.1f}x fewer wire bytes)"
+            if "wire_reduction" in row
+            else ""
+        )
+        print(
+            f"aggregation N={n}: {row['steps_per_sec']:.2f} steps/s, "
+            f"{row['wire_bytes_per_epoch']} wire bytes/epoch{extra}"
+        )
     if headline["process_speedup"] <= 2.0:
         print(
             "FAIL: process engine did not clear 2x over sequential",
+            file=sys.stderr,
+        )
+        return 1
+    high = max(args.aggregation)
+    if high > 1 and aggregation[f"n{high}_wire_reduction"] < 5.0:
+        print(
+            f"FAIL: N={high} did not cut wire bytes by at least 5x",
             file=sys.stderr,
         )
         return 1

@@ -155,6 +155,19 @@ def _checkpoint_policy(
     )
 
 
+def _parse_kill_points(values: list[str]) -> tuple[tuple[int, int], ...]:
+    points = []
+    for value in values:
+        try:
+            rank, step = value.split(":", 1)
+            points.append((int(rank), int(step)))
+        except ValueError:
+            raise ValueError(
+                f"--kill-point must be RANK:STEP (e.g. 1:6), got {value!r}"
+            ) from None
+    return tuple(points)
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     try:
         config = TrainingConfig(
@@ -163,7 +176,10 @@ def _cmd_train(args: argparse.Namespace) -> int:
             world_size=args.world_size,
             batch_size=args.batch_size,
             lr=args.lr,
+            momentum=args.momentum,
             seed=args.seed,
+            aggregation_frequency=args.aggregation_frequency,
+            sync_mode=args.sync_mode,
             engine=args.engine,
             ipc=args.ipc,
             link_gbps=args.link_gbps,
@@ -173,6 +189,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
             crash_rank=args.crash_rank,
             crash_step=args.crash_step,
             crash_transient=args.crash_transient,
+            kill_points=_parse_kill_points(args.kill_point),
             max_retries=args.max_retries,
             retry_backoff=args.retry_backoff,
             allow_degraded=args.allow_degraded,
@@ -226,7 +243,7 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         # resuming past it is the whole point
         config = replace(
             config, crash_rank=None, crash_step=None, straggler_ranks=(),
-            straggler_delay=0.0,
+            straggler_delay=0.0, kill_points=(),
         )
     if args.engine is not None:
         config = replace(config, engine=args.engine)
@@ -301,6 +318,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             batch_size=args.batch_size,
             lr=args.lr,
             seed=args.seed,
+            aggregation_frequency=args.aggregation_frequency,
             engine=args.engine,
             link_gbps=args.link_gbps,
             tracer=tracer,
@@ -335,6 +353,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         f"encodes: {counters.encode_calls}  "
         f"decodes: {counters.decode_calls}"
     )
+    if counters.rounds_skipped:
+        print(
+            f"rounds skipped: {counters.rounds_skipped}  "
+            f"wire bytes saved: {counters.wire_bytes_saved}"
+        )
     print(f"trace written to {args.output} (load in chrome://tracing)")
     if args.crossval:
         validation = cross_validate(
@@ -668,7 +691,24 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--batch-size", type=int, default=32)
     train.add_argument("--epochs", type=int, default=5)
     train.add_argument("--lr", type=float, default=0.01)
+    train.add_argument(
+        "--momentum", type=float, default=0.9,
+        help="SGD momentum (use 0 with --sync-mode local_sgd)",
+    )
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--aggregation-frequency", type=int, default=1, metavar="N",
+        help="micro-steps per synchronization round; N=1 exchanges "
+        "every step (bit-identical to the classic path), N>1 runs the "
+        "quantized exchange once per N steps, cutting wire traffic "
+        "~N-fold",
+    )
+    train.add_argument(
+        "--sync-mode", default="allreduce",
+        help="what a round exchanges: 'allreduce' ships accumulated "
+        "gradients, 'local_sgd' takes local optimizer steps and "
+        "averages parameters (requires --momentum 0)",
+    )
     train.add_argument("--model-seed", type=int, default=1)
     train.add_argument("--classes", type=int, default=4)
     train.add_argument("--image-size", type=int, default=8)
@@ -693,6 +733,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--crash-transient", action="store_true",
         help="the injected crash fires only on a step's first attempt, "
         "so a retried step succeeds",
+    )
+    train.add_argument(
+        "--kill-point", action="append", default=[], metavar="RANK:STEP",
+        help="kill this rank outright at this step (repeatable); a "
+        "real SIGKILL under the process engine, an injected crash on "
+        "the in-process engines",
     )
     train.add_argument(
         "--max-retries", type=int, default=0,
@@ -775,6 +821,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--model", default="alexnet", choices=sorted(MODEL_BUILDERS)
     )
     trace.add_argument("--epochs", type=int, default=1)
+    trace.add_argument(
+        "--aggregation-frequency", type=int, default=1, metavar="N",
+        help="micro-steps per synchronization round (see `repro train`)",
+    )
     trace.add_argument("--batch-size", type=int, default=32)
     trace.add_argument("--lr", type=float, default=0.01)
     trace.add_argument("--seed", type=int, default=0)

@@ -73,6 +73,22 @@ class SynchronousStep:
         self._residuals: list[dict[str, np.ndarray]] = [
             {} for _ in range(config.world_size)
         ]
+        # periodic synchronization (aggregation_frequency > 1): a round
+        # is N micro-steps; the quantized exchange runs only on the
+        # round's last micro-step
+        self.frequency = config.aggregation_frequency
+        self.sync_mode = config.sync_mode
+        self._round_position = 0
+        # "allreduce" mode: per-rank running gradient sums, allocated
+        # once per (rank, name) — from the workspace arena when one is
+        # active — and zeroed after every round flush
+        self._accumulators: list[dict[str, np.ndarray]] = [
+            {} for _ in range(config.world_size)
+        ]
+        self._accumulating = self.frequency > 1 and self.sync_mode == "allreduce"
+        # "local_sgd" mode: parameter values at the top of the round;
+        # the round flush exchanges per-rank deltas against this base
+        self._round_base: dict[str, np.ndarray] = {}
         # bytes already on the wire before this step engine existed
         # (carried across a mid-run shrink or a checkpoint resume so
         # per-epoch comm accounting stays continuous)
@@ -88,6 +104,106 @@ class SynchronousStep:
                 variant=config.variant,
             )
         return make_quantizer(config.scheme, bucket_size=config.bucket_size)
+
+    # -- round lifecycle --------------------------------------------------
+    @property
+    def round_position(self) -> int:
+        """Completed micro-steps inside the current round (0..N-1)."""
+        return self._round_position
+
+    @property
+    def sync_this_step(self) -> bool:
+        """Whether the current micro-step closes the round (exchanges)."""
+        return self._round_position + 1 >= self.frequency
+
+    @property
+    def local_updates(self) -> bool:
+        """Whether ranks step their own replicas between exchanges."""
+        return self.sync_mode == "local_sgd"
+
+    def advance_round(self) -> None:
+        """Advance the round position by one committed micro-step."""
+        self._round_position = (self._round_position + 1) % self.frequency
+
+    def begin_round(self, parameters: list[Parameter]) -> None:
+        """Capture the round base for local-SGD parameter averaging.
+
+        A no-op except at the top of a local-SGD round; idempotent
+        there (parameters have not moved yet), so step retries may call
+        it again freely.
+        """
+        if not self.local_updates or self._round_position != 0:
+            return
+        for param in parameters:
+            base = self._round_base.get(param.name)
+            if base is None:
+                base = np.empty_like(param.data)
+                self._round_base[param.name] = base
+            np.copyto(base, param.data)
+
+    def _accumulator(
+        self, rank: int, name: str, shape: tuple[int, ...], dtype
+    ) -> np.ndarray:
+        acc = self._accumulators[rank].get(name)
+        if acc is None:
+            ws = self.workspace
+            if ws is None:
+                acc = np.zeros(shape, dtype)
+            else:
+                acc = ws.array(("acc", rank, name), shape, dtype)
+                acc.fill(0)
+            self._accumulators[rank][name] = acc
+        return acc
+
+    def accumulate(self, name: str, rank_grads: list[np.ndarray]) -> None:
+        """Fold one micro-step's per-rank gradients into the round sums."""
+        if len(rank_grads) != self.world_size:
+            raise ValueError(
+                f"expected {self.world_size} gradients, got {len(rank_grads)}"
+            )
+        for rank, grad in enumerate(rank_grads):
+            acc = self._accumulator(rank, name, grad.shape, grad.dtype)
+            np.add(acc, grad, out=acc)
+
+    def accumulate_bucket(
+        self,
+        names: list[str],
+        rank_grads_by_name: dict[str, list[np.ndarray]],
+    ) -> None:
+        """Accumulate one coalesced bucket on a skipped round step."""
+        for name in names:
+            self.accumulate(name, rank_grads_by_name[name])
+
+    def average_parameter(
+        self, name: str, rank_params: list[np.ndarray]
+    ) -> np.ndarray:
+        """Average diverged replicas of one parameter (local SGD flush).
+
+        Each rank's delta against the round base travels through the
+        same quantized exchange as a gradient would — error feedback,
+        passthrough policy, and wire accounting included — and the
+        averaged value is ``base + mean(delta)``.
+        """
+        if len(rank_params) != self.world_size:
+            raise ValueError(
+                f"expected {self.world_size} replicas, got {len(rank_params)}"
+            )
+        base = self._round_base[name]
+        ws = self.workspace
+        if ws is None:
+            deltas = [params - base for params in rank_params]
+        else:
+            deltas = []
+            for rank, params in enumerate(rank_params):
+                buf = ws.array(("delta", rank), base.shape, base.dtype)
+                np.subtract(params, base, out=buf)
+                deltas.append(buf)
+        mean_delta = self.aggregate(name, deltas)
+        if ws is None:
+            return base + mean_delta
+        averaged = ws.array(("avg", name), base.shape, base.dtype)
+        np.add(base, mean_delta, out=averaged)
+        return averaged
 
     def aggregate(
         self, name: str, rank_grads: list[np.ndarray]
@@ -111,6 +227,17 @@ class SynchronousStep:
             codec = self.policy.fullprec
         use_feedback = codec.requires_error_feedback
         ws = self.workspace
+        scale = self.world_size
+        if self._accumulating:
+            # round flush: fold the closing micro-step's gradients into
+            # the running sums, exchange the sums, and normalize by
+            # ranks x micro-steps (large-batch mean semantics)
+            self.accumulate(name, rank_grads)
+            rank_grads = [
+                self._accumulators[rank][name]
+                for rank in range(self.world_size)
+            ]
+            scale = self.world_size * self.frequency
 
         if use_feedback:
             corrected = []
@@ -146,12 +273,17 @@ class SynchronousStep:
                 )
 
         if ws is None:
-            return result.aggregate / self.world_size
-        # per-name mean buffers: the engines collect means for every
-        # parameter of a step before applying them, so buffers must not
-        # alias across parameters
-        mean = ws.array(("mean", name), result.aggregate.shape)
-        np.divide(result.aggregate, self.world_size, out=mean)
+            mean = result.aggregate / scale
+        else:
+            # per-name mean buffers: the engines collect means for every
+            # parameter of a step before applying them, so buffers must
+            # not alias across parameters
+            mean = ws.array(("mean", name), result.aggregate.shape)
+            np.divide(result.aggregate, scale, out=mean)
+        if self._accumulating:
+            # the round is flushed; the sums restart from zero
+            for rank in range(self.world_size):
+                self._accumulators[rank][name].fill(0)
         return mean
 
     def aggregate_bucket(
@@ -221,6 +353,15 @@ class SynchronousStep:
                 for per_rank in self._residuals
             ],
             "exchange": self.exchange.state_dict(),
+            "round_position": self._round_position,
+            "accumulators": [
+                {name: array.copy() for name, array in per_rank.items()}
+                for per_rank in self._accumulators
+            ],
+            "round_base": {
+                name: array.copy()
+                for name, array in self._round_base.items()
+            },
         }
 
     def restore_snapshot(self, snap: dict) -> None:
@@ -233,6 +374,15 @@ class SynchronousStep:
         self.exchange.load_state_dict(
             {key: array.copy() for key, array in snap["exchange"].items()}
         )
+        self._round_position = snap["round_position"]
+        self._accumulators = [
+            {name: array.copy() for name, array in per_rank.items()}
+            for per_rank in snap["accumulators"]
+        ]
+        self._round_base = {
+            name: array.copy()
+            for name, array in snap["round_base"].items()
+        }
 
     def shrink(self, keep: list[int], parameters: list[Parameter]) -> "SynchronousStep":
         """A new step engine over the surviving rank positions.
@@ -260,6 +410,13 @@ class SynchronousStep:
         )
         shrunk._residuals = [self._residuals[index] for index in keep]
         shrunk._comm_bytes_base = self.comm_bytes
+        # the round continues across the eviction: survivors keep their
+        # partial accumulations (the dead rank's are dropped with it)
+        # and the local-SGD base stays valid — it was captured when all
+        # replicas were still equal at the top of the round
+        shrunk._round_position = self._round_position
+        shrunk._accumulators = [self._accumulators[index] for index in keep]
+        shrunk._round_base = self._round_base
         return shrunk
 
     def reset(self) -> None:
@@ -267,3 +424,6 @@ class SynchronousStep:
         self.exchange.reset()
         self._residuals = [{} for _ in range(self.world_size)]
         self._comm_bytes_base = 0
+        self._round_position = 0
+        self._accumulators = [{} for _ in range(self.world_size)]
+        self._round_base = {}

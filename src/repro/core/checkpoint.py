@@ -65,6 +65,8 @@ IDENTITY_FIELDS = (
     "variant",
     "quantize_kinds",
     "comm_bucket_bytes",
+    "aggregation_frequency",
+    "sync_mode",
 )
 
 _CKPT_NAME = re.compile(r"^ckpt-(\d+)\.npz$")
@@ -198,6 +200,21 @@ class TrainingCheckpoint:
         for i, param in enumerate(reference.parameters):
             arrays[f"param{i}"] = np.array(param.data, copy=True)
 
+        # mid-round local SGD is the one state where live replicas have
+        # legitimately diverged: capture every rank's parameters (keyed
+        # by live-rank position) so resume rebuilds each replica exactly
+        per_rank_params = (
+            step_engine.local_updates and step_engine.round_position != 0
+        )
+        if per_rank_params:
+            for position, rank in enumerate(engine.live_ranks):
+                for i, param in enumerate(
+                    engine.workers[rank].parameters
+                ):
+                    arrays[f"param{i}r{position}"] = np.array(
+                        param.data, copy=True
+                    )
+
         velocity = reference.optimizer._velocity
         velocity_names = sorted(velocity)
         for i, name in enumerate(velocity_names):
@@ -216,6 +233,23 @@ class TrainingCheckpoint:
         for key, array in step_engine.exchange.state_dict().items():
             arrays[f"exch{len(exchange_keys)}"] = np.array(array, copy=True)
             exchange_keys.append(key)
+
+        # periodic-synchronization round state: the position inside the
+        # current round plus the per-rank gradient accumulators and the
+        # local-SGD round base, so a mid-round resume replays the rest
+        # of the round bit-identically
+        accumulator_index: list[list] = []
+        for position, rank in enumerate(engine.live_ranks):
+            for name, acc in step_engine._accumulators[position].items():
+                arrays[f"acc{len(accumulator_index)}"] = np.array(
+                    acc, copy=True
+                )
+                accumulator_index.append([rank, name])
+        round_base_names = sorted(step_engine._round_base)
+        for i, name in enumerate(round_base_names):
+            arrays[f"rb{i}"] = np.array(
+                step_engine._round_base[name], copy=True
+            )
 
         module_rngs = {
             str(rank): [
@@ -245,6 +279,10 @@ class TrainingCheckpoint:
             "velocity_names": velocity_names,
             "residuals": residual_index,
             "exchange_keys": exchange_keys,
+            "round_position": int(step_engine.round_position),
+            "accumulators": accumulator_index,
+            "round_base_names": round_base_names,
+            "per_rank_params": bool(per_rank_params),
             "extra": dict(extra) if extra else {},
         }
         return cls(meta, arrays)
@@ -259,11 +297,15 @@ class TrainingCheckpoint:
         run can, for example, drop the crash injection that killed the
         original.
         """
+        # round-trip the saved record through the dataclass so fields
+        # added after the checkpoint was written compare at their
+        # defaults instead of as missing keys
+        current = config_to_dict(trainer.config)
+        saved = config_to_dict(self.config)
         mismatches = [
             name
             for name in IDENTITY_FIELDS
-            if config_to_dict(trainer.config).get(name)
-            != self.meta["config"].get(name)
+            if current.get(name) != saved.get(name)
         ]
         if mismatches:
             raise ValueError(
@@ -277,11 +319,16 @@ class TrainingCheckpoint:
 
         param_names = self.meta["param_names"]
         velocity_names = self.meta["velocity_names"]
-        for rank in engine.live_ranks:
+        per_rank_params = bool(self.meta.get("per_rank_params"))
+        for position, rank in enumerate(engine.live_ranks):
             worker = engine.workers[rank]
             for i, name in enumerate(param_names):
                 param = worker.param_by_name[name]
-                saved = self.arrays[f"param{i}"]
+                key = (
+                    f"param{i}r{position}" if per_rank_params
+                    else f"param{i}"
+                )
+                saved = self.arrays[key]
                 if param.data.shape != saved.shape:
                     raise ValueError(
                         f"parameter {name!r} shape {param.data.shape} != "
@@ -316,6 +363,19 @@ class TrainingCheckpoint:
                 self.arrays[f"res{i}"], copy=True
             )
         step_engine._residuals = residuals
+        step_engine._round_position = int(self.meta.get("round_position", 0))
+        accumulators: list[dict[str, np.ndarray]] = [
+            {} for _ in engine.live_ranks
+        ]
+        for i, (rank, name) in enumerate(self.meta.get("accumulators", [])):
+            accumulators[position_of[int(rank)]][name] = np.array(
+                self.arrays[f"acc{i}"], copy=True
+            )
+        step_engine._accumulators = accumulators
+        step_engine._round_base = {
+            name: np.array(self.arrays[f"rb{i}"], copy=True)
+            for i, name in enumerate(self.meta.get("round_base_names", []))
+        }
         step_engine.exchange.load_state_dict(
             {
                 key: np.array(self.arrays[f"exch{i}"], copy=True)

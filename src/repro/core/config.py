@@ -8,10 +8,15 @@ from ..comm import EXCHANGE_NAMES
 from ..quantization import SCHEME_NAMES
 from ..runtime.engine import ENGINE_NAMES
 
-__all__ = ["TrainingConfig", "ENGINE_NAMES", "IPC_NAMES"]
+__all__ = ["TrainingConfig", "ENGINE_NAMES", "IPC_NAMES", "SYNC_MODE_NAMES"]
 
 #: gradient transports of the process engine
 IPC_NAMES = ("shm",)
+
+#: periodic-synchronization variants: "allreduce" accumulates local
+#: gradients and exchanges the sum once per round; "local_sgd" takes
+#: local optimizer steps and averages parameters once per round
+SYNC_MODE_NAMES = ("allreduce", "local_sgd")
 
 
 @dataclass
@@ -117,6 +122,21 @@ class TrainingConfig:
     #: or ("fc", "rnn")); ``None`` quantizes every kind — the paper's
     #: Section 5.1 "Impact of Layer Types" analysis toggles this
     quantize_kinds: tuple[str, ...] | None = None
+    # periodic synchronization: exchange once every N micro-steps
+    #: micro-steps per synchronization round (N >= 1).  N=1 is the
+    #: classic fully-synchronous path and stays bit-identical to it;
+    #: N>1 accumulates local gradients (sync_mode "allreduce") or takes
+    #: local optimizer steps (sync_mode "local_sgd") and runs the
+    #: quantized exchange once per round, cutting wire traffic ~N-fold.
+    aggregation_frequency: int = 1
+    #: what a synchronization round exchanges: "allreduce" ships the
+    #: accumulated gradient sum through the quantized collective and
+    #: applies the mean over ranks x micro-steps; "local_sgd" lets each
+    #: rank step its own replica every micro-step and averages the
+    #: parameter deltas (quantized, error-fed-back) once per round.
+    #: local_sgd requires momentum=0.0 — per-rank momentum on diverged
+    #: replicas has no synchronous-SGD equivalent.
+    sync_mode: str = "allreduce"
     # runtime execution (see repro.runtime)
     engine: str = "sequential"
     ipc: str = "shm"
@@ -159,6 +179,22 @@ class TrainingConfig:
             raise ValueError(
                 "global batch_size must be >= world_size "
                 f"({self.batch_size} < {self.world_size})"
+            )
+        if self.aggregation_frequency < 1:
+            raise ValueError(
+                f"aggregation_frequency must be >= 1, got "
+                f"{self.aggregation_frequency}"
+            )
+        if self.sync_mode not in SYNC_MODE_NAMES:
+            raise ValueError(
+                f"unknown sync_mode {self.sync_mode!r}; expected one of "
+                f"{SYNC_MODE_NAMES}"
+            )
+        if self.sync_mode == "local_sgd" and self.momentum != 0.0:
+            raise ValueError(
+                f"sync_mode 'local_sgd' requires momentum=0.0, got "
+                f"momentum={self.momentum}; per-rank momentum on diverged "
+                "replicas has no synchronous-SGD equivalent"
             )
         if self.engine not in ENGINE_NAMES:
             raise ValueError(

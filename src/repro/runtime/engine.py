@@ -239,6 +239,55 @@ class ExecutionEngine(abc.ABC):
             },
         )
 
+    def _accumulate_bucket(self, bucket: GradientBucket) -> None:
+        """Fold one bucket into the round sums (no exchange runs)."""
+        self.step_engine.accumulate_bucket(
+            list(bucket.names),
+            {
+                name: [
+                    self.workers[rank].gradient(name)
+                    for rank in self.live_ranks
+                ]
+                for name in bucket.names
+            },
+        )
+
+    def _average_replicas(self) -> dict[str, np.ndarray]:
+        """Average the diverged replicas at a local-SGD round flush.
+
+        Walks the buckets in the same fixed order as a gradient
+        exchange, so the quantization RNG stream stays engine-
+        independent.
+        """
+        averaged: dict[str, np.ndarray] = {}
+        for bucket in self.buckets:
+            for name in bucket.names:
+                averaged[name] = self.step_engine.average_parameter(
+                    name,
+                    [
+                        self.workers[rank].param_by_name[name].data
+                        for rank in self.live_ranks
+                    ],
+                )
+        return averaged
+
+    def _install_params(self, averaged: dict[str, np.ndarray]) -> None:
+        """Overwrite every live replica with the averaged parameters."""
+        for rank in self.live_ranks:
+            for param in self.workers[rank].parameters:
+                np.copyto(param.data, averaged[param.name])
+
+    def _complete_round(self) -> None:
+        """Account for and advance past one committed micro-step."""
+        step_engine = self.step_engine
+        if step_engine.frequency > 1 and not step_engine.sync_this_step:
+            sink = self.tracer.counter_sink
+            if sink is not None:
+                sink.count_skipped_round(
+                    len(self.live_ranks) * self.per_rank_payload_nbytes
+                )
+        step_engine.advance_round()
+
     def _pace_transmit(self, nbytes: int, rank: int = 0) -> None:
         """Occupy one rank's link for ``nbytes`` of encoded gradient."""
         if self._link_bytes_per_s is not None and nbytes > 0:
@@ -308,9 +357,13 @@ class ExecutionEngine(abc.ABC):
         attempts = 0
         while True:
             resilient = self._resilience_active
+            # local SGD: capture the round base before the first
+            # micro-step of a round moves any replica (idempotent on
+            # retries — a rewound attempt re-captures identical values)
+            self.step_engine.begin_round(self.reference_worker.parameters)
             snapshot = self._snapshot_step_state() if resilient else None
             try:
-                return self._attempt_step(step, x, y)
+                metrics = self._attempt_step(step, x, y)
             except AttemptFailure as attempt:
                 failure = attempt.failure
                 if not resilient:
@@ -324,6 +377,7 @@ class ExecutionEngine(abc.ABC):
                     self._recover_attempt(attempt)
                     if self._can_evict(failure):
                         self._evict_rank(failure, attempts)
+                        self._complete_round()
                         return self._collect_metrics()
                     self._latch_failure(failure)
                     raise WorkerFailureError(failure) from attempt
@@ -347,6 +401,9 @@ class ExecutionEngine(abc.ABC):
                     continue
                 self._latch_failure(failure)
                 raise WorkerFailureError(failure) from attempt
+            else:
+                self._complete_round()
+                return metrics
 
     @abc.abstractmethod
     def _attempt_step(
@@ -484,6 +541,8 @@ class SequentialEngine(ExecutionEngine):
         tracer = self.tracer
         shards = self._shard(x, y)
         scales = self._grad_scales(shards)
+        sync = self.step_engine.sync_this_step
+        local = self.step_engine.local_updates
         for rank in self.live_ranks:
             worker = self.workers[rank]
             shard_x, shard_y = shards[rank]
@@ -499,14 +558,28 @@ class SequentialEngine(ExecutionEngine):
                     shard_x, shard_y, grad_scale=scales.get(rank)
                 )
             # one thread, one timeline: this rank's upload cannot
-            # overlap anything
-            self._pace_transmit(self.per_rank_payload_nbytes, rank)
-        aggregated: dict[str, np.ndarray] = {}
-        for bucket in self.buckets:
-            aggregated.update(self._exchange_bucket(bucket))
-        for rank in self.live_ranks:
-            with tracer.span("compute", rank):
-                self.workers[rank].apply_updates(aggregated)
+            # overlap anything (skipped round steps put nothing on
+            # the wire)
+            if sync:
+                self._pace_transmit(self.per_rank_payload_nbytes, rank)
+        # all failure-capable phases are over: from here the attempt
+        # cannot raise, so replica mutation is safe in every round mode
+        if local:
+            for rank in self.live_ranks:
+                with tracer.span("compute", rank):
+                    self.workers[rank].apply_local_updates()
+            if sync:
+                self._install_params(self._average_replicas())
+        elif sync:
+            aggregated: dict[str, np.ndarray] = {}
+            for bucket in self.buckets:
+                aggregated.update(self._exchange_bucket(bucket))
+            for rank in self.live_ranks:
+                with tracer.span("compute", rank):
+                    self.workers[rank].apply_updates(aggregated)
+        else:
+            for bucket in self.buckets:
+                self._accumulate_bucket(bucket)
         return self._collect_metrics()
 
 
@@ -520,6 +593,7 @@ class _StepContext:
         tracker: BucketReadiness,
         grad_scales: dict[int, float] | None = None,
         participants: list[int] | tuple[int, ...] = (),
+        sync: bool = True,
     ):
         self.step = step
         self.shards = shards
@@ -528,6 +602,12 @@ class _StepContext:
         self.aggregated: dict[str, np.ndarray] = {}
         self.apply_ready = threading.Event()
         self.abort = False
+        # periodic synchronization: sync=False steps pace no transfers,
+        # and skip_apply tells workers the coordinator already settled
+        # this step's replica state (accumulated grads or local-SGD
+        # applies/installs), so their apply phase is a no-op
+        self.sync = sync
+        self.skip_apply = False
         # drain tracking: each participant marks itself done when it is
         # fully out of this step (applied, aborted, or crashed), so the
         # coordinator can rewind RNG state without racing live workers
@@ -616,8 +696,9 @@ class ThreadedEngine(ExecutionEngine):
                 self._timed_wait(ctx.apply_ready.wait, rank)
                 if ctx.abort:
                     continue
-                with tracer.span("compute", rank):
-                    worker.apply_updates(ctx.aggregated)
+                if not ctx.skip_apply:
+                    with tracer.span("compute", rank):
+                        worker.apply_updates(ctx.aggregated)
                 try:
                     self._timed_wait(
                         lambda: self._end_barrier.wait(rank), rank
@@ -636,7 +717,7 @@ class ThreadedEngine(ExecutionEngine):
         the transfer.
         """
         tracker = ctx.tracker
-        if self._link_bytes_per_s is None:
+        if self._link_bytes_per_s is None or not ctx.sync:
             return lambda names: tracker.mark_ready(rank, names)
         owed = {
             bucket.index: len(bucket.names) for bucket in self.buckets
@@ -662,6 +743,8 @@ class ThreadedEngine(ExecutionEngine):
         self, step: int, x: np.ndarray, y: np.ndarray
     ) -> tuple[float, float]:
         shards = self._shard(x, y)
+        sync = self.step_engine.sync_this_step
+        local = self.step_engine.local_updates
         ctx = _StepContext(
             step,
             shards,
@@ -670,6 +753,7 @@ class ThreadedEngine(ExecutionEngine):
             ),
             grad_scales=self._grad_scales(shards),
             participants=self.live_ranks,
+            sync=sync,
         )
         self._active_ctx = ctx
         for rank in self.live_ranks:
@@ -684,7 +768,14 @@ class ThreadedEngine(ExecutionEngine):
                 )
                 if dead:
                     self._raise_worker_errors(ctx, sorted(dead))
-                ctx.aggregated.update(self._exchange_bucket(bucket))
+                if local:
+                    # local SGD consumes whole replicas, not per-bucket
+                    # gradients; nothing to do until every backward ends
+                    continue
+                if sync:
+                    ctx.aggregated.update(self._exchange_bucket(bucket))
+                else:
+                    self._accumulate_bucket(bucket)
         except BarrierTimeout as timeout:
             failure = WorkerFailure(
                 rank=min(timeout.missing, default=-1),
@@ -696,6 +787,21 @@ class ThreadedEngine(ExecutionEngine):
             # the recovery loop decide (retry, evict, or abort)
             self._abort(ctx)
             raise AttemptFailure(failure, retryable=True) from timeout
+        if local:
+            # every bucket is ready, so every backward pass is done and
+            # the parked workers' replicas are safe to mutate from this
+            # (the coordinator's) thread — same operation order as the
+            # sequential engine: local applies in rank order, then the
+            # bucket-ordered delta exchange, then the install
+            tracer = self.tracer
+            for rank in self.live_ranks:
+                with tracer.span("compute", rank):
+                    self.workers[rank].apply_local_updates()
+            if sync:
+                self._install_params(self._average_replicas())
+            ctx.skip_apply = True
+        elif not sync:
+            ctx.skip_apply = True
         ctx.apply_ready.set()
         try:
             self._timed_wait(

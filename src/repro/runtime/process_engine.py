@@ -251,6 +251,9 @@ def _serve(
             # stale release of a step this rank already bailed from
             continue
         step, shard_x, shard_y, scale = msg[1], msg[2], msg[3], msg[4]
+        # periodic synchronization: skipped round steps exchange nothing,
+        # so their uploads are never paced
+        sync = msg[5]
         pre_step = [
             copy.deepcopy(gen.bit_generator.state) for gen in generators
         ]
@@ -273,7 +276,7 @@ def _serve(
             continue
         for param in worker.parameters:
             np.copyto(grad_views[param.name], param.grad)
-        if link_rate is not None and payload_nbytes > 0:
+        if sync and link_rate is not None and payload_nbytes > 0:
             # per-rank paced upload: every worker sleeps its own wire
             # time concurrently, which is what hides it
             with tracer.span("transfer", rank):
@@ -298,11 +301,28 @@ def _serve(
             )
         )
         verdict = conn.recv()
-        if verdict[0] != "apply":
+        kind = verdict[0]
+        if kind not in ("apply", "skip", "local", "install"):
+            # "abort": the coordinator tore the attempt down
             _rollback_rngs(generators, pre_step)
             continue
-        with tracer.span("compute", rank):
-            worker.apply_updates(mean_views)
+        if kind == "apply":
+            # classic path: install the aggregated gradient mean
+            with tracer.span("compute", rank):
+                worker.apply_updates(mean_views)
+        elif kind == "local":
+            # local SGD, mid-round: step on this rank's own gradients
+            with tracer.span("compute", rank):
+                worker.apply_local_updates()
+        elif kind == "install":
+            # local SGD, round flush: take the last local step, then
+            # adopt the averaged parameters the coordinator published
+            # through the mean slot
+            with tracer.span("compute", rank):
+                worker.apply_local_updates()
+                for param in worker.parameters:
+                    np.copyto(param.data, mean_views[param.name])
+        # "skip" (accumulating mid-round): the replica does not move
         spans, _ = _drain_telemetry(tracer)
         conn.send(("done", spans))
 
@@ -460,10 +480,12 @@ class ProcessEngine(ExecutionEngine):
         self._ensure_started()
         shards = self._shard(x, y)
         scales = self._grad_scales(shards)
+        sync = self.step_engine.sync_this_step
+        local = self.step_engine.local_updates
         for rank in self.live_ranks:
             shard_x, shard_y = shards[rank]
             self._conns[rank].send(
-                ("step", step, shard_x, shard_y, scales.get(rank))
+                ("step", step, shard_x, shard_y, scales.get(rank), sync)
             )
         outcome = self._timed_wait(
             lambda: self._barrier.gather(
@@ -472,10 +494,45 @@ class ProcessEngine(ExecutionEngine):
             COORDINATOR,
         )
         payloads = self._classify_grads(step, outcome)
-        aggregated: dict[str, np.ndarray] = {}
-        for bucket in self.buckets:
-            aggregated.update(
-                self.step_engine.aggregate_bucket(
+        # from here the attempt is committed on verdict delivery: pick
+        # the verdict matching the round mode and settle the shadows
+        aggregated: dict[str, np.ndarray] | None = None
+        if local:
+            # advance each shadow on its own rank's gradients (from the
+            # arena) so the round deltas are computable coordinator-side
+            # — bit-equal to the worker's local step (momentum is 0, so
+            # there is no optimizer state to diverge)
+            for rank in self.live_ranks:
+                self.workers[rank].apply_updates(self._grad_views[rank])
+            if sync:
+                averaged = self._average_replicas()
+                for name, avg in averaged.items():
+                    np.copyto(self._mean_views[name], avg)
+                self._install_params(averaged)
+                verdict = ("install", step)
+            else:
+                verdict = ("local", step)
+        elif sync:
+            aggregated = {}
+            for bucket in self.buckets:
+                aggregated.update(
+                    self.step_engine.aggregate_bucket(
+                        list(bucket.names),
+                        {
+                            name: [
+                                self._grad_views[rank][name]
+                                for rank in self.live_ranks
+                            ]
+                            for name in bucket.names
+                        },
+                    )
+                )
+            for name, mean in aggregated.items():
+                np.copyto(self._mean_views[name], mean)
+            verdict = ("apply", step)
+        else:
+            for bucket in self.buckets:
+                self.step_engine.accumulate_bucket(
                     list(bucket.names),
                     {
                         name: [
@@ -485,11 +542,9 @@ class ProcessEngine(ExecutionEngine):
                         for name in bucket.names
                     },
                 )
-            )
-        for name, mean in aggregated.items():
-            np.copyto(self._mean_views[name], mean)
+            verdict = ("skip", step)
         for rank in self.live_ranks:
-            self._conns[rank].send(("apply", step))
+            self._conns[rank].send(verdict)
         done = self._timed_wait(
             lambda: self._barrier.gather(
                 self._conns, self._procs, set(self.live_ranks)
@@ -665,9 +720,15 @@ class ProcessEngine(ExecutionEngine):
     def _commit_shadows(
         self,
         payloads: dict[int, tuple],
-        aggregated: dict[str, np.ndarray],
+        aggregated: dict[str, np.ndarray] | None,
     ) -> None:
-        """Advance the local mirrors to the workers' post-step state."""
+        """Advance the local mirrors to the workers' post-step state.
+
+        ``aggregated`` is ``None`` when the step left no shared mean to
+        apply — an accumulating mid-round step (replicas do not move) or
+        a local-SGD step (the shadows were advanced before the verdicts
+        went out).
+        """
         for rank in self.live_ranks:
             msg = payloads[rank]
             shadow = self.workers[rank]
@@ -679,7 +740,8 @@ class ProcessEngine(ExecutionEngine):
             ):
                 gen.bit_generator.state = state
             install_module_buffers(shadow.model, msg[7])
-            shadow.apply_updates(aggregated)
+            if aggregated is not None:
+                shadow.apply_updates(aggregated)
 
     def _note_kill_fired(self, rank: int, step: int) -> None:
         if (rank, step) in self._kill_points:

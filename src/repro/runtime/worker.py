@@ -276,6 +276,11 @@ class RankWorker:
         for param in self.parameters:
             self.optimizer.apply(param, aggregated[param.name])
 
+    def apply_local_updates(self) -> None:
+        """Step this rank's replica on its own gradients (local SGD)."""
+        for param in self.parameters:
+            self.optimizer.apply(param, param.grad)
+
     def gradient(self, name: str) -> np.ndarray:
         """This rank's gradient buffer for one parameter."""
         return self.param_by_name[name].grad

@@ -42,6 +42,10 @@ class JobSpec:
             the job when exceeded.  ``None`` = unbounded.
         link_gbps: optional simulated link pacing, as in ``repro
             train``.
+        aggregation_frequency / sync_mode / momentum: periodic-
+            synchronization knobs, as in ``repro train`` (sync_mode
+            "local_sgd" needs momentum 0.0; validated by
+            :class:`TrainingConfig` in the runner).
     """
 
     model: str = "alexnet"
@@ -52,6 +56,9 @@ class JobSpec:
     batch_size: int = 32
     epochs: int = 2
     lr: float = 0.01
+    momentum: float = 0.9
+    aggregation_frequency: int = 1
+    sync_mode: str = "allreduce"
     seed: int = 0
     model_seed: int = 1
     classes: int = 4
@@ -70,7 +77,8 @@ class JobSpec:
                 f"{sorted(MODEL_BUILDERS)}"
             )
         for name in ("world_size", "batch_size", "epochs",
-                     "checkpoint_every_steps", "train_samples"):
+                     "checkpoint_every_steps", "train_samples",
+                     "aggregation_frequency"):
             if int(getattr(self, name)) < 1:
                 raise ValueError(
                     f"{name} must be >= 1, got {getattr(self, name)}"
@@ -116,6 +124,9 @@ class JobSpec:
             world_size=self.world_size,
             batch_size=self.batch_size,
             lr=self.lr,
+            momentum=self.momentum,
+            aggregation_frequency=self.aggregation_frequency,
+            sync_mode=self.sync_mode,
             seed=self.seed,
             engine=self.engine,
             link_gbps=self.link_gbps,

@@ -77,6 +77,12 @@ class Counters:
             resilience layer (see :mod:`repro.runtime.resilience`).
         evicted_ranks: ranks removed from the collective after
             exhausting their retries, in eviction order.
+        rounds_skipped: micro-steps that ran no exchange because they
+            fell inside a periodic-synchronization round
+            (``aggregation_frequency > 1``).
+        wire_bytes_saved: upload-side estimate of bytes *not* put on
+            the wire by those skipped steps (live ranks x per-rank
+            encoded payload), the counterpart of ``wire_bytes_total``.
     """
 
     def __init__(self) -> None:
@@ -88,6 +94,8 @@ class Counters:
         self.barrier_wait_seconds = 0.0
         self.straggler_stall_seconds = 0.0
         self.retries_total = 0
+        self.rounds_skipped = 0
+        self.wire_bytes_saved = 0
         self.evicted_ranks: list[int] = []
         self._retries_by: dict[int, int] = defaultdict(int)
         self._sent_by: dict[int, int] = defaultdict(int)
@@ -115,6 +123,12 @@ class Counters:
         """Bytes delivered to rank ``rank`` ("down")."""
         with self._lock:
             return self._received_by.get(rank, 0)
+
+    def count_skipped_round(self, nbytes_saved: int) -> None:
+        """Record one exchange-free micro-step of a sync round."""
+        with self._lock:
+            self.rounds_skipped += 1
+            self.wire_bytes_saved += nbytes_saved
 
     # -- codec calls ------------------------------------------------------
     def count_encode(self, nbytes: int) -> None:
@@ -175,6 +189,8 @@ class Counters:
                 "barrier_wait_seconds": self.barrier_wait_seconds,
                 "straggler_stall_seconds": self.straggler_stall_seconds,
                 "retries_total": self.retries_total,
+                "rounds_skipped": self.rounds_skipped,
+                "wire_bytes_saved": self.wire_bytes_saved,
                 "retries_by_rank": dict(self._retries_by),
                 "evicted_ranks": list(self.evicted_ranks),
             }

@@ -55,3 +55,34 @@ class TestValidation:
     )
     def test_all_paper_schemes_accepted(self, scheme):
         TrainingConfig(scheme=scheme)
+
+
+class TestAggregationValidation:
+    def test_frequency_must_be_positive(self):
+        with pytest.raises(ValueError, match="aggregation_frequency"):
+            TrainingConfig(aggregation_frequency=0)
+        with pytest.raises(ValueError, match="aggregation_frequency"):
+            TrainingConfig(aggregation_frequency=-3)
+
+    def test_unknown_sync_mode_error_lists_choices(self):
+        from repro.core.config import SYNC_MODE_NAMES
+
+        with pytest.raises(ValueError) as err:
+            TrainingConfig(sync_mode="gossip")
+        for name in SYNC_MODE_NAMES:
+            assert name in str(err.value)
+
+    def test_local_sgd_rejects_momentum(self):
+        with pytest.raises(ValueError, match="momentum"):
+            TrainingConfig(sync_mode="local_sgd", aggregation_frequency=4)
+
+    def test_local_sgd_with_zero_momentum_accepted(self):
+        config = TrainingConfig(
+            sync_mode="local_sgd", momentum=0.0, aggregation_frequency=4
+        )
+        assert config.sync_mode == "local_sgd"
+
+    def test_defaults_are_classic_allreduce(self):
+        config = TrainingConfig()
+        assert config.aggregation_frequency == 1
+        assert config.sync_mode == "allreduce"

@@ -93,6 +93,49 @@ class TestTrainCommand:
         err = capsys.readouterr().err
         assert "rank 1 crash at step 0" in err
 
+    def test_train_with_aggregation_frequency(self, capsys):
+        code = main(
+            self.ARGS
+            + ["--world-size", "2", "--aggregation-frequency", "2"]
+        )
+        assert code == 0
+        assert "final test accuracy" in capsys.readouterr().out
+
+    def test_local_sgd_with_zero_momentum_runs(self, capsys):
+        code = main(
+            self.ARGS
+            + [
+                "--world-size", "2",
+                "--aggregation-frequency", "2",
+                "--sync-mode", "local_sgd",
+                "--momentum", "0",
+            ]
+        )
+        assert code == 0
+        assert "final test accuracy" in capsys.readouterr().out
+
+    def test_zero_aggregation_frequency_rejected(self, capsys):
+        code = main(self.ARGS + ["--aggregation-frequency", "0"])
+        assert code == 2
+        assert "aggregation_frequency" in capsys.readouterr().err
+
+    def test_unknown_sync_mode_error_lists_choices(self, capsys):
+        code = main(self.ARGS + ["--sync-mode", "gossip"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "allreduce" in err
+        assert "local_sgd" in err
+
+    def test_local_sgd_with_default_momentum_rejected(self, capsys):
+        code = main(self.ARGS + ["--sync-mode", "local_sgd"])
+        assert code == 2
+        assert "momentum" in capsys.readouterr().err
+
+    def test_bad_kill_point_rejected(self, capsys):
+        code = main(self.ARGS + ["--kill-point", "nonsense"])
+        assert code == 2
+        assert "RANK:STEP" in capsys.readouterr().err
+
     def test_transient_crash_retried_to_success(self, capsys):
         code = main(
             self.ARGS
