@@ -60,6 +60,9 @@ import numpy as np
 
 from repro.core.algorithm import SynchronousStep
 from repro.core.config import TrainingConfig
+from repro.core.trainer import ParallelTrainer
+from repro.data import make_image_dataset
+from repro.models import tiny_alexnet
 from repro.quantization import EncodeWorkspace, bitpack, kernels
 from repro.quantization.bucketing import bucket_plan
 from repro.quantization.qsgd import Qsgd
@@ -284,6 +287,89 @@ def measure_null_tracer_overhead(step_seconds: float) -> dict:
     }
 
 
+#: the comm-bound headline cell for the adaptive-policy comparison:
+#: NCCL ring, K=4, link paced slow enough that wire time dominates
+POLICY_CELL = dict(exchange="nccl", world_size=4, link_gbps=0.02)
+
+#: static schemes the adaptive policy is raced against
+POLICY_STATIC_SCHEMES = ("32bit", "qsgd8", "qsgd4", "terngrad")
+
+#: a static run within this much final accuracy of the adaptive run
+#: counts as "equal accuracy" for the epoch-time comparison
+POLICY_ACCURACY_TOLERANCE = 0.02
+
+
+def measure_adaptive_policy(quick: bool) -> dict:
+    """Epoch time of the adaptive bit-width policy vs every static scheme.
+
+    Trains the same comm-bound cell (:data:`POLICY_CELL`, real
+    ``link_gbps`` pacing, so wall-clock epoch time is dominated by
+    encoded payload bytes) once per static scheme and once with
+    ``policy="adaptive"``, then reports the epoch-time win over the
+    *best static at equal final accuracy* — the fastest static run
+    whose accuracy is within :data:`POLICY_ACCURACY_TOLERANCE` of the
+    adaptive run's (falling back to the most accurate static when none
+    reaches that bar, i.e. when adaptive wins accuracy outright).
+    """
+    epochs = 2 if quick else 3
+    dataset = make_image_dataset(
+        num_classes=4, train_samples=96, test_samples=48,
+        image_size=8, noise=0.8, seed=0,
+    )
+
+    def train(scheme: str, policy: str) -> dict:
+        config = TrainingConfig(
+            scheme=scheme, policy=policy, batch_size=16, seed=0,
+            **POLICY_CELL,
+        )
+        model = tiny_alexnet(num_classes=4, image_size=8, seed=1)
+        with ParallelTrainer(model, config) as trainer:
+            history = trainer.fit(
+                dataset.train_x, dataset.train_y,
+                dataset.test_x, dataset.test_y, epochs=epochs,
+            )
+        walls = [epoch.wall_seconds for epoch in history.epochs]
+        row = {
+            "scheme": scheme,
+            "policy": policy,
+            "final_accuracy": history.final_test_accuracy,
+            "epoch_seconds": sum(walls) / len(walls),
+            "comm_megabytes": history.total_comm_bytes / 1e6,
+        }
+        print(
+            f"policy {policy:8s} {scheme:9s} "
+            f"acc={row['final_accuracy']:.3f} "
+            f"epoch={row['epoch_seconds']:.3f}s"
+        )
+        return row
+
+    statics = [train(s, "static") for s in POLICY_STATIC_SCHEMES]
+    adaptive = train("qsgd8", "adaptive")
+
+    bar = adaptive["final_accuracy"] - POLICY_ACCURACY_TOLERANCE
+    candidates = [s for s in statics if s["final_accuracy"] >= bar]
+    if not candidates:
+        # no static matches the adaptive accuracy; race the closest one
+        top = max(s["final_accuracy"] for s in statics)
+        candidates = [s for s in statics if s["final_accuracy"] == top]
+    best_static = min(candidates, key=lambda s: s["epoch_seconds"])
+    win = best_static["epoch_seconds"] / adaptive["epoch_seconds"]
+    print(
+        f"adaptive epoch-time win {win:.2f}x vs best static at equal "
+        f"accuracy ({best_static['scheme']}, "
+        f"acc {best_static['final_accuracy']:.3f})"
+    )
+    return {
+        "cell": dict(POLICY_CELL),
+        "epochs": epochs,
+        "accuracy_tolerance": POLICY_ACCURACY_TOLERANCE,
+        "static": statics,
+        "adaptive": adaptive,
+        "best_static_at_equal_accuracy": best_static["scheme"],
+        "epoch_time_win": win,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -321,6 +407,21 @@ def main(argv: list[str] | None = None) -> int:
         default=0.2,
         help="allowed fractional slowdown vs the baseline (default 0.2)",
     )
+    parser.add_argument(
+        "--policy",
+        choices=["adaptive", "none"],
+        default="adaptive",
+        help="measure the adaptive bit-width policy axis (comm-bound "
+        "link-paced training runs) or skip it with 'none'",
+    )
+    parser.add_argument(
+        "--policy-gate",
+        type=float,
+        default=None,
+        metavar="WIN",
+        help="exit 1 unless the adaptive policy's epoch-time win over "
+        "the best equal-accuracy static scheme reaches WIN (e.g. 1.15)",
+    )
     args = parser.parse_args(argv)
     steps = 15 if args.quick else args.steps
     warmup = 3 if args.quick else args.warmup
@@ -346,6 +447,10 @@ def main(argv: list[str] | None = None) -> int:
 
     backend_rows = measure_backends(steps, warmup)
     micro = measure_kernel_micro(repeats=20 if args.quick else 100)
+
+    policy_section = None
+    if args.policy == "adaptive":
+        policy_section = measure_adaptive_policy(args.quick)
 
     tracer_overhead = measure_null_tracer_overhead(
         ws["step_ms"] / 1e3
@@ -376,6 +481,8 @@ def main(argv: list[str] | None = None) -> int:
         "kernel_micro": micro,
         "null_tracer": tracer_overhead,
     }
+    if policy_section is not None:
+        report["adaptive_policy"] = policy_section
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
@@ -404,6 +511,22 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"gate ok: {got:.2f} steps/s >= {floor:.2f} "
             f"(baseline {base:.2f})"
+        )
+
+    if args.policy_gate is not None:
+        if policy_section is None:
+            print("POLICY GATE FAIL: --policy-gate requires --policy "
+                  "adaptive")
+            return 1
+        win = policy_section["epoch_time_win"]
+        if win < args.policy_gate:
+            print(
+                f"POLICY GATE FAIL: adaptive epoch-time win {win:.2f}x "
+                f"is below the required {args.policy_gate:.2f}x"
+            )
+            return 1
+        print(
+            f"policy gate ok: {win:.2f}x >= {args.policy_gate:.2f}x"
         )
     return 0
 

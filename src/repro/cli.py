@@ -42,6 +42,7 @@ from pathlib import Path
 from .comm import EXCHANGE_NAMES
 from .core import (
     IPC_NAMES,
+    POLICY_NAMES,
     CheckpointPolicy,
     ParallelTrainer,
     TrainingCheckpoint,
@@ -172,6 +173,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
     try:
         config = TrainingConfig(
             scheme=args.scheme,
+            policy=args.policy,
             exchange=args.exchange,
             world_size=args.world_size,
             batch_size=args.batch_size,
@@ -670,6 +672,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--model", default="alexnet", choices=sorted(MODEL_BUILDERS)
     )
     train.add_argument("--scheme", default="32bit", choices=SCHEME_NAMES)
+    train.add_argument(
+        "--policy",
+        default="static",
+        choices=POLICY_NAMES,
+        help="bit-width policy; 'adaptive' picks a per-layer scheme "
+        "from layer size and kind (--scheme is the middle precision "
+        "tier), 'static' applies --scheme to every layer",
+    )
     train.add_argument("--exchange", default="mpi", choices=EXCHANGE_NAMES)
     train.add_argument(
         "--engine",

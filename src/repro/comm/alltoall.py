@@ -51,7 +51,7 @@ class AllToAllBroadcast(GradientExchange):
                 message = codec.encode_into(
                     np.asarray(tensor, dtype=np.float32), rng, ws
                 )
-            self._count_encode(message.nbytes)
+            self._count_encode(message.nbytes, key)
             for peer in range(self.world_size):
                 self.traffic.record(rank, peer, message.nbytes, tag=key)
             if need_local:
@@ -66,7 +66,7 @@ class AllToAllBroadcast(GradientExchange):
             else:
                 with tracer.span("decode", rank):
                     decoder.add(message)
-            self._count_decode(message.nbytes)
+            self._count_decode(message.nbytes, key)
         if decoder is not None:
             aggregate = decoder.result()
         return ExchangeResult(aggregate=aggregate, decoded_local=decoded_local)

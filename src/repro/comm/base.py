@@ -66,17 +66,22 @@ class GradientExchange(abc.ABC):
         # no-op, so untraced exchanges pay only the call sites
         self.tracer = NULL_TRACER
 
-    def _count_encode(self, nbytes: int) -> None:
-        """Mirror one codec encode into the tracer's typed counters."""
+    def _count_encode(self, nbytes: int, key: str = "") -> None:
+        """Mirror one codec encode into the tracer's typed counters.
+
+        A non-empty ``key`` (the gradient stream / parameter name)
+        attributes the call to that layer's measured encode-cost
+        profile, which the adaptive bit-width policy consumes.
+        """
         sink = self.tracer.counter_sink
         if sink is not None:
-            sink.count_encode(nbytes)
+            sink.count_encode(nbytes, key or None)
 
-    def _count_decode(self, nbytes: int) -> None:
+    def _count_decode(self, nbytes: int, key: str = "") -> None:
         """Mirror one codec decode into the tracer's typed counters."""
         sink = self.tracer.counter_sink
         if sink is not None:
-            sink.count_decode(nbytes)
+            sink.count_decode(nbytes, key or None)
 
     @abc.abstractmethod
     def exchange(

@@ -60,7 +60,7 @@ class LinkTraffic:
         self._sent_by[src] += nbytes
         self._received_by[dst] += nbytes
         if self.counters is not None:
-            self.counters.count_wire(src, dst, nbytes)
+            self.counters.count_wire(src, dst, nbytes, tag)
 
     @property
     def total_bytes(self) -> int:

@@ -110,7 +110,7 @@ class MpiReduceBroadcast(GradientExchange):
             for rank, matrix in enumerate(matrices):
                 with tracer.span("encode", rank):
                     message = codec.encode_into(matrix[:, lo:hi], rng, ws)
-                self._count_encode(message.nbytes)
+                self._count_encode(message.nbytes, key)
                 self.traffic.record(rank, owner, message.nbytes, tag=key)
                 if need_local:
                     part = decoded_local[rank][:, lo:hi]
@@ -120,7 +120,7 @@ class MpiReduceBroadcast(GradientExchange):
                 else:
                     with tracer.span("decode", rank):
                         decoder.add(message)
-                self._count_decode(message.nbytes)
+                self._count_decode(message.nbytes, key)
             if decoder is not None:
                 owner_sum = decoder.result()
 
@@ -135,20 +135,20 @@ class MpiReduceBroadcast(GradientExchange):
                     message = broadcast_codec.encode(
                         f"{key}/range{owner}", owner_sum, rng, workspace=ws
                     )
-                self._count_encode(message.nbytes)
+                self._count_encode(message.nbytes, key)
                 with tracer.span("decode", owner):
                     broadcast_codec.quantizer.decode_into(
                         message, target, workspace=ws
                     )
-                self._count_decode(message.nbytes)
+                self._count_decode(message.nbytes, key)
                 nbytes = message.nbytes
             else:
                 with tracer.span("encode", owner):
                     message = broadcast_codec.encode_into(owner_sum, rng, ws)
-                self._count_encode(message.nbytes)
+                self._count_encode(message.nbytes, key)
                 with tracer.span("decode", owner):
                     broadcast_codec.decode_into(message, target, workspace=ws)
-                self._count_decode(message.nbytes)
+                self._count_decode(message.nbytes, key)
                 nbytes = message.nbytes
             for rank in range(self.world_size):
                 self.traffic.record(owner, rank, nbytes, tag=key)

@@ -79,11 +79,11 @@ class NcclRingAllreduce(GradientExchange):
                 for rank, tensor in enumerate(inputs):
                     with tracer.span("encode", rank):
                         message = codec.encode(tensor, rng)
-                    self._count_encode(message.nbytes)
+                    self._count_encode(message.nbytes, key)
                     payload_bytes = message.nbytes
                     with tracer.span("decode", rank):
                         decoded_local.append(codec.decode(message))
-                    self._count_decode(message.nbytes)
+                    self._count_decode(message.nbytes, key)
             aggregate = np.zeros(shape, dtype=np.float32)
             for decoded in decoded_local:
                 aggregate += decoded
@@ -112,14 +112,14 @@ class NcclRingAllreduce(GradientExchange):
             for rank, tensor in enumerate(inputs):
                 with tracer.span("encode", rank):
                     message = codec.encode_into(tensor, rng, ws)
-                self._count_encode(message.nbytes)
+                self._count_encode(message.nbytes, key)
                 payload_bytes = message.nbytes
                 with tracer.span("decode", rank):
                     codec.decode_into(
                         message, decoded_local[rank], workspace=ws
                     )
                     aggregate += decoded_local[rank]
-                self._count_decode(message.nbytes)
+                self._count_decode(message.nbytes, key)
         else:
             decoded_local = None
             payload_bytes = 0
@@ -127,11 +127,11 @@ class NcclRingAllreduce(GradientExchange):
             for rank, tensor in enumerate(inputs):
                 with tracer.span("encode", rank):
                     message = codec.encode_into(tensor, rng, ws)
-                self._count_encode(message.nbytes)
+                self._count_encode(message.nbytes, key)
                 payload_bytes = message.nbytes
                 with tracer.span("decode", rank):
                     decoder.add(message)
-                self._count_decode(message.nbytes)
+                self._count_decode(message.nbytes, key)
             aggregate = decoder.result()
         self._record_ring_traffic(key, payload_bytes)
         return ExchangeResult(

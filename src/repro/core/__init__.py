@@ -8,7 +8,7 @@ from .checkpoint import (
     latest_checkpoint,
     save_checkpoint,
 )
-from .config import IPC_NAMES, TrainingConfig
+from .config import IPC_NAMES, POLICY_NAMES, TrainingConfig
 from .metrics import EpochMetrics, History
 from .trainer import ParallelTrainer, TrainingInterrupted
 
@@ -21,6 +21,7 @@ __all__ = [
     "save_checkpoint",
     "TrainingConfig",
     "IPC_NAMES",
+    "POLICY_NAMES",
     "EpochMetrics",
     "History",
     "ParallelTrainer",

@@ -17,6 +17,7 @@ import numpy as np
 from ..comm import make_exchange
 from ..nn.module import Parameter
 from ..quantization import (
+    AdaptiveBitWidthPolicy,
     EncodeWorkspace,
     QuantizationPolicy,
     make_quantizer,
@@ -34,11 +35,26 @@ class SynchronousStep:
         self.config = config
         self.world_size = config.world_size
         quantizer = self._build_quantizer(config)
-        self.policy = QuantizationPolicy.for_model(
-            quantizer,
-            [p.size for p in parameters],
-            coverage=config.passthrough_coverage,
-        )
+        if getattr(config, "policy", "static") == "adaptive":
+            # per-layer bit-widths: derived deterministically from the
+            # parameter inventory (sizes + kinds), so a resumed or
+            # degraded run rebuilds the identical assignment table
+            self.policy: QuantizationPolicy = (
+                AdaptiveBitWidthPolicy.for_layers(
+                    quantizer,
+                    [
+                        (p.name, p.size, getattr(p, "kind", "param"))
+                        for p in parameters
+                    ],
+                    coverage=config.passthrough_coverage,
+                )
+            )
+        else:
+            self.policy = QuantizationPolicy.for_model(
+                quantizer,
+                [p.size for p in parameters],
+                coverage=config.passthrough_coverage,
+            )
         # layer-selective quantization (Section 5.1, layer types)
         self._quantized_kinds = (
             set(config.quantize_kinds)
@@ -218,7 +234,7 @@ class SynchronousStep:
             raise ValueError(
                 f"expected {self.world_size} gradients, got {len(rank_grads)}"
             )
-        codec = self.policy.codec_for(rank_grads[0].size)
+        codec = self.policy.codec_for_layer(name, rank_grads[0].size)
         if (
             self._quantized_kinds is not None
             and self._kind_by_name.get(name, "param")
@@ -314,7 +330,7 @@ class SynchronousStep:
         size = 1
         for dim in shape:
             size *= int(dim)
-        codec = self.policy.codec_for(size)
+        codec = self.policy.codec_for_layer(name, size)
         if (
             self._quantized_kinds is not None
             and self._kind_by_name.get(name, "param")

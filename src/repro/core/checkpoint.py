@@ -63,6 +63,7 @@ IDENTITY_FIELDS = (
     "passthrough_coverage",
     "norm",
     "variant",
+    "policy",
     "quantize_kinds",
     "comm_bucket_bytes",
     "aggregation_frequency",
@@ -283,6 +284,13 @@ class TrainingCheckpoint:
             "accumulators": accumulator_index,
             "round_base_names": round_base_names,
             "per_rank_params": bool(per_rank_params),
+            # the adaptive policy's frozen per-layer scheme table; the
+            # resume path restores it verbatim instead of trusting a
+            # re-derivation, so the carried decisions — not the
+            # derivation code — define the resumed trajectory
+            "policy_assignments": dict(
+                getattr(step_engine.policy, "assignments", None) or {}
+            ),
             "extra": dict(extra) if extra else {},
         }
         return cls(meta, arrays)
@@ -352,6 +360,16 @@ class TrainingCheckpoint:
         step_engine.rng.bit_generator.state = copy.deepcopy(
             self.meta["quant_state"]
         )
+        carried = self.meta.get("policy_assignments")
+        if carried and hasattr(step_engine.policy, "assignments"):
+            # checkpoint-carried bit-width decisions override the fresh
+            # derivation (they should agree — the derivation is a pure
+            # function of the identity fields — but the saved table is
+            # authoritative for the resumed trajectory)
+            step_engine.policy.assignments = {
+                str(name): str(scheme)
+                for name, scheme in carried.items()
+            }
         position_of = {
             rank: position for position, rank in enumerate(engine.live_ranks)
         }

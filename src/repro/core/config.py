@@ -8,10 +8,24 @@ from ..comm import EXCHANGE_NAMES
 from ..quantization import SCHEME_NAMES
 from ..runtime.engine import ENGINE_NAMES
 
-__all__ = ["TrainingConfig", "ENGINE_NAMES", "IPC_NAMES", "SYNC_MODE_NAMES"]
+__all__ = [
+    "TrainingConfig",
+    "ENGINE_NAMES",
+    "IPC_NAMES",
+    "POLICY_NAMES",
+    "SYNC_MODE_NAMES",
+]
 
 #: gradient transports of the process engine
 IPC_NAMES = ("shm",)
+
+#: codec-routing policies: "static" routes every gradient through the
+#: configured scheme (plus the small-matrix passthrough); "adaptive"
+#: derives a per-layer scheme assignment from layer sizes and kinds
+#: (high precision for sensitive conv/norm layers, ternary for fat fc
+#: matrices) — deterministic and checkpoint-carried, so resumed runs
+#: stay bit-identical
+POLICY_NAMES = ("static", "adaptive")
 
 #: periodic-synchronization variants: "allreduce" accumulates local
 #: gradients and exchanges the sum once per round; "local_sgd" takes
@@ -118,6 +132,11 @@ class TrainingConfig:
     passthrough_coverage: float = 0.99
     norm: str = "inf"
     variant: str = "sign"
+    #: codec routing: "static" (one scheme for everything above the
+    #: passthrough threshold) or "adaptive" (per-layer bit-widths from
+    #: the layer-sensitivity ranking; ``scheme`` becomes the middle
+    #: tier of the ladder).  See :data:`POLICY_NAMES`.
+    policy: str = "static"
     #: restrict quantization to these parameter kinds (e.g. ("conv",)
     #: or ("fc", "rnn")); ``None`` quantizes every kind — the paper's
     #: Section 5.1 "Impact of Layer Types" analysis toggles this
@@ -165,6 +184,11 @@ class TrainingConfig:
             raise ValueError(
                 f"unknown scheme {self.scheme!r}; expected one of "
                 f"{SCHEME_NAMES}"
+            )
+        if self.policy not in POLICY_NAMES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; expected one of "
+                f"{POLICY_NAMES}"
             )
         if self.exchange not in EXCHANGE_NAMES:
             raise ValueError(

@@ -24,11 +24,17 @@ from .bucketing import (
     to_buckets_into,
 )
 from . import kernels
+from .dettmers8 import Dettmers8, dynamic_tree_values
 from .fullprec import FullPrecision
 from .onebit import OneBitSgd
 from .onebit_reshaped import OneBitSgdReshaped
-from .policy import QuantizationPolicy, passthrough_threshold
+from .policy import (
+    AdaptiveBitWidthPolicy,
+    QuantizationPolicy,
+    passthrough_threshold,
+)
 from .qsgd import DEFAULT_BUCKET_SIZES, Qsgd
+from .terngrad import TernGrad
 from .topk import TopK
 from .workspace import EncodeWorkspace
 
@@ -42,9 +48,13 @@ __all__ = [
     "OneBitSgdReshaped",
     "Qsgd",
     "AdaptiveQsgd",
+    "TernGrad",
+    "Dettmers8",
+    "dynamic_tree_values",
     "TopK",
     "lloyd_max_levels",
     "QuantizationPolicy",
+    "AdaptiveBitWidthPolicy",
     "passthrough_threshold",
     "bucket_count",
     "bucket_plan",
@@ -56,11 +66,15 @@ __all__ = [
     "EncodeWorkspace",
     "DEFAULT_BUCKET_SIZES",
     "SCHEME_NAMES",
+    "EXTENSION_SCHEME_PREFIXES",
+    "EXTENSION_SCHEME_EXAMPLES",
     "make_quantizer",
     "kernels",
 ]
 
-#: scheme names in the order the paper's figures list them
+#: scheme names in the order the paper's figures list them, followed by
+#: the related-work schemes of the widened zoo (TernGrad and Dettmers'
+#: 8-bit dynamic tree / columnwise variants)
 SCHEME_NAMES = (
     "32bit",
     "qsgd16",
@@ -69,12 +83,24 @@ SCHEME_NAMES = (
     "qsgd2",
     "1bit*",
     "1bit",
+    "terngrad",
+    "dettmers8",
+    "dettmers8c",
 )
 
 #: extension schemes from the paper's Sections 2.3 / 7 (non-uniform
-#: levels and sparse top-k), accepted by make_quantizer but not part of
-#: the main study grid
-EXTENSION_SCHEME_PREFIXES = ("aqsgd", "topk")
+#: levels and sparse top-k) plus parameterized zoo variants, accepted
+#: by make_quantizer but not part of the main study grid
+EXTENSION_SCHEME_PREFIXES = ("aqsgd", "topk", "terngrad")
+
+#: concrete parameter syntax per extension prefix, quoted verbatim by
+#: the unknown-scheme error so callers see how to spell a variant
+EXTENSION_SCHEME_EXAMPLES = (
+    "aqsgd<bits> (Lloyd-Max levels, e.g. 'aqsgd4')",
+    "topk<density> (sparse top-k, e.g. 'topk0.01' keeps 1%)",
+    "terngrad<clip> (clipped ternary, e.g. 'terngrad2.5' clips at "
+    "2.5 sigma)",
+)
 
 
 def make_quantizer(name: str, bucket_size: int | None = None, **kwargs) -> Quantizer:
@@ -110,7 +136,21 @@ def make_quantizer(name: str, bucket_size: int | None = None, **kwargs) -> Quant
             density = None
         if density is not None:
             return TopK(density, **kwargs)
+    if name == "terngrad":
+        return TernGrad(bucket_size=bucket_size, **kwargs)
+    if name.startswith("terngrad"):
+        try:
+            clip = float(name[len("terngrad"):])
+        except ValueError:
+            clip = None
+        if clip is not None:
+            return TernGrad(bucket_size=bucket_size, clip=clip, **kwargs)
+    if name == "dettmers8":
+        return Dettmers8("tree", bucket_size=bucket_size, **kwargs)
+    if name == "dettmers8c":
+        return Dettmers8("column", bucket_size=bucket_size, **kwargs)
     raise ValueError(
         f"unknown quantizer {name!r}; expected one of {SCHEME_NAMES} "
-        f"or an extension scheme ({EXTENSION_SCHEME_PREFIXES})"
+        "or an extension scheme: "
+        + "; ".join(EXTENSION_SCHEME_EXAMPLES)
     )

@@ -28,8 +28,10 @@ class JobSpec:
 
     Attributes:
         model: zoo model name (``repro.models.MODEL_BUILDERS``).
-        scheme / exchange / engine: the study-grid cell to train
-            (validated by :class:`TrainingConfig` in the runner).
+        scheme / policy / exchange / engine: the study-grid cell to
+            train (validated by :class:`TrainingConfig` in the
+            runner); ``policy="adaptive"`` enables per-layer bit-width
+            selection with ``scheme`` as the middle precision tier.
         world_size: ranks this job occupies in the daemon's pool —
             the admission-control currency.
         epochs: total epochs to train (a resumed job continues to the
@@ -50,6 +52,7 @@ class JobSpec:
 
     model: str = "alexnet"
     scheme: str = "32bit"
+    policy: str = "static"
     exchange: str = "mpi"
     engine: str = "sequential"
     world_size: int = 2
@@ -120,6 +123,7 @@ class JobSpec:
             kwargs["tracer"] = tracer
         return TrainingConfig(
             scheme=self.scheme,
+            policy=self.policy,
             exchange=self.exchange,
             world_size=self.world_size,
             batch_size=self.batch_size,

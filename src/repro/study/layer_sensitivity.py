@@ -15,9 +15,10 @@ from dataclasses import dataclass
 from ..core import History, ParallelTrainer, TrainingConfig
 from ..data import make_image_dataset
 from ..models import tiny_alexnet
+from ..quantization.policy import DEFAULT_KIND_SENSITIVITY
 
 __all__ = ["SensitivityResult", "run_layer_sensitivity",
-           "print_layer_sensitivity"]
+           "print_layer_sensitivity", "derive_kind_sensitivity"]
 
 #: the variants compared: which parameter kinds get quantized
 VARIANTS: dict[str, tuple[str, ...] | None] = {
@@ -76,6 +77,56 @@ def run_layer_sensitivity(
             )
         )
     return results
+
+
+#: variant label -> the single parameter kind it isolates
+_SINGLE_KIND_VARIANTS = {
+    "quantize conv only": "conv",
+    "quantize fc only": "fc",
+}
+
+#: variant label of the unquantized reference run
+_BASELINE_VARIANT = "quantize none (32bit)"
+
+
+def derive_kind_sensitivity(
+    results: list[SensitivityResult],
+) -> dict[str, int]:
+    """Measured sensitivity ranking for the adaptive bit-width policy.
+
+    Bridges this study's empirical accuracy comparison to the
+    :class:`repro.quantization.AdaptiveBitWidthPolicy` sensitivity
+    mapping: the accuracy lost when quantizing *only* one layer kind
+    (relative to the unquantized baseline) ranks that kind.  Kinds are
+    sorted by accuracy drop and assigned tiers 2 (most sensitive,
+    largest drop) down to 0; unmeasured kinds keep their
+    :data:`~repro.quantization.policy.DEFAULT_KIND_SENSITIVITY` tier.
+    Ties (drops within 1e-9) share the higher tier, so a run where
+    conv and fc degrade identically never demotes conv below its
+    prior.  The ranking is a pure function of the result list — two
+    identical studies produce identical mappings.
+    """
+    by_variant = {r.variant: r for r in results}
+    baseline = by_variant.get(_BASELINE_VARIANT)
+    mapping = dict(DEFAULT_KIND_SENSITIVITY)
+    if baseline is None:
+        return mapping
+    drops = {}
+    for variant, kind in _SINGLE_KIND_VARIANTS.items():
+        result = by_variant.get(variant)
+        if result is not None:
+            drops[kind] = baseline.final_accuracy - result.final_accuracy
+    if not drops:
+        return mapping
+    # tier by drop order: worst-hit kind -> 2, next -> 1, ... floor 0
+    ordered = sorted(drops, key=lambda kind: (-drops[kind], kind))
+    top_drop = drops[ordered[0]]
+    for position, kind in enumerate(ordered):
+        if abs(drops[kind] - top_drop) <= 1e-9:
+            mapping[kind] = 2
+        else:
+            mapping[kind] = max(0, 2 - position)
+    return mapping
 
 
 def print_layer_sensitivity(

@@ -100,13 +100,29 @@ class Counters:
         self._retries_by: dict[int, int] = defaultdict(int)
         self._sent_by: dict[int, int] = defaultdict(int)
         self._received_by: dict[int, int] = defaultdict(int)
+        # per-layer (per gradient stream) accounting, keyed by the
+        # exchange key (parameter name); the adaptive bit-width policy
+        # consumes these measured profiles to re-derive assignments
+        self._layer_encode_calls: dict[str, int] = defaultdict(int)
+        self._layer_encoded_bytes: dict[str, int] = defaultdict(int)
+        self._layer_decode_calls: dict[str, int] = defaultdict(int)
+        self._layer_wire_bytes: dict[str, int] = defaultdict(int)
 
     # -- wire traffic -----------------------------------------------------
-    def count_wire(self, src: int, dst: int, nbytes: int) -> None:
-        """Record ``nbytes`` moving up from ``src`` and down to ``dst``."""
+    def count_wire(
+        self, src: int, dst: int, nbytes: int, tag: str = ""
+    ) -> None:
+        """Record ``nbytes`` moving up from ``src`` and down to ``dst``.
+
+        A non-empty ``tag`` (the exchange key, i.e. the parameter name)
+        additionally attributes the bytes to that gradient stream for
+        the per-layer wire profile.
+        """
         with self._lock:
             self._sent_by[src] += nbytes
             self._received_by[dst] += nbytes
+            if tag:
+                self._layer_wire_bytes[tag] += nbytes
 
     @property
     def wire_bytes_total(self) -> int:
@@ -131,15 +147,47 @@ class Counters:
             self.wire_bytes_saved += nbytes_saved
 
     # -- codec calls ------------------------------------------------------
-    def count_encode(self, nbytes: int) -> None:
+    def count_encode(self, nbytes: int, key: str | None = None) -> None:
         with self._lock:
             self.encode_calls += 1
             self.encoded_bytes += nbytes
+            if key:
+                self._layer_encode_calls[key] += 1
+                self._layer_encoded_bytes[key] += nbytes
 
-    def count_decode(self, nbytes: int) -> None:
+    def count_decode(self, nbytes: int, key: str | None = None) -> None:
         with self._lock:
             self.decode_calls += 1
             self.decoded_bytes += nbytes
+            if key:
+                self._layer_decode_calls[key] += 1
+
+    def layer_profile(self) -> dict[str, dict[str, int]]:
+        """Measured per-layer encode-cost and wire-byte profile.
+
+        One record per gradient stream that touched the exchange path:
+        ``encode_calls`` / ``encoded_bytes`` measure the codec work the
+        stream cost, ``wire_bytes`` the link traffic it generated.
+        The dict is sorted by layer name, so identical runs produce
+        identical (and directly comparable) profiles — this is the
+        input :meth:`repro.quantization.AdaptiveBitWidthPolicy.refit`
+        consumes.
+        """
+        with self._lock:
+            names = sorted(
+                set(self._layer_encode_calls)
+                | set(self._layer_wire_bytes)
+                | set(self._layer_decode_calls)
+            )
+            return {
+                name: {
+                    "encode_calls": self._layer_encode_calls.get(name, 0),
+                    "encoded_bytes": self._layer_encoded_bytes.get(name, 0),
+                    "decode_calls": self._layer_decode_calls.get(name, 0),
+                    "wire_bytes": self._layer_wire_bytes.get(name, 0),
+                }
+                for name in names
+            }
 
     # -- waiting ----------------------------------------------------------
     def add_barrier_wait(self, seconds: float) -> None:
@@ -193,6 +241,25 @@ class Counters:
                 "wire_bytes_saved": self.wire_bytes_saved,
                 "retries_by_rank": dict(self._retries_by),
                 "evicted_ranks": list(self.evicted_ranks),
+                "layer_profile": {
+                    name: {
+                        "encode_calls": self._layer_encode_calls.get(
+                            name, 0
+                        ),
+                        "encoded_bytes": self._layer_encoded_bytes.get(
+                            name, 0
+                        ),
+                        "decode_calls": self._layer_decode_calls.get(
+                            name, 0
+                        ),
+                        "wire_bytes": self._layer_wire_bytes.get(name, 0),
+                    }
+                    for name in sorted(
+                        set(self._layer_encode_calls)
+                        | set(self._layer_wire_bytes)
+                        | set(self._layer_decode_calls)
+                    )
+                },
             }
 
 

@@ -205,6 +205,11 @@ class TestBitIdenticalResume:
         ("qsgd4", "nccl", "threaded"),
         ("qsgd4", "nccl", "process"),
         ("qsgd4", "alltoall", "sequential"),
+        ("terngrad", "mpi", "sequential"),
+        ("terngrad", "nccl", "threaded"),
+        ("dettmers8", "mpi", "threaded"),
+        ("dettmers8", "nccl", "process"),
+        ("dettmers8c", "mpi", "sequential"),
     ]
 
     @pytest.mark.parametrize("scheme,exchange,engine", GRID)
@@ -227,6 +232,52 @@ class TestBitIdenticalResume:
             resumed = fit(trainer, dataset, epochs=3, resume_from=path)
             res_weights = weights_of(trainer)
         assert_same_run(reference, ref_weights, resumed, res_weights)
+
+    @pytest.mark.parametrize("engine", ["sequential", "process"])
+    def test_adaptive_policy_resume_matches_uninterrupted(
+        self, dataset, tmp_path, engine
+    ):
+        # the checkpoint carries the frozen per-layer assignment table;
+        # the resumed run must route every gradient exactly as the
+        # uninterrupted run did
+        kw = dict(
+            scheme="qsgd4", policy="adaptive", exchange="nccl",
+            engine=engine,
+        )
+        with make_trainer(**kw) as trainer:
+            reference = fit(trainer, dataset, epochs=3)
+            ref_weights = weights_of(trainer)
+        with make_trainer(**kw) as trainer:
+            fit(
+                trainer,
+                dataset,
+                epochs=2,
+                checkpoint=CheckpointPolicy(directory=tmp_path),
+            )
+        path = latest_checkpoint(tmp_path)
+        loaded = TrainingCheckpoint.load(path)
+        assert loaded.meta.get("policy_assignments")
+        with make_trainer(**kw) as trainer:
+            resumed = fit(trainer, dataset, epochs=3, resume_from=path)
+            res_weights = weights_of(trainer)
+            carried = loaded.meta["policy_assignments"]
+            assert trainer.step_engine.policy.assignments == carried
+        assert_same_run(reference, ref_weights, resumed, res_weights)
+
+    def test_policy_mismatch_rejected(self, dataset, tmp_path):
+        # "policy" is an identity field: a static checkpoint must not
+        # silently resume as adaptive (the trajectories diverge)
+        with make_trainer(scheme="qsgd4", policy="static") as trainer:
+            fit(
+                trainer,
+                dataset,
+                epochs=1,
+                checkpoint=CheckpointPolicy(directory=tmp_path),
+            )
+        path = latest_checkpoint(tmp_path)
+        with make_trainer(scheme="qsgd4", policy="adaptive") as other:
+            with pytest.raises(ValueError, match="policy"):
+                fit(other, dataset, epochs=2, resume_from=path)
 
     def test_error_feedback_residuals_round_trip(self, dataset, tmp_path):
         # 1bit's per-rank residuals are trajectory state: dropping them

@@ -188,3 +188,43 @@ class TestAdaptiveQsgd:
         decoded = codec.roundtrip(grad, np.random.default_rng(seed + 1))
         assert decoded.shape == grad.shape
         assert np.isfinite(decoded).all()
+
+
+class TestUnknownSchemeError:
+    def test_message_enumerates_builtin_schemes(self):
+        from repro.quantization import SCHEME_NAMES
+
+        with pytest.raises(ValueError) as excinfo:
+            make_quantizer("float8")
+        text = str(excinfo.value)
+        assert "'float8'" in text
+        for name in SCHEME_NAMES:
+            assert name in text
+
+    def test_message_shows_extension_syntax_examples(self):
+        # the error must teach the parameterized spellings, with a
+        # concrete example for each extension family
+        with pytest.raises(ValueError) as excinfo:
+            make_quantizer("nope")
+        text = str(excinfo.value)
+        assert "aqsgd4" in text
+        assert "topk0.01" in text
+        assert "terngrad2.5" in text
+
+    def test_extension_examples_are_constructible(self):
+        # every example the error advertises must actually parse
+        from repro.quantization import EXTENSION_SCHEME_EXAMPLES
+
+        for example in EXTENSION_SCHEME_EXAMPLES:
+            spelling = example.split()[0].replace("<bits>", "4")
+            spelling = spelling.replace("<density>", "0.01")
+            spelling = spelling.replace("<clip>", "2.5")
+            assert isinstance(make_quantizer(spelling), Quantizer)
+
+    def test_malformed_extension_parameter_still_raises(self):
+        with pytest.raises(ValueError):
+            make_quantizer("terngradfoo")
+        with pytest.raises(ValueError):
+            make_quantizer("aqsgdx")
+        with pytest.raises(ValueError):
+            make_quantizer("topkzz")

@@ -51,10 +51,21 @@ def test_adaptive_qsgd_grid(shape, bits, bucket_size):
 
 @pytest.mark.parametrize("shape", SHAPES)
 @pytest.mark.parametrize(
-    "scheme", ["32bit", "1bit", "1bit*", "topk0.05", "topk0.25"]
+    "scheme",
+    [
+        "32bit", "1bit", "1bit*", "topk0.05", "topk0.25",
+        "terngrad", "terngrad2.5", "dettmers8", "dettmers8c",
+    ],
 )
 def test_other_schemes(shape, scheme):
     _check(make_quantizer(scheme), shape)
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+@pytest.mark.parametrize("scheme", ["terngrad", "dettmers8", "dettmers8c"])
+@pytest.mark.parametrize("bucket_size", [1, 16, 512, 8192])
+def test_new_scheme_bucket_sizes(shape, scheme, bucket_size):
+    _check(make_quantizer(scheme, bucket_size=bucket_size), shape)
 
 
 @pytest.mark.parametrize("shape", SHAPES)

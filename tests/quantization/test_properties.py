@@ -21,6 +21,7 @@ from repro.quantization import (
     SCHEME_NAMES,
     ErrorFeedback,
     bitpack,
+    dynamic_tree_values,
     kernels,
     make_quantizer,
 )
@@ -41,7 +42,8 @@ def kernel_backend(request):
 
 ALL_SCHEMES = st.sampled_from(SCHEME_NAMES)
 QSGD_SCHEMES = st.sampled_from(["qsgd16", "qsgd8", "qsgd4", "qsgd2"])
-EF_SCHEMES = st.sampled_from(["1bit", "1bit*", "qsgd4", "qsgd2"])
+EF_SCHEMES = st.sampled_from(["1bit", "1bit*", "qsgd4", "qsgd2", "terngrad"])
+DETTMERS_SCHEMES = st.sampled_from(["dettmers8", "dettmers8c"])
 
 # shapes that exercise the wire format's corners: empty tensors,
 # scalars, 1-D lengths straddling every default bucket size, and
@@ -133,6 +135,138 @@ class TestRoundtripErrorBounds:
             return
         spread = float(grad.max() - grad.min())
         assert np.abs(decoded - grad).max() <= spread * (1 + 1e-5)
+
+
+class TestTernGrad:
+    @settings(max_examples=60, deadline=None)
+    @given(shape=SHAPES, seed=st.integers(0, 99))
+    def test_error_bounded_by_bucket_max(self, shape, seed):
+        # every entry lands on 0 or +/-s where s is its bucket's max
+        # magnitude, so per-element error never exceeds s
+        grad = gradient(shape, seed)
+        quantizer = make_quantizer("terngrad")
+        decoded = quantizer.decode(
+            quantizer.encode(grad, np.random.default_rng(seed + 1))
+        )
+        if grad.size == 0:
+            return
+        absmax = float(np.abs(grad).max())
+        assert np.abs(decoded - grad).max() <= absmax * (1 + 1e-5)
+
+    @settings(max_examples=60, deadline=None)
+    @given(shape=SHAPES, seed=st.integers(0, 99))
+    def test_decoded_values_are_ternary(self, shape, seed):
+        # the decoded tensor takes at most three distinct values per
+        # bucket: {-s, 0, +s}
+        grad = gradient(shape, seed)
+        quantizer = make_quantizer("terngrad")
+        decoded = quantizer.decode(
+            quantizer.encode(grad, np.random.default_rng(seed + 1))
+        )
+        if grad.size == 0:
+            return
+        absmax = float(np.abs(grad).max())
+        flat = np.abs(decoded.reshape(-1))
+        on_scale = np.isclose(flat, absmax, rtol=1e-6)
+        at_zero = flat == 0.0
+        assert np.all(on_scale | at_zero)
+
+    @settings(max_examples=8, deadline=None)
+    @given(length=st.integers(1, 40), seed=st.integers(0, 20))
+    def test_unbiased_without_clipping(self, length, seed):
+        # E[decode(encode(g))] == g: each entry fires +/-s with
+        # probability |g|/s, so the expectation is exactly g (TernGrad
+        # Theorem 1; holds only with gradient clipping off)
+        grad = gradient((length,), seed)
+        quantizer = make_quantizer("terngrad")
+        trials = 400
+        total = np.zeros_like(grad, dtype=np.float64)
+        for trial in range(trials):
+            message = quantizer.encode(
+                grad, np.random.default_rng(seed * trials + trial)
+            )
+            total += quantizer.decode(message)
+        scale = float(np.abs(grad).max())
+        # each decode is s*Bernoulli with variance <= s^2/4, so the
+        # empirical mean's standard error is <= s / (2 sqrt(trials))
+        tolerance = 6.0 * scale / (2.0 * np.sqrt(trials)) + 1e-7
+        assert np.abs(total / trials - grad).max() <= tolerance
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        shape=st.one_of(
+            st.tuples(st.integers(1, 300)),
+            st.tuples(st.integers(1, 10), st.integers(1, 10)),
+        ),
+        seed=st.integers(0, 99),
+        clip=st.floats(0.5, 5.0),
+    )
+    def test_clipped_variant_stays_bounded(self, shape, seed, clip):
+        # clipping caps magnitudes at clip*sigma before scaling, so the
+        # decoded values never exceed the clipped bucket max
+        grad = gradient(shape, seed)
+        quantizer = make_quantizer(f"terngrad{clip}")
+        decoded = quantizer.decode(
+            quantizer.encode(grad, np.random.default_rng(seed + 1))
+        )
+        sigma = float(np.std(grad.astype(np.float64)))
+        bound = min(
+            float(np.abs(grad).max()),
+            clip * sigma if sigma > 0 else float(np.abs(grad).max()),
+        )
+        assert np.abs(decoded).max() <= bound * (1 + 1e-5)
+
+
+class TestDettmersDynamicTree:
+    @settings(max_examples=30, deadline=None)
+    @given(bits=st.integers(3, 8))
+    def test_code_to_value_mapping_is_strictly_monotone(self, bits):
+        # the dynamic tree's defining property: magnitude codes map to
+        # strictly increasing values, anchored at 0 and 1.0
+        values = dynamic_tree_values(bits)
+        assert values.size == 2 ** (bits - 1)
+        assert values[0] == 0.0
+        assert values[-1] == 1.0
+        assert np.all(np.diff(values) > 0)
+        assert np.all(values >= 0.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        scheme=DETTMERS_SCHEMES, shape=SHAPES, seed=st.integers(0, 99)
+    )
+    def test_error_bounded_by_widest_level_gap(self, scheme, shape, seed):
+        # nearest-level rounding on the normalized magnitude: the error
+        # is at most half the widest gap between adjacent tree levels,
+        # times the (per-bucket, hence <= global) max-magnitude scale
+        grad = gradient(shape, seed)
+        quantizer = make_quantizer(scheme)
+        decoded = quantizer.decode(
+            quantizer.encode(grad, np.random.default_rng(seed + 1))
+        )
+        if grad.size == 0:
+            return
+        levels = dynamic_tree_values(8)
+        widest = float(np.diff(levels).max())
+        absmax = float(np.abs(grad).max())
+        bound = absmax * (widest / 2.0) * (1 + 1e-5) + 1e-12
+        assert np.abs(decoded - grad).max() <= bound
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        scheme=DETTMERS_SCHEMES, shape=SHAPES, seed=st.integers(0, 99)
+    )
+    def test_roundtrip_preserves_sign(self, scheme, shape, seed):
+        # the sign bit rides in the high code bit: decoded entries are
+        # zero or carry the original sign
+        grad = gradient(shape, seed)
+        quantizer = make_quantizer(scheme)
+        decoded = quantizer.decode(
+            quantizer.encode(grad, np.random.default_rng(seed + 1))
+        )
+        nonzero = decoded != 0.0
+        assert np.all(
+            np.sign(decoded[nonzero]) == np.sign(grad[nonzero])
+        )
 
 
 class TestQsgdUnbiasedness:

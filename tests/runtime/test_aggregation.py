@@ -106,6 +106,28 @@ class TestEngineParityWithAggregation:
         )
 
     @pytest.mark.parametrize("engine", CONCURRENT_ENGINES)
+    @pytest.mark.parametrize(
+        "scheme", ["terngrad", "dettmers8", "dettmers8c"]
+    )
+    def test_new_schemes_aggregate_engine_invariant(
+        self, dataset, engine, scheme
+    ):
+        # the extension codecs must honor the same N=4 accumulation
+        # contract as the original zoo, at both world sizes the CI
+        # digest grid pins (N here is aggregation frequency; world
+        # size 1 exercises the self-exchange fast path)
+        for world_size in (1, 4):
+            kw = dict(
+                scheme=scheme,
+                aggregation_frequency=4,
+                world_size=world_size,
+            )
+            assert_identical(
+                run(dataset, engine="sequential", **kw),
+                run(dataset, engine=engine, **kw),
+            )
+
+    @pytest.mark.parametrize("engine", CONCURRENT_ENGINES)
     def test_local_sgd_matches_sequential(self, dataset, engine):
         # diverged replicas + delta exchange: the concurrent engines
         # must land on the sequential averaged parameters exactly

@@ -32,9 +32,10 @@ def dataset():
 
 
 def run(engine, dataset, *, scheme, exchange, world_size, model=tiny_alexnet,
-        epochs=2, comm_bucket_bytes=1 << 12):
+        epochs=2, comm_bucket_bytes=1 << 12, policy="static"):
     config = TrainingConfig(
         scheme=scheme,
+        policy=policy,
         exchange=exchange,
         world_size=world_size,
         batch_size=16,
@@ -81,7 +82,10 @@ class TestEngineParity:
     @pytest.mark.parametrize("engine", CONCURRENT_ENGINES)
     @pytest.mark.parametrize("world_size", [1, 2, 4])
     @pytest.mark.parametrize("exchange", ["mpi", "nccl"])
-    @pytest.mark.parametrize("scheme", ["32bit", "1bit", "qsgd4"])
+    @pytest.mark.parametrize(
+        "scheme",
+        ["32bit", "1bit", "qsgd4", "terngrad", "dettmers8", "dettmers8c"],
+    )
     def test_matches_sequential(
         self, dataset, scheme, exchange, world_size, engine
     ):
@@ -146,6 +150,31 @@ class TestEngineParity:
                 exchange="mpi",
                 world_size=2,
                 comm_bucket_bytes=1,
+            ),
+        )
+
+    @pytest.mark.parametrize("engine", CONCURRENT_ENGINES)
+    @pytest.mark.parametrize("exchange", ["mpi", "nccl"])
+    def test_parity_with_adaptive_policy(self, dataset, exchange, engine):
+        # the adaptive policy routes different layers through different
+        # codecs on the same wire; the per-layer assignment table must
+        # be derived identically inside every engine's workers
+        assert_identical(
+            run(
+                "sequential",
+                dataset,
+                scheme="qsgd4",
+                exchange=exchange,
+                world_size=4,
+                policy="adaptive",
+            ),
+            run(
+                engine,
+                dataset,
+                scheme="qsgd4",
+                exchange=exchange,
+                world_size=4,
+                policy="adaptive",
             ),
         )
 
